@@ -1,0 +1,31 @@
+"""Ablation — start-up latency Ts ∈ {0.15, 1.5} µs (paper §3).
+
+The step-count argument rests on Ts dominating per-worm cost.  With
+Ts = 0.15 µs the gap between RD (log2 N steps) and AB (3 steps)
+narrows; this ablation quantifies the sensitivity.
+"""
+
+from repro.experiments.ablations import run_startup_latency_ablation
+from repro.experiments.reporting import format_table
+
+
+def _latency(rows, algorithm, ts):
+    for row in rows:
+        if row.algorithm == algorithm and row.value == ts:
+            return row.mean_latency_us
+    raise KeyError((algorithm, ts))
+
+
+def test_ablation_startup_latency(once):
+    rows = once(run_startup_latency_ablation, scale="smoke", seed=0)
+    print()
+    print(format_table(rows))
+
+    # The RD/AB gap shrinks when start-ups get cheap.
+    gap_high = _latency(rows, "RD", 1.5) / _latency(rows, "AB", 1.5)
+    gap_low = _latency(rows, "RD", 0.15) / _latency(rows, "AB", 0.15)
+    assert gap_low < gap_high
+    # But the ordering survives at both settings.
+    for ts in (0.15, 1.5):
+        assert _latency(rows, "AB", ts) < _latency(rows, "DB", ts)
+        assert _latency(rows, "DB", ts) < _latency(rows, "RD", ts)

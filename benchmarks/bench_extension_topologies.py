@@ -1,0 +1,47 @@
+"""Extension — broadcast on the paper's future-work topologies.
+
+Profiles the coded-path ring broadcast on the 8×8×8 torus and the
+dimension-sweep broadcast on the 2^9 hypercube against the mesh
+algorithms at equal node count (512).
+"""
+
+from repro import Hypercube, Mesh, NetworkConfig, Torus, broadcast
+from repro.core import UnitStepExecutor
+from repro.core.hypercube_broadcast import HypercubeBroadcast
+from repro.core.torus_broadcast import TorusRingBroadcast
+
+
+def _run_extensions():
+    results = {}
+    mesh = Mesh((8, 8, 8))
+    for name in ("RD", "DB", "AB"):
+        results[name] = broadcast(name, mesh, (0, 0, 0), 100).network_latency
+
+    torus = Torus((8, 8, 8))
+    ring = TorusRingBroadcast(torus)
+    results["TORUS-RING"] = (
+        UnitStepExecutor(torus, NetworkConfig(ports_per_node=2))
+        .execute(ring.schedule((0, 0, 0)), 100)
+        .network_latency
+    )
+
+    cube = Hypercube(9)
+    sweep = HypercubeBroadcast(cube)
+    results["HCUBE"] = (
+        UnitStepExecutor(cube, NetworkConfig(ports_per_node=1))
+        .execute(sweep.schedule((0,) * 9), 100)
+        .network_latency
+    )
+    return results
+
+
+def test_extension_topologies(once):
+    results = once(_run_extensions)
+    print()
+    for name, latency in results.items():
+        print(f"  {name:<11s} {latency:8.3f} us")
+
+    # The torus ring broadcast (n steps) beats mesh DB (4 steps).
+    assert results["TORUS-RING"] < results["DB"]
+    # The hypercube sweep pays log2(N) start-ups, like mesh RD.
+    assert abs(results["HCUBE"] - results["RD"]) / results["RD"] < 0.2

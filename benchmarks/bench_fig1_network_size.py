@@ -1,0 +1,37 @@
+"""Fig. 1 — broadcast latency vs network size (64 … 4096 nodes).
+
+Regenerates the figure's four series at smoke scale and asserts the
+paper's shape: RD and EDN latency grows with network size while DB and
+AB stay nearly flat, with DB ≈ EDN at 4×4×4.
+"""
+
+from repro.experiments.fig1 import format_fig1, run_fig1
+
+
+def _series(rows, algorithm):
+    return {
+        r.num_nodes: r.mean_latency_us for r in rows if r.algorithm == algorithm
+    }
+
+
+def test_fig1_network_size(once):
+    rows = once(run_fig1, scale="smoke", seed=0)
+    print()
+    print(format_fig1(rows))
+
+    rd, edn = _series(rows, "RD"), _series(rows, "EDN")
+    db, ab = _series(rows, "DB"), _series(rows, "AB")
+    small, large = 64, 4096
+
+    # Growth: the step-bound algorithms degrade with size.
+    assert rd[large] > 1.5 * rd[small]
+    assert edn[large] > 1.5 * edn[small]
+    # Scalability: DB/AB latency is nearly size-independent.
+    assert db[large] < 1.15 * db[small]
+    assert ab[large] < 1.15 * ab[small]
+    # Ranking at every size: AB < DB and DB/AB below RD.
+    for nodes in rd:
+        assert ab[nodes] < db[nodes] < rd[nodes]
+        assert edn[nodes] < rd[nodes]
+    # DB and EDN are comparable on the smallest mesh (same step count).
+    assert abs(db[small] - edn[small]) / edn[small] < 0.25

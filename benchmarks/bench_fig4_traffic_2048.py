@@ -1,0 +1,58 @@
+"""Fig. 4 — latency vs traffic load on the 16×16×8 mesh (2048 nodes).
+
+The larger-network counterpart of Fig. 3.  The paper's observation:
+AB still performs best under light traffic, but its advantage over DB
+diminishes on the larger mesh because its long third-step paths load
+the network.  Asserted on the robust broadcast-latency series.
+"""
+
+from repro.experiments.config import ExperimentScale
+from repro.experiments.traffic_sweep import format_traffic_sweep, run_traffic_sweep
+
+LOADS = [0.5, 4.0]
+
+SCALE = ExperimentScale(
+    name="bench",
+    sources_per_point=2,
+    batch_size=25,
+    num_batches=4,
+    discard=1,
+    max_sim_time_us=60_000.0,
+)
+
+
+def _bcast(rows, algorithm):
+    return {
+        r.load_messages_per_ms: r.broadcast_mean_latency_us
+        for r in rows
+        if r.algorithm == algorithm
+    }
+
+
+def test_fig4_traffic_16x16x8(once):
+    def both():
+        fig4 = run_traffic_sweep("fig4", scale=SCALE, seed=0, loads=LOADS)
+        fig3 = run_traffic_sweep(
+            "fig3", scale=SCALE, seed=0, loads=LOADS, algorithms=["DB", "AB"]
+        )
+        return fig3, fig4
+
+    fig3, fig4 = once(both)
+    print()
+    print(format_traffic_sweep(fig4))
+
+    rd, db, ab = _bcast(fig4, "RD"), _bcast(fig4, "DB"), _bcast(fig4, "AB")
+    for load in LOADS:
+        if None in (rd.get(load), db.get(load), ab.get(load)):
+            continue
+        assert ab[load] < rd[load], load
+        assert db[load] < rd[load], load
+
+    # AB's lead over DB diminishes on the larger network (paper §3.3):
+    # compare the DB/AB broadcast-latency ratio at light load.
+    db3, ab3 = _bcast(fig3, "DB"), _bcast(fig3, "AB")
+    light = LOADS[0]
+    if None not in (db3.get(light), ab3.get(light), db.get(light), ab.get(light)):
+        margin_small = db3[light] / ab3[light]
+        margin_large = db[light] / ab[light]
+        assert margin_large < margin_small * 1.25

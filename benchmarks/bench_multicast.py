@@ -1,0 +1,56 @@
+"""Extension — path-based multicast vs unicast-based multicast.
+
+The paper's future-work operation.  Asserts the multidestination
+advantage: dual-path latency is flat in the destination-set size while
+unicast-based multicast grows linearly.
+"""
+
+import numpy as np
+
+from repro.core import EventDrivenExecutor
+from repro.core.multicast import DualPathMulticast, UnicastMulticast
+from repro.network import Mesh, NetworkConfig, NetworkSimulator
+
+DIMS = (8, 8)
+SOURCE = (3, 3)
+
+
+def _latency(scheme_cls, destinations):
+    mesh = Mesh(DIMS)
+    scheme = scheme_cls(mesh)
+    network = NetworkSimulator(
+        mesh, NetworkConfig(ports_per_node=scheme.ports_required)
+    )
+    outcome = EventDrivenExecutor(network).execute(
+        scheme.schedule(SOURCE, destinations), 64
+    )
+    return outcome.network_latency
+
+
+def _sweep():
+    rng = np.random.default_rng(0)
+    nodes = [n for n in Mesh(DIMS).nodes() if n != SOURCE]
+    results = {}
+    for count in (4, 16, 63):
+        picks = rng.choice(len(nodes), size=count, replace=False)
+        destinations = [nodes[i] for i in picks]
+        results[count] = (
+            _latency(DualPathMulticast, destinations),
+            _latency(UnicastMulticast, destinations),
+        )
+    return results
+
+
+def test_multicast_dual_path_vs_unicast(once):
+    results = once(_sweep)
+    print()
+    for count, (dual, uni) in results.items():
+        print(f"  |D|={count:>3d}: dual={dual:7.3f} us  unicast={uni:7.3f} us")
+
+    for count, (dual, uni) in results.items():
+        assert dual < uni, count
+    # Dual-path is ~flat in |D|; unicast grows ~linearly.
+    dual_growth = results[63][0] / results[4][0]
+    uni_growth = results[63][1] / results[4][1]
+    assert dual_growth < 1.5
+    assert uni_growth > 8.0

@@ -1,0 +1,24 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables/figures at
+``smoke`` scale (seconds, not the paper's full sample counts) and
+asserts the *shape* properties the paper reports.  Run the full-scale
+versions with the CLI instead: ``repro fig1 --scale full``.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark an expensive experiment with a single round."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture wrapping `benchmark.pedantic` for one-shot experiments."""
+
+    def runner(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return runner

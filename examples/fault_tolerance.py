@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Adaptive routing around channel faults.
+
+The paper credits AB's turn-model adaptivity with "providing messages
+with alternative paths inside the network".  This example makes that
+concrete: random link faults are injected, and a west-first adaptive
+worm routes around them while the dimension-ordered worm aborts.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+from repro.network import (
+    FaultModel,
+    FaultyChannelError,
+    Mesh,
+    Message,
+    NetworkConfig,
+    NetworkSimulator,
+    PathTransmission,
+)
+from repro.routing import DimensionOrdered, Path, WestFirst
+
+DIMS = (8, 8)
+SOURCE = (0, 0)
+DEST = (7, 7)
+
+
+def try_deterministic(network):
+    dor = DimensionOrdered(network.topology)
+    message = Message(source=SOURCE, destinations={DEST}, length_flits=32)
+    nodes = dor.path(SOURCE, DEST)
+    process = PathTransmission(
+        network, message, path=Path(nodes, deliveries=[DEST])
+    ).start()
+    try:
+        network.run()
+        return process.value
+    except FaultyChannelError as exc:
+        return exc
+
+
+def try_adaptive(network):
+    wf = WestFirst(network.topology)
+    message = Message(source=SOURCE, destinations={DEST}, length_flits=32)
+    process = PathTransmission(
+        network, message, waypoints=[SOURCE, DEST], routing=wf, adaptive=True
+    ).start()
+    try:
+        network.run()
+        return process.value
+    except FaultyChannelError as exc:
+        return exc
+
+
+def main() -> None:
+    mesh = Mesh(DIMS)
+    print(f"Unicast {SOURCE} -> {DEST} on {'x'.join(map(str, DIMS))} mesh")
+
+    # Break one channel on the dimension-ordered route.
+    network = NetworkSimulator(mesh, NetworkConfig(ports_per_node=1))
+    FaultModel(network).fail_channel((3, 0), (4, 0))
+    print("\nfaulted link: (3,0) <-> (4,0) — on the XY route")
+
+    result = try_deterministic(network)
+    if isinstance(result, FaultyChannelError):
+        print(f"  dimension-ordered: ABORTED ({result})")
+    else:  # pragma: no cover - depends on injected fault
+        print(f"  dimension-ordered: delivered in {result.network_latency:.3f} us")
+
+    network = NetworkSimulator(mesh, NetworkConfig(ports_per_node=1))
+    FaultModel(network).fail_channel((3, 0), (4, 0))
+    result = try_adaptive(network)
+    if isinstance(result, FaultyChannelError):
+        print(f"  west-first:        ABORTED ({result})")
+    else:
+        hops = len(result.visited) - 1
+        print(
+            f"  west-first:        delivered in {result.network_latency:.3f} us"
+            f" over {hops} hops via {result.visited[1]}…"
+        )
+
+    print(
+        "\nThe adaptive worm detours because west-first still has a legal"
+        " minimal alternative at the faulted column; deterministic routing"
+        " has exactly one path and fails with it."
+    )
+
+
+if __name__ == "__main__":
+    main()

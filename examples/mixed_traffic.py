@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Mixed unicast/broadcast traffic under rising load (Figs. 3-4 scenario).
+
+Every node generates Poisson traffic — 90% unicasts to uniform random
+destinations, 10% broadcasts of the chosen algorithm — and the mean
+communication latency is measured with the paper's batch-means protocol
+as the load rises toward saturation.
+
+Run:  python examples/mixed_traffic.py [--algos DB,AB] [--dims 8x8x8]
+"""
+
+import argparse
+
+from repro.network import Mesh
+from repro.traffic import MixedTrafficConfig, MixedTrafficSimulation
+
+
+def parse_dims(text):
+    return tuple(int(p) for p in text.lower().split("x"))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--algos", default="RD,EDN,DB,AB")
+    parser.add_argument("--dims", type=parse_dims, default=(8, 8, 8))
+    parser.add_argument(
+        "--loads", default="1,2,4,8,16",
+        help="comma-separated per-node loads in messages/ms",
+    )
+    parser.add_argument("--batch-size", type=int, default=20)
+    parser.add_argument("--batches", type=int, default=6)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    mesh = Mesh(args.dims)
+    loads = [float(x) for x in args.loads.split(",")]
+    algos = [a.strip().upper() for a in args.algos.split(",")]
+
+    print(
+        f"Mixed traffic on {'x'.join(map(str, args.dims))}"
+        f" ({mesh.num_nodes} nodes), 10% broadcast, L=32 flits"
+    )
+    print(f"{'algo':<6s}{'load':>8s}{'all_us':>10s}{'uni_us':>10s}"
+          f"{'bcast_us':>10s}{'ops':>7s}")
+    for name in algos:
+        for load in loads:
+            config = MixedTrafficConfig(
+                load_messages_per_ms=load,
+                batch_size=args.batch_size,
+                num_batches=args.batches,
+                discard=1,
+                seed=args.seed,
+                max_sim_time_us=200_000.0,
+            )
+            stats = MixedTrafficSimulation(mesh, name, config).run()
+            bcast = stats.broadcast_mean_latency_us
+            print(
+                f"{name:<6s}{load:>8.2f}{stats.mean_latency_us:>10.2f}"
+                f"{stats.unicast_mean_latency_us or float('nan'):>10.2f}"
+                f"{bcast if bcast is not None else float('nan'):>10.2f}"
+                f"{stats.operations_completed:>7d}"
+                + ("  (hit time cap)" if stats.saturated else "")
+            )
+
+    print(
+        "\nLatency climbs with load; the step-heavy algorithms (RD, EDN)"
+        " feed the network more worms per broadcast and saturate first."
+    )
+
+
+if __name__ == "__main__":
+    main()

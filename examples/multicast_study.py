@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Multicast: one coded-path worm vs a pile of unicasts.
+
+The paper's conclusion proposes extending coded-path broadcast to
+*multicast* — delivery to an arbitrary destination subset.  This example
+compares the classic dual-path multicast (two multidestination worms
+over a Hamiltonian ranking of the mesh) against unicast-based multicast
+(one worm per destination) as the destination-set size grows.
+
+Run:  python examples/multicast_study.py
+"""
+
+import numpy as np
+
+from repro.core import EventDrivenExecutor
+from repro.core.multicast import DualPathMulticast, UnicastMulticast, validate_multicast
+from repro.network import Mesh, NetworkConfig, NetworkSimulator
+
+DIMS = (8, 8)
+SOURCE = (3, 3)
+LENGTH_FLITS = 64
+
+
+def run(scheme, destinations):
+    schedule = scheme.schedule(SOURCE, destinations)
+    validate_multicast(schedule, scheme.topology, destinations)
+    network = NetworkSimulator(
+        scheme.topology, NetworkConfig(ports_per_node=scheme.ports_required)
+    )
+    outcome = EventDrivenExecutor(network).execute(schedule, LENGTH_FLITS)
+    return schedule, outcome
+
+
+def main() -> None:
+    mesh = Mesh(DIMS)
+    rng = np.random.default_rng(0)
+    nodes = [n for n in mesh.nodes() if n != SOURCE]
+
+    print(f"Multicast from {SOURCE} on {'x'.join(map(str, DIMS))},"
+          f" L={LENGTH_FLITS} flits\n")
+    print(f"{'|D|':>5s}{'dual worms':>12s}{'dual us':>10s}"
+          f"{'unicast worms':>15s}{'unicast us':>12s}{'speedup':>9s}")
+
+    for count in (2, 4, 8, 16, 32, 63):
+        picks = rng.choice(len(nodes), size=count, replace=False)
+        destinations = [nodes[i] for i in picks]
+        dual_sched, dual = run(DualPathMulticast(mesh), destinations)
+        uni_sched, uni = run(UnicastMulticast(mesh), destinations)
+        print(
+            f"{count:>5d}{dual_sched.total_sends():>12d}"
+            f"{dual.network_latency:>10.3f}{uni_sched.total_sends():>15d}"
+            f"{uni.network_latency:>12.3f}"
+            f"{uni.network_latency / dual.network_latency:>9.2f}x"
+        )
+
+    print(
+        "\nThe dual-path scheme pays at most two start-up latencies no"
+        " matter how many destinations; unicast-based multicast pays one"
+        " per destination, serialised on the source's injection port."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Node-level arrival fairness (the paper's Fig. 2 / Tables 1-2 scenario).
+
+The paper's second contribution is *measuring broadcast quality at the
+node level*: two algorithms with the same completion latency can differ
+wildly in how evenly destinations receive the message.  This example
+computes the coefficient of variation of arrival times under both
+execution semantics (locally-causal and step-barrier) and prints an
+arrival-time histogram so the difference is visible.
+
+Run:  python examples/node_level_fairness.py
+"""
+
+import numpy as np
+
+from repro import Mesh, NetworkConfig, algorithm_names, get_algorithm
+from repro.core import BarrierStepExecutor, EventDrivenExecutor
+from repro.core.adaptive_broadcast import AdaptiveBroadcast
+from repro.network import NetworkSimulator
+
+DIMS = (8, 8, 8)
+SOURCE = (2, 5, 3)
+LENGTH_FLITS = 64
+BINS = 8
+
+
+def histogram(latencies, bins=BINS, width=40):
+    counts, edges = np.histogram(latencies, bins=bins)
+    peak = counts.max() or 1
+    lines = []
+    for count, lo, hi in zip(counts, edges, edges[1:]):
+        bar = "#" * int(round(width * count / peak))
+        lines.append(f"  {lo:7.2f}-{hi:7.2f} us |{bar:<{width}s}| {count}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    mesh = Mesh(DIMS)
+    print(f"Arrival-time spread, {'x'.join(map(str, DIMS))} mesh,"
+          f" source {SOURCE}, L={LENGTH_FLITS} flits\n")
+    for name in algorithm_names():
+        algo = get_algorithm(name)(mesh)
+        config = NetworkConfig(ports_per_node=algo.ports_required)
+        schedule = algo.schedule(SOURCE)
+
+        network = NetworkSimulator(mesh, config)
+        routing = AdaptiveBroadcast.make_routing(mesh) if algo.adaptive else None
+        event = EventDrivenExecutor(network, adaptive_routing=routing).execute(
+            schedule, LENGTH_FLITS
+        )
+        barrier = BarrierStepExecutor(mesh, config).execute(
+            schedule, LENGTH_FLITS
+        )
+
+        print(
+            f"{name}: steps={schedule.num_steps}"
+            f"  CV(event)={event.coefficient_of_variation:.4f}"
+            f"  CV(barrier)={barrier.coefficient_of_variation:.4f}"
+        )
+        print(histogram(event.latencies()))
+        print()
+
+    print(
+        "The coded-path algorithms deliver most nodes in their final one"
+        " or two steps over multidestination worms, so arrivals cluster;"
+        " RD and EDN spread arrivals across their longer step sequences."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Quickstart: broadcast on a wormhole mesh with all four algorithms.
+
+Builds the paper's 8x8x8 mesh, runs one broadcast per algorithm from
+the same source, and prints the numbers the paper's comparison turns
+on: message-passing steps, worms launched, network latency, and the
+coefficient of variation of arrival times.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Mesh, NetworkConfig, algorithm_names, broadcast, get_algorithm
+from repro.analysis import compare_algorithms
+
+DIMS = (8, 8, 8)
+SOURCE = (3, 4, 5)
+LENGTH_FLITS = 100
+
+
+def main() -> None:
+    mesh = Mesh(DIMS)
+    print(f"Mesh {'x'.join(map(str, DIMS))} = {mesh.num_nodes} nodes,"
+          f" broadcast from {SOURCE}, L={LENGTH_FLITS} flits\n")
+
+    header = (f"{'algo':<6s}{'steps':>6s}{'worms':>7s}{'latency_us':>12s}"
+              f"{'mean_us':>9s}{'CV':>8s}")
+    print(header)
+    print("-" * len(header))
+    for name in algorithm_names():
+        algo = get_algorithm(name)(mesh)
+        outcome = broadcast(name, mesh, SOURCE, LENGTH_FLITS)
+        schedule = algo.schedule(SOURCE)
+        print(
+            f"{name:<6s}{schedule.num_steps:>6d}{schedule.total_sends():>7d}"
+            f"{outcome.network_latency:>12.3f}{outcome.mean_latency:>9.3f}"
+            f"{outcome.coefficient_of_variation:>8.4f}"
+        )
+
+    print("\nAnalytic profile (contention-free closed form):")
+    for row in compare_algorithms(DIMS, LENGTH_FLITS, source=SOURCE):
+        print(
+            f"  {row.algorithm:<4s} steps={row.steps} "
+            f"longest_path={row.longest_path_hops:>3d} hops "
+            f"floor={row.latency_floor:6.2f} us "
+            f"analytic={row.analytic_latency:6.2f} us"
+        )
+
+    print(
+        "\nReading: RD needs log2(N) steps, EDN k+m+4, DB 4, AB 3 —"
+        " and with Ts = 1.5 us per send, steps dominate latency."
+    )
+
+
+if __name__ == "__main__":
+    main()

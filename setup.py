@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Metadata lives in pyproject.toml; this file exists so legacy
+``pip install -e .`` works in environments without the ``wheel``
+package (PEP 660 editable builds need it, the legacy develop path
+does not).
+"""
+
+from setuptools import setup
+
+setup()

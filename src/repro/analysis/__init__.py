@@ -1,0 +1,36 @@
+"""Timing analysis.
+
+Closed-form models of the four algorithms' step counts and
+contention-free broadcast latencies — the "timing analysis" the paper
+says its simulator verifies.  The experiments use these as sanity
+oracles next to the simulated results.
+"""
+
+from repro.analysis.step_counts import (
+    ab_steps,
+    db_steps,
+    edn_steps,
+    rd_steps,
+    step_count,
+)
+from repro.analysis.latency_model import (
+    LatencyModel,
+    broadcast_latency_lower_bound,
+    distance_lower_bound,
+    message_latency,
+)
+from repro.analysis.comparison import ComparisonRow, compare_algorithms
+
+__all__ = [
+    "ComparisonRow",
+    "LatencyModel",
+    "ab_steps",
+    "broadcast_latency_lower_bound",
+    "compare_algorithms",
+    "db_steps",
+    "distance_lower_bound",
+    "edn_steps",
+    "message_latency",
+    "rd_steps",
+    "step_count",
+]

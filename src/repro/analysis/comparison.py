@@ -1,0 +1,99 @@
+"""Side-by-side analytic comparison of the four algorithms.
+
+Generates the kind of summary table the paper's §2 discussion implies:
+step counts, total worms launched, longest path, and the analytic
+latency floor — for any mesh size.  Used by the quickstart example and
+as a cross-check in experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.analysis.latency_model import distance_lower_bound
+from repro.core.executors import UnitStepExecutor
+from repro.core.registry import ALGORITHMS
+from repro.network.network import NetworkConfig
+from repro.network.topology import Mesh
+
+__all__ = ["ComparisonRow", "compare_algorithms"]
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One algorithm's analytic profile on one mesh."""
+
+    algorithm: str
+    steps: int
+    total_sends: int
+    longest_path_hops: int
+    ports_required: int
+    analytic_latency: float
+    latency_floor: float
+    coefficient_of_variation: float
+
+    def as_dict(self) -> dict:
+        return {
+            "algorithm": self.algorithm,
+            "steps": self.steps,
+            "total_sends": self.total_sends,
+            "longest_path_hops": self.longest_path_hops,
+            "ports": self.ports_required,
+            "analytic_latency_us": self.analytic_latency,
+            "latency_floor_us": self.latency_floor,
+            "cv": self.coefficient_of_variation,
+        }
+
+
+def compare_algorithms(
+    dims: Sequence[int],
+    length_flits: int = 100,
+    config: Optional[NetworkConfig] = None,
+    source: Optional[Sequence[int]] = None,
+) -> List[ComparisonRow]:
+    """Profile all four algorithms analytically on one mesh.
+
+    Parameters
+    ----------
+    dims:
+        Mesh shape.
+    length_flits:
+        Worm length for the latency model.
+    config:
+        Timing constants; port budget is overridden per algorithm.
+    source:
+        Broadcast source (defaults to the mesh centre).
+    """
+    mesh = Mesh(dims)
+    base = config or NetworkConfig()
+    src = tuple(source) if source is not None else tuple(d // 2 for d in dims)
+    rows: List[ComparisonRow] = []
+    for name, cls in ALGORITHMS.items():
+        algorithm = cls(mesh)
+        cfg = NetworkConfig(
+            startup_latency=base.startup_latency,
+            flit_time=base.flit_time,
+            router_delay=base.router_delay,
+            ports_per_node=algorithm.ports_required,
+        )
+        schedule = algorithm.schedule(src)
+        outcome = UnitStepExecutor(mesh, cfg).execute(schedule, length_flits)
+        longest = max(
+            send.min_hops(mesh) for _, send in schedule.all_sends()
+        )
+        rows.append(
+            ComparisonRow(
+                algorithm=name,
+                steps=schedule.num_steps,
+                total_sends=schedule.total_sends(),
+                longest_path_hops=longest,
+                ports_required=algorithm.ports_required,
+                analytic_latency=outcome.network_latency,
+                latency_floor=distance_lower_bound(
+                    mesh, src, cfg, length_flits
+                ),
+                coefficient_of_variation=outcome.coefficient_of_variation,
+            )
+        )
+    return rows

@@ -1,0 +1,75 @@
+"""Closed-form message-passing step counts.
+
+The quantities the paper argues from in §2:
+
+* RD: ``log2 N`` (sum of per-dimension ``⌈log2 k⌉``);
+* EDN: ``k + m + 4`` on ``(4·2^k)×(4·2^k)×(4·2^m)`` networks
+  (generalised here as in :mod:`repro.core.edn`);
+* DB: 4 steps on non-degenerate 3-D meshes;
+* AB: 3 steps on non-degenerate 3-D meshes.
+
+These functions are intentionally *independent re-derivations* — the
+test suite checks the schedule builders against them, so a bug would
+have to appear identically in two places to slip through.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["rd_steps", "edn_steps", "db_steps", "ab_steps", "step_count"]
+
+
+def _clog2(n: int) -> int:
+    return math.ceil(math.log2(n)) if n > 1 else 0
+
+
+def rd_steps(dims: Sequence[int]) -> int:
+    """Recursive doubling: ``Σ ⌈log2 k_d⌉`` (= ``log2 N`` for powers of 2)."""
+    return sum(_clog2(d) for d in dims)
+
+
+def edn_steps(dims: Sequence[int], block: int = 4) -> int:
+    """EDN: plane quadrant depth + z doubling depth + block coverage."""
+    if len(dims) not in (2, 3):
+        raise ValueError("EDN step model covers 2-D/3-D meshes")
+    kx, ky = dims[0], dims[1]
+    kz = dims[2] if len(dims) == 3 else 1
+    bx = math.ceil(kx / block)
+    by = math.ceil(ky / block)
+    plane = _clog2(max(bx, by))
+    spread = _clog2(kz)
+    tile = _clog2(max(min(block, kx), min(block, ky)))
+    return plane + spread + tile
+
+
+def db_steps(dims: Sequence[int]) -> int:
+    """DB: corners + pillars + boundary rows + interior columns."""
+    if len(dims) not in (2, 3):
+        raise ValueError("DB step model covers 2-D/3-D meshes")
+    ky = dims[1]
+    kz = dims[2] if len(dims) == 3 else 1
+    return 2 + (1 if kz > 1 else 0) + (1 if ky > 2 else 0)
+
+
+def ab_steps(dims: Sequence[int]) -> int:
+    """AB: corners + pillars + half-plane coverage."""
+    if len(dims) not in (2, 3):
+        raise ValueError("AB step model covers 2-D/3-D meshes")
+    kz = dims[2] if len(dims) == 3 else 1
+    return 2 + (1 if kz > 1 else 0)
+
+
+_MODELS = {"RD": rd_steps, "EDN": edn_steps, "DB": db_steps, "AB": ab_steps}
+
+
+def step_count(algorithm: str, dims: Sequence[int]) -> int:
+    """Dispatch on the paper's algorithm name."""
+    try:
+        model = _MODELS[algorithm.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {algorithm!r}; choose from {sorted(_MODELS)}"
+        ) from None
+    return model(dims)

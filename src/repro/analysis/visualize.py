@@ -1,0 +1,116 @@
+"""ASCII visualisation of broadcast behaviour.
+
+Terminal-friendly renderings used by the examples and handy when
+debugging a new schedule: which step each node receives in, and how
+arrival times distribute across the mesh.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.executors import BroadcastOutcome
+from repro.core.schedule import BroadcastSchedule
+from repro.network.coordinates import Coordinate
+from repro.network.topology import Mesh
+
+__all__ = ["receive_step_map", "arrival_heatmap"]
+
+#: Glyphs for steps 1..35 (source is ``S``, uncovered is ``.``).
+_STEP_GLYPHS = "123456789abcdefghijklmnopqrstuvwxyz"
+
+
+def _plane_lines(
+    values: Dict[Coordinate, str],
+    mesh: Mesh,
+    z: Optional[int],
+) -> list:
+    kx, ky = mesh.dims[0], mesh.dims[1]
+    lines = []
+    for y in range(ky - 1, -1, -1):  # north at the top
+        row = []
+        for x in range(kx):
+            coord = (x, y) if z is None else (x, y, z)
+            row.append(values.get(coord, "."))
+        lines.append(" ".join(row))
+    return lines
+
+
+def receive_step_map(
+    schedule: BroadcastSchedule,
+    mesh: Mesh,
+    plane: Optional[int] = None,
+) -> str:
+    """Render which step each node first receives in.
+
+    Parameters
+    ----------
+    schedule:
+        The broadcast plan to render.
+    mesh:
+        Its topology (2-D or 3-D).
+    plane:
+        For 3-D meshes, the z-plane to show (defaults to the source's).
+
+    Examples
+    --------
+    >>> from repro.network import Mesh
+    >>> from repro.core import DeterministicBroadcast
+    >>> print(receive_step_map(
+    ...     DeterministicBroadcast(Mesh((4, 4))).schedule((0, 0)), Mesh((4, 4))))
+    step map (S=source, digits=receive step)
+    2 2 2 1
+    3 3 3 3
+    3 3 3 3
+    S 2 2 2
+    """
+    if mesh.ndim not in (2, 3):
+        raise ValueError("can only render 2-D/3-D meshes")
+    z: Optional[int]
+    if mesh.ndim == 3:
+        z = plane if plane is not None else schedule.source[2]
+        if not 0 <= z < mesh.dims[2]:
+            raise ValueError(f"plane {z} outside the mesh")
+    else:
+        z = None
+    glyphs: Dict[Coordinate, str] = {schedule.source: "S"}
+    for node, step in schedule.receive_step().items():
+        if node == schedule.source:
+            continue
+        glyphs[node] = (
+            _STEP_GLYPHS[step - 1] if step - 1 < len(_STEP_GLYPHS) else "+"
+        )
+    header = "step map (S=source, digits=receive step)"
+    if z is not None:
+        header += f" — plane z={z}"
+    return "\n".join([header] + _plane_lines(glyphs, mesh, z))
+
+
+def arrival_heatmap(
+    outcome: BroadcastOutcome,
+    mesh: Mesh,
+    plane: Optional[int] = None,
+) -> str:
+    """Render normalised arrival times (0 = first arrival, 9 = last)."""
+    if mesh.ndim not in (2, 3):
+        raise ValueError("can only render 2-D/3-D meshes")
+    if not outcome.arrivals:
+        raise ValueError("outcome has no arrivals to render")
+    z: Optional[int]
+    if mesh.ndim == 3:
+        z = plane if plane is not None else outcome.source[2]
+    else:
+        z = None
+    lo = min(outcome.arrivals.values())
+    hi = max(outcome.arrivals.values())
+    span = hi - lo
+    glyphs: Dict[Coordinate, str] = {outcome.source: "S"}
+    for node, t in outcome.arrivals.items():
+        level = 0 if span == 0 else int(round(9 * (t - lo) / span))
+        glyphs[node] = str(level)
+    header = (
+        f"arrival heatmap (S=source, 0=first {lo:.3f}, 9=last {hi:.3f})"
+    )
+    if z is not None:
+        header += f" — plane z={z}"
+    return "\n".join([header] + _plane_lines(glyphs, mesh, z))

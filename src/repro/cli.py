@@ -1,0 +1,136 @@
+"""Command-line interface.
+
+Regenerate any of the paper's tables/figures::
+
+    repro fig1 --scale quick
+    repro table2 --scale full --seed 7
+    repro list
+
+or run a one-off broadcast and print its profile::
+
+    repro broadcast --algo AB --dims 8x8x8 --source 3,4,5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.comparison import compare_algorithms
+from repro.core.adaptive_broadcast import AdaptiveBroadcast
+from repro.core.executors import EventDrivenExecutor
+from repro.core.registry import algorithm_names, get_algorithm
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+from repro.network.network import NetworkConfig, NetworkSimulator
+from repro.network.topology import Mesh
+
+__all__ = ["main"]
+
+
+def _parse_dims(text: str):
+    try:
+        return tuple(int(part) for part in text.lower().split("x"))
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad dims {text!r}; use e.g. 8x8x8")
+
+
+def _parse_coord(text: str):
+    try:
+        return tuple(int(part) for part in text.split(","))
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad coordinate {text!r}; use e.g. 3,4,5")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'On the Performance of Broadcast Algorithms in"
+            " Interconnection Networks' (Al-Dubai & Ould-Khaoua, ICPP 2005)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    for experiment_id in EXPERIMENTS:
+        p = sub.add_parser(experiment_id, help=f"regenerate {experiment_id}")
+        p.add_argument("--scale", default="quick", choices=["smoke", "quick", "full"])
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument(
+            "--out",
+            default=None,
+            metavar="FILE",
+            help="also save the rows to FILE (.json or .csv)",
+        )
+
+    b = sub.add_parser("broadcast", help="run one broadcast and print stats")
+    b.add_argument("--algo", default="DB", choices=algorithm_names())
+    b.add_argument("--dims", type=_parse_dims, default=(8, 8, 8))
+    b.add_argument("--source", type=_parse_coord, default=None)
+    b.add_argument("--flits", type=int, default=100)
+
+    c = sub.add_parser("compare", help="analytic comparison of all algorithms")
+    c.add_argument("--dims", type=_parse_dims, default=(8, 8, 8))
+    c.add_argument("--flits", type=int, default=100)
+    return parser
+
+
+def _cmd_broadcast(args) -> int:
+    mesh = Mesh(args.dims)
+    cls = get_algorithm(args.algo)
+    algorithm = cls(mesh)
+    source = args.source or tuple(d // 2 for d in args.dims)
+    schedule = algorithm.schedule(source)
+    network = NetworkSimulator(
+        mesh, NetworkConfig(ports_per_node=algorithm.ports_required)
+    )
+    routing = (
+        AdaptiveBroadcast.make_routing(mesh) if algorithm.adaptive else None
+    )
+    outcome = EventDrivenExecutor(network, adaptive_routing=routing).execute(
+        schedule, args.flits
+    )
+    print(
+        f"{args.algo} broadcast on {'x'.join(map(str, args.dims))} from"
+        f" {source} (L={args.flits} flits)"
+    )
+    print(f"  steps:            {schedule.num_steps}")
+    print(f"  worms launched:   {schedule.total_sends()}")
+    print(f"  delivered:        {outcome.delivered_count} nodes")
+    print(f"  network latency:  {outcome.network_latency:.3f} us")
+    print(f"  mean latency:     {outcome.mean_latency:.3f} us")
+    print(f"  CV of arrivals:   {outcome.coefficient_of_variation:.4f}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    rows = [r.as_dict() for r in compare_algorithms(args.dims, args.flits)]
+    print(format_table(rows))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point (also exposed as the ``repro`` console script)."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        print("experiments:", " ".join(sorted(EXPERIMENTS)))
+        return 0
+    if args.command == "broadcast":
+        return _cmd_broadcast(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    rows, text = run_experiment(args.command, args.scale, args.seed)
+    print(text)
+    if getattr(args, "out", None):
+        from repro.experiments.export import save_rows
+
+        path = save_rows(rows, args.out)
+        print(f"\nrows saved to {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

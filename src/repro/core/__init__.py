@@ -1,0 +1,68 @@
+"""The paper's contribution: broadcast algorithms for wormhole meshes.
+
+Four algorithms, expressed as *schedule generators*: given a topology
+and a source node, each produces a :class:`BroadcastSchedule` — an
+ordered list of message-passing steps, each a set of (possibly
+multidestination coded-path) sends.  Two executors realise a schedule:
+the analytic :class:`UnitStepExecutor` (contention-free closed-form
+timing) and the :class:`EventDrivenExecutor` (full wormhole simulation
+with channel contention on the :mod:`repro.sim` kernel).
+
+Algorithms
+----------
+RecursiveDoubling (RD)
+    Barnett et al. — ``log2 N`` unicast steps, dimension-ordered.
+ExtendedDominatingNodes (EDN)
+    Tsai & McKinley — multiport dominating-node levels,
+    ``k + m + 4`` steps on conforming sizes.
+DeterministicBroadcast (DB)
+    Al-Dubai & Ould-Khaoua — coded-path routing, 4 steps.
+AdaptiveBroadcast (AB)
+    Al-Dubai et al. — coded-path + west-first turn model, 3 steps.
+"""
+
+from repro.core.base import BroadcastAlgorithm
+from repro.core.schedule import BroadcastSchedule, BroadcastStep, PathSend
+from repro.core.recursive_doubling import RecursiveDoubling
+from repro.core.edn import ExtendedDominatingNodes
+from repro.core.deterministic_broadcast import DeterministicBroadcast
+from repro.core.adaptive_broadcast import AdaptiveBroadcast
+from repro.core.registry import ALGORITHMS, get_algorithm, algorithm_names
+from repro.core.executors import (
+    BarrierStepExecutor,
+    BroadcastOutcome,
+    EventDrivenExecutor,
+    UnitStepExecutor,
+)
+from repro.core.validation import (
+    ScheduleValidationError,
+    check_causality,
+    check_coverage,
+    check_paths,
+    check_ports,
+    validate_schedule,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "AdaptiveBroadcast",
+    "BarrierStepExecutor",
+    "BroadcastAlgorithm",
+    "BroadcastOutcome",
+    "BroadcastSchedule",
+    "BroadcastStep",
+    "DeterministicBroadcast",
+    "EventDrivenExecutor",
+    "ExtendedDominatingNodes",
+    "PathSend",
+    "RecursiveDoubling",
+    "ScheduleValidationError",
+    "UnitStepExecutor",
+    "algorithm_names",
+    "check_causality",
+    "check_coverage",
+    "check_paths",
+    "check_ports",
+    "get_algorithm",
+    "validate_schedule",
+]

@@ -1,0 +1,240 @@
+"""Adaptive Broadcast (AB) — Al-Dubai, Ould-Khaoua & Mackenzie [27].
+
+The coded-path adaptive broadcast, plane-based as the paper describes
+(§2), running over west-first turn-model routing:
+
+Step 1 — the source sends to the *nearest* corner of its own xy-plane
+    and to the *opposite* corner of that plane (control field ``10``).
+    These worms are routed adaptively (west-first, least-loaded
+    channel) at simulation time.
+Step 2 — each of the two corners relays along its z-pillar to the
+    corresponding corners of every other plane (control field ``11``),
+    so every plane receives the message via two corners in parallel.
+Step 3 — every plane is divided into two halves of rows; each corner
+    covers its half with a long coded-path worm.  The worms are
+    *west-first legal*: a corner on the west edge sweeps its half with
+    north/south column runs moving east; a corner on the east edge
+    first exhausts all its west moves along its own row, then sweeps
+    east — a west-first path may contain only one west phase, at the
+    start.  The paper highlights exactly this property: AB needs only
+    three steps but "uses longer paths in its third step".
+
+``max_destinations_per_path`` reproduces AB's "strategy of limiting
+the number of destination nodes for each message path": the coverage
+worm is split into several bounded-fan-out worms that serialise on the
+corner's two injection ports.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.base import BroadcastAlgorithm
+from repro.core.schedule import BroadcastSchedule, BroadcastStep, PathSend
+from repro.network.coordinates import Coordinate
+from repro.network.message import ControlField
+from repro.network.topology import Mesh
+from repro.routing.cpr import split_deliveries
+from repro.routing.paths import Path
+from repro.routing.turn_model import WestFirst, WestFirstPlanar
+
+__all__ = ["AdaptiveBroadcast"]
+
+
+class AdaptiveBroadcast(BroadcastAlgorithm):
+    """AB broadcast on a 2-D or 3-D mesh (radix >= 2 in x and y).
+
+    Parameters
+    ----------
+    topology:
+        The mesh to broadcast on.
+    max_destinations_per_path:
+        Optional bound on deliveries per step-3 worm (``None`` keeps
+        one long worm per corner per plane, the paper's default
+        behaviour whose cost/benefit §3.2–3.3 discusses).
+
+    Examples
+    --------
+    >>> from repro.network import Mesh
+    >>> ab = AdaptiveBroadcast(Mesh((8, 8, 8)))
+    >>> ab.step_count()
+    3
+    """
+
+    name = "AB"
+    ports_required = 2
+    adaptive = True
+
+    def __init__(self, topology, max_destinations_per_path: Optional[int] = None):
+        super().__init__(topology)
+        mesh = self._require_mesh(min_dims=2)
+        if mesh.ndim not in (2, 3):
+            raise ValueError(f"AB supports 2-D/3-D meshes, got {mesh.ndim}-D")
+        if mesh.dims[0] < 2 or mesh.dims[1] < 2:
+            raise ValueError("AB needs radix >= 2 in the x and y dimensions")
+        if max_destinations_per_path is not None and max_destinations_per_path < 1:
+            raise ValueError("max_destinations_per_path must be >= 1")
+        self.max_destinations_per_path = max_destinations_per_path
+        self._kz = mesh.dims[2] if mesh.ndim == 3 else 1
+
+    @classmethod
+    def make_routing(cls, topology: Mesh):
+        """The runtime routing function AB's adaptive worms use."""
+        if topology.ndim == 3:
+            return WestFirstPlanar(topology)
+        return WestFirst(topology)
+
+    def step_count(self) -> int:
+        return 2 + (1 if self._kz > 1 else 0)
+
+    # -- helpers ----------------------------------------------------------
+    def _with_z(self, x: int, y: int, z: int) -> Coordinate:
+        return (x, y) if self.topology.ndim == 2 else (x, y, z)
+
+    def _plane_corners(self, source: Coordinate) -> Tuple[Coordinate, Coordinate]:
+        """(nearest corner, opposite corner) of the source's plane."""
+        kx, ky = self.topology.dims[0], self.topology.dims[1]
+        sz = source[2] if self.topology.ndim == 3 else 0
+        cx = 0 if source[0] <= (kx - 1) / 2 else kx - 1
+        cy = 0 if source[1] <= (ky - 1) / 2 else ky - 1
+        near = self._with_z(cx, cy, sz)
+        far = self._with_z(kx - 1 - cx, ky - 1 - cy, sz)
+        return near, far
+
+    # -- west-first-legal coverage worms -------------------------------------
+    def _half_cover_path(
+        self, corner: Coordinate, rows: List[int], exclude: Coordinate
+    ) -> Optional[Path]:
+        """One west-first-legal worm from ``corner`` covering ``rows``.
+
+        ``rows`` is the contiguous row set of the corner's half plane,
+        with the corner's own row at one end.
+        """
+        kx = self.topology.dims[0]
+        z = corner[2] if self.topology.ndim == 3 else None
+        x0, y0 = corner[0], corner[1]
+        assert rows[0] == y0 or rows[-1] == y0, "corner row must bound its half"
+        ordered = rows if rows[0] == y0 else list(reversed(rows))
+
+        def cell(x: int, y: int) -> Coordinate:
+            return (x, y) if z is None else (x, y, z)
+
+        nodes: List[Coordinate] = []
+        if x0 == 0:
+            # West-edge corner: pure column sweep moving east.
+            sweep_rows = ordered
+            for i, x in enumerate(range(kx)):
+                run = sweep_rows if i % 2 == 0 else list(reversed(sweep_rows))
+                nodes.extend(cell(x, y) for y in run)
+        else:
+            # East-edge corner: one west phase along the corner's own
+            # row, then an eastward column sweep over the other rows.
+            nodes.extend(cell(x, y0) for x in range(kx - 1, -1, -1))
+            rest = ordered[1:]
+            for i, x in enumerate(range(kx)):
+                run = rest if i % 2 == 0 else list(reversed(rest))
+                if run:
+                    nodes.extend(cell(x, y) for y in run)
+        deliveries = [n for n in nodes[1:] if n != exclude]
+        if not deliveries:
+            return None
+        return Path(nodes, deliveries=deliveries)
+
+    def _coverage_sends(
+        self, corner: Coordinate, rows: List[int], exclude: Coordinate
+    ) -> List[PathSend]:
+        path = self._half_cover_path(corner, rows, exclude)
+        if path is None:
+            return []
+        pieces = (
+            [path]
+            if self.max_destinations_per_path is None
+            else split_deliveries(path, self.max_destinations_per_path)
+        )
+        return [
+            PathSend(
+                source=corner,
+                deliveries=piece.deliveries,
+                path=piece,
+                control=ControlField.PASS_AND_RECEIVE,
+            )
+            for piece in pieces
+        ]
+
+    # -- schedule -----------------------------------------------------------
+    def build_schedule(self, source: Coordinate) -> BroadcastSchedule:
+        mesh: Mesh = self.topology
+        kx, ky = mesh.dims[0], mesh.dims[1]
+        kz = self._kz
+        sz = source[2] if mesh.ndim == 3 else 0
+        near, far = self._plane_corners(source)
+
+        raw_steps: List[List[PathSend]] = []
+
+        # Step 1: source -> nearest and opposite plane corners (adaptive).
+        step1: List[PathSend] = []
+        for corner in (near, far):
+            if corner != source:
+                step1.append(
+                    PathSend(
+                        source=source,
+                        deliveries=frozenset({corner}),
+                        waypoints=(source, corner),
+                        control=ControlField.PASS_AND_RECEIVE,
+                    )
+                )
+        raw_steps.append(step1)
+
+        # Step 2: corner pillars to the corresponding corners of all planes.
+        if kz > 1:
+            step2: List[PathSend] = []
+            for corner in (near, far):
+                step2.extend(self._pillar_sends(corner, sz, kz, source))
+            raw_steps.append(step2)
+
+        # Step 3: per plane, each corner covers its half of the rows.
+        half = ky // 2
+        step3: List[PathSend] = []
+        for z in range(kz):
+            for corner2d in (near, far):
+                corner = self._with_z(corner2d[0], corner2d[1], z)
+                if corner2d[1] == 0:
+                    rows = list(range(0, half))
+                else:
+                    rows = list(range(half, ky))
+                step3.extend(self._coverage_sends(corner, rows, source))
+        raw_steps.append(step3)
+
+        steps = [
+            BroadcastStep(index=i + 1, sends=sends)
+            for i, sends in enumerate(raw_steps)
+            if sends
+        ]
+        # Re-index after dropping empty steps (degenerate meshes).
+        steps = [
+            BroadcastStep(index=i + 1, sends=s.sends) for i, s in enumerate(steps)
+        ]
+        return BroadcastSchedule(algorithm=self.name, source=source, steps=steps)
+
+    def _pillar_sends(
+        self, corner: Coordinate, sz: int, kz: int, exclude: Coordinate
+    ) -> List[PathSend]:
+        """Step-2 worms from a source-plane corner along its z-pillar."""
+        out: List[PathSend] = []
+        x, y = corner[0], corner[1]
+        for z_end in (0, kz - 1):
+            if (z_end < sz and sz > 0) or (z_end > sz and sz < kz - 1):
+                step = -1 if z_end < sz else 1
+                nodes = [(x, y, z) for z in range(sz, z_end + step, step)]
+                deliveries = [n for n in nodes[1:] if n != exclude]
+                if not deliveries:
+                    continue
+                out.append(
+                    PathSend(
+                        source=corner,
+                        deliveries=frozenset(deliveries),
+                        waypoints=tuple(nodes),
+                        control=ControlField.RECEIVE_AND_REPLICATE,
+                    )
+                )
+        return out

@@ -1,0 +1,271 @@
+"""Extended Dominating Nodes (EDN) — Tsai & McKinley [20].
+
+A multiport (3-port) broadcast built on dominating-node levels.  The
+reproduction uses the three-phase construction documented in DESIGN.md
+(the full dominating-set tables of the original paper are not
+reproduced in the paper under study, which only quotes the step-count
+formula):
+
+Phase A — *plane distribution* (``k`` steps on conforming sizes):
+    the source's xy-plane is tiled into 4×4 blocks; recursive quadrant
+    splitting of the block grid hands a representative of every block a
+    copy, using up to 3 ports per step.
+Phase B — *z spread* (``m + 2`` steps):
+    each block representative recursively doubles along the z
+    dimension, giving every (block, plane) pair a holder.
+Phase C — *block coverage* (2 steps):
+    each holder covers its ≤ 4×4 block with 3-port quadrant splitting
+    (1 → 4 → 16 nodes in two steps).
+
+On the paper's conforming sizes ``(4·2^k) × (4·2^k) × (4·2^m)`` the
+total is exactly the quoted ``k + m + 4``.  Non-conforming sizes (the
+paper's EDN "requires that the number of nodes along a given dimension
+be a multiple of 4") are handled by uneven quadrant splits — e.g. the
+10×10×10 point of Fig. 1 — with step counts from the same recursions.
+
+All sends are unicast worms on dimension-ordered routes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from repro.core.base import BroadcastAlgorithm
+from repro.core.schedule import BroadcastSchedule, BroadcastStep, PathSend
+from repro.network.coordinates import Coordinate
+from repro.network.message import ControlField
+from repro.network.topology import Mesh
+from repro.routing.cpr import straight_line_path
+from repro.routing.dimension_ordered import DimensionOrdered
+from repro.routing.paths import Path
+
+__all__ = ["ExtendedDominatingNodes"]
+
+#: Edge length of the basic dominated block.
+BLOCK = 4
+
+Rect = Tuple[int, int, int, int]  # x0, y0, width, height (in block units or cells)
+
+
+def _clog2(n: int) -> int:
+    return math.ceil(math.log2(n)) if n > 1 else 0
+
+
+class ExtendedDominatingNodes(BroadcastAlgorithm):
+    """EDN broadcast on a 2-D or 3-D mesh.
+
+    Examples
+    --------
+    >>> from repro.network import Mesh
+    >>> edn = ExtendedDominatingNodes(Mesh((8, 8, 8)))   # k=1, m=1
+    >>> edn.step_count()                                 # k + m + 4
+    6
+    """
+
+    name = "EDN"
+    ports_required = 3
+    adaptive = False
+
+    def __init__(self, topology):
+        super().__init__(topology)
+        mesh = self._require_mesh(min_dims=2)
+        if mesh.ndim not in (2, 3):
+            raise ValueError(f"EDN supports 2-D/3-D meshes, got {mesh.ndim}-D")
+        self._dor = DimensionOrdered(mesh)
+        kx, ky = mesh.dims[0], mesh.dims[1]
+        self._kz = mesh.dims[2] if mesh.ndim == 3 else 1
+        self._bx = math.ceil(kx / BLOCK)
+        self._by = math.ceil(ky / BLOCK)
+
+    # -- step count -------------------------------------------------------
+    def phase_steps(self) -> Tuple[int, int, int]:
+        """(phase A, phase B, phase C) step counts."""
+        mesh: Mesh = self.topology  # checked in __init__
+        kx, ky = mesh.dims[0], mesh.dims[1]
+        a = _clog2(max(self._bx, self._by))
+        b = _clog2(self._kz)
+        wmax = min(BLOCK, kx)
+        hmax = min(BLOCK, ky)
+        c = _clog2(max(wmax, hmax))
+        return a, b, c
+
+    def step_count(self) -> int:
+        return sum(self.phase_steps())
+
+    @staticmethod
+    def conforming_parameters(dims) -> Tuple[int, int] | None:
+        """Return ``(k, m)`` when ``dims`` matches the paper's family.
+
+        The paper's formula targets ``(4·2^k) × (4·2^k) × (4·2^m)``
+        networks; for those this returns ``(k, m)`` with step count
+        ``k + m + 4``; otherwise ``None``.
+        """
+        if len(dims) != 3:
+            return None
+        kx, ky, kz = dims
+        if kx != ky:
+            return None
+        for base, out in ((kx, 0), (kz, 1)):
+            if base < 4 or base % 4:
+                return None
+            q = base // 4
+            if q & (q - 1):
+                return None
+        return (kx // 4).bit_length() - 1, (kz // 4).bit_length() - 1
+
+    # -- geometry helpers ----------------------------------------------------
+    def _block_of(self, coord: Coordinate) -> Tuple[int, int]:
+        return coord[0] // BLOCK, coord[1] // BLOCK
+
+    def _block_cells(self, bx: int, by: int) -> Rect:
+        """Cell rectangle (x0, y0, w, h) of block ``(bx, by)``."""
+        mesh: Mesh = self.topology
+        x0, y0 = bx * BLOCK, by * BLOCK
+        w = min(BLOCK, mesh.dims[0] - x0)
+        h = min(BLOCK, mesh.dims[1] - y0)
+        return (x0, y0, w, h)
+
+    def _rep(self, bx: int, by: int, z: int) -> Coordinate:
+        """The dominating (representative) node of a block in plane z."""
+        x0, y0, w, h = self._block_cells(bx, by)
+        rep2d = (x0 + (w - 1) // 2, y0 + (h - 1) // 2)
+        return self._with_z(rep2d, z)
+
+    def _with_z(self, xy: Tuple[int, int], z: int) -> Coordinate:
+        if self.topology.ndim == 2:
+            return xy
+        return (xy[0], xy[1], z)
+
+    def _unicast(self, src: Coordinate, dst: Coordinate) -> PathSend:
+        nodes = self._dor.path(src, dst)
+        return PathSend(
+            source=src,
+            deliveries=frozenset({dst}),
+            path=Path(nodes, deliveries=[dst]),
+            control=ControlField.RECEIVE,
+        )
+
+    # -- schedule construction --------------------------------------------------
+    def build_schedule(self, source: Coordinate) -> BroadcastSchedule:
+        a_steps, b_steps, c_steps = self.phase_steps()
+        total = a_steps + b_steps + c_steps
+        level_sends: List[List[PathSend]] = [[] for _ in range(total)]
+        sz = source[2] if self.topology.ndim == 3 else 0
+
+        # Phase A: quadrant recursion over the block grid in the source plane.
+        # holders: block -> node holding the copy for that block.
+        holders = {self._block_of(source): source}
+        self._split_rect(
+            rect=(0, 0, self._bx, self._by),
+            holder_block=self._block_of(source),
+            holders=holders,
+            z=sz,
+            level=0,
+            out=level_sends,
+            rep_fn=lambda bx, by: self._rep(bx, by, sz),
+        )
+
+        # Phase B: recursive doubling along z from every block holder.
+        plane_holders = {}  # (block, z) -> node
+        for block, node in holders.items():
+            plane_holders[(block, sz)] = node
+            if self._kz > 1:
+                self._cover_z(
+                    block, node, 0, self._kz, a_steps, level_sends, plane_holders
+                )
+
+        # Phase C: quadrant recursion over the cells of each block, per plane.
+        for (block, z), node in plane_holders.items():
+            x0, y0, w, h = self._block_cells(*block)
+            cell_holders = {(node[0], node[1]): node}
+            self._split_cells(
+                rect=(x0, y0, w, h),
+                holder_xy=(node[0], node[1]),
+                holders=cell_holders,
+                z=z,
+                level=a_steps + b_steps,
+                out=level_sends,
+            )
+
+        steps = [
+            BroadcastStep(index=i + 1, sends=sends)
+            for i, sends in enumerate(level_sends)
+        ]
+        return BroadcastSchedule(algorithm=self.name, source=source, steps=steps)
+
+    def _split_rect(self, rect, holder_block, holders, z, level, out, rep_fn) -> None:
+        """Quadrant recursion over a rectangle of *blocks*."""
+        x0, y0, w, h = rect
+        if w <= 1 and h <= 1:
+            return
+        wx = (w + 1) // 2
+        wy = (h + 1) // 2
+        quads = []
+        for qx0, qw in ((x0, wx), (x0 + wx, w - wx)):
+            for qy0, qh in ((y0, wy), (y0 + wy, h - wy)):
+                if qw > 0 and qh > 0:
+                    quads.append((qx0, qy0, qw, qh))
+        hx, hy = holder_block
+        own = next(
+            q for q in quads if q[0] <= hx < q[0] + q[2] and q[1] <= hy < q[1] + q[3]
+        )
+        holder_node = holders[holder_block]
+        for q in quads:
+            if q is own:
+                continue
+            # Target block: the holder's relative position clipped into q.
+            tbx = min(q[0] + (hx - own[0]), q[0] + q[2] - 1)
+            tby = min(q[1] + (hy - own[1]), q[1] + q[3] - 1)
+            target_node = rep_fn(tbx, tby)
+            out[level].append(self._unicast(holder_node, target_node))
+            holders[(tbx, tby)] = target_node
+            self._split_rect(q, (tbx, tby), holders, z, level + 1, out, rep_fn)
+        self._split_rect(own, holder_block, holders, z, level + 1, out, rep_fn)
+
+    def _cover_z(self, block, holder, lo, hi, level, out, plane_holders) -> None:
+        """Recursive doubling over planes ``[lo, hi)`` along z."""
+        n = hi - lo
+        if n <= 1:
+            return
+        half = (n + 1) // 2
+        z = holder[2]
+        if z < lo + half:
+            partner_z = min(z + half, hi - 1)
+        else:
+            partner_z = z - half
+        partner = self._rep(*block, partner_z)
+        out[level].append(self._unicast(holder, partner))
+        plane_holders[(block, partner_z)] = partner
+        left, right = (lo, lo + half), (lo + half, hi)
+        own_part, other_part = (left, right) if z < lo + half else (right, left)
+        self._cover_z(block, holder, own_part[0], own_part[1], level + 1, out, plane_holders)
+        self._cover_z(block, partner, other_part[0], other_part[1], level + 1, out, plane_holders)
+
+    def _split_cells(self, rect, holder_xy, holders, z, level, out) -> None:
+        """Quadrant recursion over the *cells* of one block in plane z."""
+        x0, y0, w, h = rect
+        if w <= 1 and h <= 1:
+            return
+        wx = (w + 1) // 2
+        wy = (h + 1) // 2
+        quads = []
+        for qx0, qw in ((x0, wx), (x0 + wx, w - wx)):
+            for qy0, qh in ((y0, wy), (y0 + wy, h - wy)):
+                if qw > 0 and qh > 0:
+                    quads.append((qx0, qy0, qw, qh))
+        hx, hy = holder_xy
+        own = next(
+            q for q in quads if q[0] <= hx < q[0] + q[2] and q[1] <= hy < q[1] + q[3]
+        )
+        holder_node = holders[holder_xy]
+        for q in quads:
+            if q is own:
+                continue
+            tx = min(q[0] + (hx - own[0]), q[0] + q[2] - 1)
+            ty = min(q[1] + (hy - own[1]), q[1] + q[3] - 1)
+            target = self._with_z((tx, ty), z)
+            out[level].append(self._unicast(holder_node, target))
+            holders[(tx, ty)] = target
+            self._split_cells(q, (tx, ty), holders, z, level + 1, out)
+        self._split_cells(own, holder_xy, holders, z, level + 1, out)

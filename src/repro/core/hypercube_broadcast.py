@@ -1,0 +1,69 @@
+"""Broadcast on the binary hypercube (paper's future-work topology #2).
+
+The canonical dimension-sweep broadcast: in step ``i`` every node that
+holds the message forwards it across dimension ``i``.  Coverage doubles
+each step, giving exactly ``n = log2 N`` steps with single-hop worms —
+the hypercube is the topology recursive doubling was born on, so this
+also serves as the reference point the paper's conclusion gestures at
+("an interesting line of research would be to propose ... broadcast
+algorithms for these common topologies").
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.base import BroadcastAlgorithm
+from repro.core.schedule import BroadcastSchedule, BroadcastStep, PathSend
+from repro.network.coordinates import Coordinate
+from repro.network.hypercube import Hypercube
+from repro.network.message import ControlField
+from repro.routing.paths import Path
+
+__all__ = ["HypercubeBroadcast"]
+
+
+class HypercubeBroadcast(BroadcastAlgorithm):
+    """Dimension-sweep broadcast on an n-cube.
+
+    Examples
+    --------
+    >>> from repro.network import Hypercube
+    >>> hb = HypercubeBroadcast(Hypercube(6))
+    >>> hb.step_count()
+    6
+    """
+
+    name = "HCUBE"
+    ports_required = 1
+    adaptive = False
+
+    def __init__(self, topology):
+        if not isinstance(topology, Hypercube):
+            raise TypeError("HypercubeBroadcast requires a Hypercube topology")
+        super().__init__(topology)
+
+    def step_count(self) -> int:
+        return self.topology.order
+
+    def build_schedule(self, source: Coordinate) -> BroadcastSchedule:
+        cube: Hypercube = self.topology
+        steps: List[BroadcastStep] = []
+        holders: List[Coordinate] = [source]
+        for axis in range(cube.order):
+            sends = []
+            new_holders = []
+            for holder in holders:
+                partner = cube.flip(holder, axis)
+                sends.append(
+                    PathSend(
+                        source=holder,
+                        deliveries=frozenset({partner}),
+                        path=Path([holder, partner]),
+                        control=ControlField.RECEIVE,
+                    )
+                )
+                new_holders.append(partner)
+            holders.extend(new_holders)
+            steps.append(BroadcastStep(index=axis + 1, sends=sends))
+        return BroadcastSchedule(algorithm=self.name, source=source, steps=steps)

@@ -1,0 +1,228 @@
+"""Multicast on wormhole meshes (paper's future-work operation).
+
+The paper's conclusion proposes extending the coded-path approach to
+*multicast* — delivery to an arbitrary subset of nodes.  This module
+provides the two classic path-based schemes the broadcast literature
+builds on (Lin & Ni [10]; McKinley et al. [12]):
+
+:class:`DualPathMulticast`
+    destinations are ranked along a Hamiltonian (boustrophedon) walk of
+    the mesh; the source launches one multidestination worm *up-rank*
+    and one *down-rank*, each visiting its destinations in rank order
+    along the walk.  Routing along a fixed Hamiltonian ranking is
+    deadlock-free (channels are used in strictly monotone rank order),
+    and one step suffices — the same property that gives DB/AB their
+    step counts.
+
+:class:`UnicastMulticast`
+    the naive baseline: one separate unicast worm per destination,
+    serialised on the source's ports.  This is what the
+    multidestination literature improves on; the benchmark shows the
+    gap.
+
+Both produce ordinary :class:`~repro.core.schedule.BroadcastSchedule`
+objects (with non-total coverage), so the existing executors run them
+unchanged; :func:`validate_multicast` adapts the coverage check to a
+destination subset.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.core.schedule import BroadcastSchedule, BroadcastStep, PathSend
+from repro.core.validation import ScheduleValidationError, check_causality, check_paths
+from repro.network.coordinates import Coordinate
+from repro.network.message import ControlField
+from repro.network.topology import Mesh
+from repro.routing.dimension_ordered import DimensionOrdered
+from repro.routing.paths import Path
+
+__all__ = [
+    "hamiltonian_rank",
+    "hamiltonian_walk",
+    "DualPathMulticast",
+    "UnicastMulticast",
+    "validate_multicast",
+]
+
+
+def hamiltonian_walk(dims: Sequence[int]) -> List[Coordinate]:
+    """A Hamiltonian walk of the mesh (generalised boustrophedon).
+
+    Dimension 0 sweeps fastest; each higher dimension reverses the
+    sweep direction of the walk beneath it, so consecutive walk entries
+    are always mesh-adjacent.
+
+    Examples
+    --------
+    >>> hamiltonian_walk((2, 2))
+    [(0, 0), (1, 0), (1, 1), (0, 1)]
+    """
+    dims = tuple(int(d) for d in dims)
+    if not dims or any(d < 1 for d in dims):
+        raise ValueError(f"bad dims {dims}")
+    walk: List[Tuple[int, ...]] = [()]
+    for axis_size in reversed(dims):
+        extended: List[Tuple[int, ...]] = []
+        for i, prefix in enumerate(walk):
+            values = range(axis_size) if i % 2 == 0 else range(axis_size - 1, -1, -1)
+            extended.extend(prefix + (v,) for v in values)
+        walk = extended
+    # Tuples were built highest-dimension first; flip so dim 0 is first
+    # (it is the axis added last, hence the fastest-sweeping one).
+    return [tuple(reversed(c)) for c in walk]
+
+
+def hamiltonian_rank(dims: Sequence[int]) -> Dict[Coordinate, int]:
+    """Map every node to its position on the Hamiltonian walk."""
+    return {coord: i for i, coord in enumerate(hamiltonian_walk(dims))}
+
+
+class DualPathMulticast:
+    """One-step dual-path multicast over the Hamiltonian ranking.
+
+    Parameters
+    ----------
+    topology:
+        The mesh to multicast on.
+
+    Notes
+    -----
+    The worm's route between consecutive destinations is the segment of
+    the Hamiltonian walk connecting them, so the route is a valid
+    channel walk and channel usage is rank-monotone (deadlock-free).
+    Path lengths can exceed minimal routes — the classic dual-path
+    trade-off.
+    """
+
+    name = "DUAL-PATH"
+    ports_required = 2
+
+    def __init__(self, topology: Mesh):
+        self.topology = topology
+        self._walk = hamiltonian_walk(topology.dims)
+        self._rank = {coord: i for i, coord in enumerate(self._walk)}
+
+    def schedule(
+        self, source: Coordinate, destinations: Sequence[Coordinate]
+    ) -> BroadcastSchedule:
+        """Build the one-step dual-path schedule."""
+        source = tuple(source)
+        dest_set = self._check_destinations(source, destinations)
+        src_rank = self._rank[source]
+        up = sorted(
+            (d for d in dest_set if self._rank[d] > src_rank),
+            key=lambda d: self._rank[d],
+        )
+        down = sorted(
+            (d for d in dest_set if self._rank[d] < src_rank),
+            key=lambda d: -self._rank[d],
+        )
+        sends: List[PathSend] = []
+        for group, direction in ((up, +1), (down, -1)):
+            if not group:
+                continue
+            last = self._rank[group[-1]]
+            stop = last + direction
+            if direction == -1 and stop < 0:
+                nodes = self._walk[src_rank::-1]
+            else:
+                nodes = self._walk[src_rank:stop:direction]
+            sends.append(
+                PathSend(
+                    source=source,
+                    deliveries=frozenset(group),
+                    path=Path(nodes, deliveries=group),
+                    control=ControlField.PASS_AND_RECEIVE,
+                )
+            )
+        steps = [BroadcastStep(index=1, sends=sends)] if sends else []
+        return BroadcastSchedule(algorithm=self.name, source=source, steps=steps)
+
+    def _check_destinations(
+        self, source: Coordinate, destinations: Sequence[Coordinate]
+    ) -> Set[Coordinate]:
+        dest_set = {tuple(d) for d in destinations}
+        if not dest_set:
+            raise ValueError("multicast needs at least one destination")
+        dest_set.discard(source)
+        for dest in dest_set:
+            if not self.topology.contains(dest):
+                raise ValueError(f"destination {dest} outside {self.topology!r}")
+        if not dest_set:
+            raise ValueError("all destinations equal the source")
+        return dest_set
+
+
+class UnicastMulticast:
+    """The naive baseline: one dimension-ordered unicast per destination."""
+
+    name = "UNICAST-MC"
+    ports_required = 1
+
+    def __init__(self, topology: Mesh):
+        self.topology = topology
+        self._dor = DimensionOrdered(topology)
+
+    def schedule(
+        self, source: Coordinate, destinations: Sequence[Coordinate]
+    ) -> BroadcastSchedule:
+        source = tuple(source)
+        dest_set = sorted({tuple(d) for d in destinations} - {source})
+        if not dest_set:
+            raise ValueError("multicast needs at least one destination != source")
+        sends = []
+        for dest in dest_set:
+            if not self.topology.contains(dest):
+                raise ValueError(f"destination {dest} outside {self.topology!r}")
+            nodes = self._dor.path(source, dest)
+            sends.append(
+                PathSend(
+                    source=source,
+                    deliveries=frozenset({dest}),
+                    path=Path(nodes, deliveries=[dest]),
+                    control=ControlField.RECEIVE,
+                )
+            )
+        return BroadcastSchedule(
+            algorithm=self.name,
+            source=source,
+            steps=[BroadcastStep(index=1, sends=sends)],
+        )
+
+
+def validate_multicast(
+    schedule: BroadcastSchedule,
+    topology: Mesh,
+    destinations: Sequence[Coordinate],
+) -> None:
+    """Structural checks for a multicast schedule.
+
+    Every requested destination (except the source) is delivered exactly
+    once, nothing else is delivered, causality holds, and every path is
+    a real channel walk.
+    """
+    expected = {tuple(d) for d in destinations} - {schedule.source}
+    counts: Dict[Coordinate, int] = {}
+    for _, send in schedule.all_sends():
+        for node in send.deliveries:
+            counts[node] = counts.get(node, 0) + 1
+    missing = expected - set(counts)
+    if missing:
+        raise ScheduleValidationError(
+            f"{schedule.algorithm}: destinations never covered: {sorted(missing)[:5]}"
+        )
+    extra = set(counts) - expected
+    if extra:
+        raise ScheduleValidationError(
+            f"{schedule.algorithm}: deliveries outside the destination set:"
+            f" {sorted(extra)[:5]}"
+        )
+    duplicates = {n: c for n, c in counts.items() if c > 1}
+    if duplicates:
+        raise ScheduleValidationError(
+            f"{schedule.algorithm}: duplicate deliveries: {sorted(duplicates)[:5]}"
+        )
+    check_causality(schedule)
+    check_paths(schedule, topology)

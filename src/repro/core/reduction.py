@@ -1,0 +1,209 @@
+"""Global combine (reduction) — the broadcast's dual.
+
+Tsai & McKinley's EDN paper treats *broadcast and global combine*
+as a pair: a reduction gathers a value from every node to a root,
+combining partial results on the way — the same tree as a broadcast,
+traversed leaf-to-root.  This module derives a reduction from any
+:class:`~repro.core.schedule.BroadcastSchedule`:
+
+* the broadcast's delivery relation defines the tree: the worm that
+  delivered node ``n``'s copy defines ``parent(n)``;
+* the reduction runs the tree bottom-up: a node combines its own value
+  with its children's partials and sends one worm to its parent once
+  the last child's partial has arrived.
+
+:class:`ReductionExecutor` computes completion analytically with the
+same timing model as the broadcast executors; by tree symmetry a
+reduction over a broadcast tree costs the same as the broadcast under
+step-synchronised semantics, which the test suite verifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.schedule import BroadcastSchedule
+from repro.network.coordinates import Coordinate
+from repro.network.network import NetworkConfig
+from repro.network.topology import Topology
+
+__all__ = ["ReductionTree", "ReductionOutcome", "ReductionExecutor"]
+
+
+@dataclass(frozen=True)
+class ReductionTree:
+    """The combining tree extracted from a broadcast schedule.
+
+    Parameters
+    ----------
+    root:
+        The reduction target (the broadcast's source).
+    parent:
+        Map child → (parent, hops) where ``hops`` is the worm-path
+        distance between them in the originating schedule.
+    """
+
+    root: Coordinate
+    parent: Dict[Coordinate, Tuple[Coordinate, int]]
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.parent) + 1
+
+    def children(self) -> Dict[Coordinate, List[Coordinate]]:
+        """Map node → its children (leaves absent)."""
+        out: Dict[Coordinate, List[Coordinate]] = {}
+        for child, (par, _) in self.parent.items():
+            out.setdefault(par, []).append(child)
+        return out
+
+    def depth(self) -> int:
+        """Longest child-chain length (send rounds needed)."""
+        memo: Dict[Coordinate, int] = {}
+
+        def depth_of(node: Coordinate) -> int:
+            if node == self.root:
+                return 0
+            if node not in memo:
+                memo[node] = 1 + depth_of(self.parent[node][0])
+            return memo[node]
+
+        return max((depth_of(n) for n in self.parent), default=0)
+
+    @classmethod
+    def from_broadcast(
+        cls,
+        schedule: BroadcastSchedule,
+        topology: Optional[Topology] = None,
+    ) -> "ReductionTree":
+        """Extract the tree: each node's parent is the worm that fed it.
+
+        For a multidestination worm the parent of every delivery is the
+        worm's *source* (the combining worm retraces the path), and the
+        hop count is the delivery's offset along the path.  Waypoint
+        (adaptive) sends need ``topology`` for minimal-distance offsets;
+        without it each waypoint gap counts as one hop.
+        """
+        parent: Dict[Coordinate, Tuple[Coordinate, int]] = {}
+        for _, send in schedule.all_sends():
+            if send.path is not None:
+                offsets = {
+                    node: i for i, node in enumerate(send.path.nodes)
+                }
+            else:
+                offsets = {send.waypoints[0]: 0}
+                hops = 0
+                previous = send.waypoints[0]
+                for waypoint in send.waypoints[1:]:
+                    hops += (
+                        topology.distance(previous, waypoint)
+                        if topology is not None
+                        else 1
+                    )
+                    offsets[waypoint] = hops
+                    previous = waypoint
+            for node in send.deliveries:
+                if node not in parent:  # first delivery wins (exactly-once)
+                    parent[node] = (send.source, max(offsets.get(node, 1), 1))
+        return cls(root=schedule.source, parent=parent)
+
+
+@dataclass(frozen=True)
+class ReductionOutcome:
+    """Result of one analytic reduction run."""
+
+    root: Coordinate
+    completion_time: float
+    send_times: Dict[Coordinate, float]
+    combine_count: int
+
+    @property
+    def latency(self) -> float:
+        return self.completion_time
+
+
+class ReductionExecutor:
+    """Analytic bottom-up execution of a reduction tree.
+
+    Parameters
+    ----------
+    topology:
+        Used only for waypoint-based distance corrections.
+    config:
+        Timing constants; ``ports_per_node`` bounds a node's parallel
+        receive-combine capacity the way it bounds broadcast sends.
+    combine_time:
+        Extra per-combine computation time (default 0: pure
+        communication, as in the paper's latency analyses).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: Optional[NetworkConfig] = None,
+        combine_time: float = 0.0,
+    ):
+        if combine_time < 0:
+            raise ValueError("combine_time must be >= 0")
+        self.topology = topology
+        self.config = config or NetworkConfig()
+        self.combine_time = combine_time
+
+    def execute(
+        self,
+        tree: ReductionTree,
+        length_flits: int,
+        start_time: float = 0.0,
+    ) -> ReductionOutcome:
+        """Compute when each partial is sent and when the root finishes."""
+        timing = self.config.timing
+        startup = self.config.startup_latency
+        body = timing.body_time(length_flits)
+        children = tree.children()
+
+        ready: Dict[Coordinate, float] = {}
+
+        def ready_time(node: Coordinate) -> float:
+            """When ``node`` holds its fully combined partial."""
+            cached = ready.get(node)
+            if cached is not None:
+                return cached
+            arrivals = []
+            for child in children.get(node, ()):  # leaves: no children
+                hops = tree.parent[child][1]
+                sent = ready_time(child) + startup
+                arrivals.append(
+                    sent + hops * timing.header_hop_time + body
+                )
+            value = start_time
+            if arrivals:
+                value = max(arrivals) + self.combine_time
+            ready[node] = value
+            return value
+
+        # Recursion depth equals the tree height, which is bounded by
+        # the originating schedule's step count (<= ~12 on 4096 nodes).
+        completion = ready_time(tree.root)
+        for node in tree.parent:
+            ready_time(node)
+
+        send_times = {
+            child: ready[child] + startup for child in tree.parent
+        }
+        return ReductionOutcome(
+            root=tree.root,
+            completion_time=completion,
+            send_times=send_times,
+            combine_count=len(tree.parent),
+        )
+
+    def reduce_from_broadcast(
+        self,
+        schedule: BroadcastSchedule,
+        length_flits: int,
+    ) -> ReductionOutcome:
+        """Convenience: derive the tree and run the reduction."""
+        return self.execute(
+            ReductionTree.from_broadcast(schedule, self.topology), length_flits
+        )

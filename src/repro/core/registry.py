@@ -1,0 +1,41 @@
+"""Algorithm registry.
+
+Maps the paper's algorithm names ("RD", "EDN", "DB", "AB") to their
+classes so experiments and the CLI can be parameterised by name.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.core.adaptive_broadcast import AdaptiveBroadcast
+from repro.core.base import BroadcastAlgorithm
+from repro.core.deterministic_broadcast import DeterministicBroadcast
+from repro.core.edn import ExtendedDominatingNodes
+from repro.core.recursive_doubling import RecursiveDoubling
+
+__all__ = ["ALGORITHMS", "get_algorithm", "algorithm_names"]
+
+#: The paper's four algorithms, in the order its figures list them.
+ALGORITHMS: Dict[str, Type[BroadcastAlgorithm]] = {
+    "RD": RecursiveDoubling,
+    "EDN": ExtendedDominatingNodes,
+    "DB": DeterministicBroadcast,
+    "AB": AdaptiveBroadcast,
+}
+
+
+def get_algorithm(name: str) -> Type[BroadcastAlgorithm]:
+    """Look up an algorithm class by (case-insensitive) name."""
+    key = name.upper()
+    try:
+        return ALGORITHMS[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {name!r}; choose from {sorted(ALGORITHMS)}"
+        ) from None
+
+
+def algorithm_names() -> List[str]:
+    """The registered algorithm names, figure order."""
+    return list(ALGORITHMS)

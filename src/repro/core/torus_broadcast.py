@@ -1,0 +1,96 @@
+"""Coded-path broadcast on the k-ary n-cube (paper's future-work topology #1).
+
+A DB-style construction that exploits the torus's wraparound links:
+one message-passing step per dimension.  In step ``d`` every holder
+launches two multidestination ring worms along dimension ``d`` — one in
+each direction, each covering half the ring — so coverage multiplies by
+the full radix every step.  ``n`` steps total (vs DB's 4 on the 3-D
+mesh, but with a 2-worm port budget and ring paths half the mesh-path
+length), and every ring position receives within the same step — the
+coded-path low-variance property carried over to the torus.
+
+This is the kind of algorithm the paper's conclusion proposes as future
+work; DESIGN.md lists the supporting experiment
+(`benchmarks/bench_extension_topologies.py`).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.base import BroadcastAlgorithm
+from repro.core.schedule import BroadcastSchedule, BroadcastStep, PathSend
+from repro.network.coordinates import Coordinate
+from repro.network.message import ControlField
+from repro.network.torus import Torus
+from repro.routing.paths import Path
+
+__all__ = ["TorusRingBroadcast"]
+
+
+class TorusRingBroadcast(BroadcastAlgorithm):
+    """Two-directional ring broadcast on a torus, one step per dimension.
+
+    Examples
+    --------
+    >>> from repro.network import Torus
+    >>> tb = TorusRingBroadcast(Torus((8, 8, 8)))
+    >>> tb.step_count()
+    3
+    >>> schedule = tb.schedule((1, 2, 3))
+    >>> len(schedule.covered_nodes())
+    512
+    """
+
+    name = "TORUS-RING"
+    ports_required = 2
+    adaptive = False
+
+    def __init__(self, topology):
+        if not isinstance(topology, Torus):
+            raise TypeError("TorusRingBroadcast requires a Torus topology")
+        super().__init__(topology)
+
+    def step_count(self) -> int:
+        return sum(1 for d in self.topology.dims if d > 1)
+
+    def _ring_sends(self, holder: Coordinate, axis: int) -> List[PathSend]:
+        """The two half-ring worms from ``holder`` along ``axis``."""
+        radix = self.topology.dims[axis]
+        forward_count = radix // 2           # positions +1 .. +radix//2
+        backward_count = radix - 1 - forward_count
+        sends: List[PathSend] = []
+        for direction, count in ((+1, forward_count), (-1, backward_count)):
+            if count == 0:
+                continue
+            nodes = [holder]
+            for step in range(1, count + 1):
+                value = (holder[axis] + direction * step) % radix
+                nodes.append(holder[:axis] + (value,) + holder[axis + 1 :])
+            sends.append(
+                PathSend(
+                    source=holder,
+                    deliveries=frozenset(nodes[1:]),
+                    path=Path(nodes, deliveries=nodes[1:]),
+                    control=ControlField.PASS_AND_RECEIVE,
+                )
+            )
+        return sends
+
+    def build_schedule(self, source: Coordinate) -> BroadcastSchedule:
+        torus: Torus = self.topology
+        steps: List[BroadcastStep] = []
+        holders: List[Coordinate] = [source]
+        index = 0
+        for axis, radix in enumerate(torus.dims):
+            if radix == 1:
+                continue
+            sends: List[PathSend] = []
+            for holder in holders:
+                sends.extend(self._ring_sends(holder, axis))
+            index += 1
+            steps.append(BroadcastStep(index=index, sends=sends))
+            holders = [
+                h[:axis] + (v,) + h[axis + 1 :] for h in holders for v in range(radix)
+            ]
+        return BroadcastSchedule(algorithm=self.name, source=source, steps=steps)

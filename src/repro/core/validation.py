@@ -1,0 +1,134 @@
+"""Schedule validation.
+
+Independent checkers for the invariants every broadcast schedule must
+satisfy; the test suite runs them (plus hypothesis-generated cases)
+over all four algorithms, and experiments may run them defensively.
+
+Invariants
+----------
+coverage
+    every non-source node receives exactly once; the source never.
+causality
+    no node sends in a step earlier than (or equal to) the step it
+    first receives in.
+paths
+    every deterministic path is a real channel walk on the topology;
+    every adaptive send's waypoints are pairwise routable.
+ports
+    no node launches more sends in one step than its port budget
+    (optionally relaxed — AB's destination-limited mode deliberately
+    queues extra worms on its ports).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.schedule import BroadcastSchedule
+from repro.network.coordinates import Coordinate
+from repro.network.topology import Topology
+
+__all__ = [
+    "ScheduleValidationError",
+    "check_coverage",
+    "check_causality",
+    "check_paths",
+    "check_ports",
+    "validate_schedule",
+]
+
+
+class ScheduleValidationError(AssertionError):
+    """A broadcast schedule violates a structural invariant."""
+
+
+def check_coverage(schedule: BroadcastSchedule, topology: Topology) -> None:
+    """Every non-source node delivered exactly once; the source never."""
+    counts: Dict[Coordinate, int] = {}
+    for _, send in schedule.all_sends():
+        for node in send.deliveries:
+            counts[node] = counts.get(node, 0) + 1
+    if schedule.source in counts:
+        raise ScheduleValidationError(
+            f"{schedule.algorithm}: source {schedule.source} receives its own"
+            " broadcast"
+        )
+    missing = [n for n in topology.nodes() if n != schedule.source and n not in counts]
+    if missing:
+        raise ScheduleValidationError(
+            f"{schedule.algorithm}: {len(missing)} nodes never covered,"
+            f" e.g. {missing[:5]}"
+        )
+    duplicates = {n: c for n, c in counts.items() if c > 1}
+    if duplicates:
+        sample = sorted(duplicates.items())[:5]
+        raise ScheduleValidationError(
+            f"{schedule.algorithm}: {len(duplicates)} nodes covered more than"
+            f" once, e.g. {sample}"
+        )
+    outside = [n for n in counts if not topology.contains(n)]
+    if outside:
+        raise ScheduleValidationError(
+            f"{schedule.algorithm}: deliveries outside the topology: {outside[:5]}"
+        )
+
+
+def check_causality(schedule: BroadcastSchedule) -> None:
+    """A node only sends strictly after the step it receives in."""
+    received = schedule.receive_step()
+    for step_index, send in schedule.all_sends():
+        got = received.get(send.source)
+        if got is None:
+            raise ScheduleValidationError(
+                f"{schedule.algorithm}: step {step_index} sender {send.source}"
+                " never receives the message"
+            )
+        if got >= step_index:
+            raise ScheduleValidationError(
+                f"{schedule.algorithm}: {send.source} sends in step"
+                f" {step_index} but only receives in step {got}"
+            )
+
+
+def check_paths(schedule: BroadcastSchedule, topology: Topology) -> None:
+    """Deterministic paths are valid channel walks; waypoints in range."""
+    for step_index, send in schedule.all_sends():
+        if send.path is not None:
+            try:
+                send.path.validate(topology)
+            except ValueError as exc:
+                raise ScheduleValidationError(
+                    f"{schedule.algorithm}: step {step_index} path invalid: {exc}"
+                ) from exc
+        else:
+            for waypoint in send.waypoints:
+                if not topology.contains(waypoint):
+                    raise ScheduleValidationError(
+                        f"{schedule.algorithm}: waypoint {waypoint} outside"
+                        " the topology"
+                    )
+
+
+def check_ports(
+    schedule: BroadcastSchedule, ports: int, strict: bool = True
+) -> None:
+    """Per-step per-node send counts fit the port budget."""
+    worst = schedule.max_concurrent_sends()
+    if strict and worst > ports:
+        raise ScheduleValidationError(
+            f"{schedule.algorithm}: a node launches {worst} sends in one step"
+            f" but has only {ports} ports"
+        )
+
+
+def validate_schedule(
+    schedule: BroadcastSchedule,
+    topology: Topology,
+    ports: int,
+    strict_ports: bool = True,
+) -> None:
+    """Run every structural check (raises on the first violation)."""
+    check_coverage(schedule, topology)
+    check_causality(schedule)
+    check_paths(schedule, topology)
+    check_ports(schedule, ports, strict=strict_ports)

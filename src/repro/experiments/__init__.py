@@ -1,0 +1,56 @@
+"""Experiment harness: one runner per table/figure of the paper.
+
+Each experiment module exposes a ``run_*`` function returning plain
+result rows plus a formatter producing the same table/series the paper
+prints.  ``runner.run_experiment`` dispatches by experiment id
+("fig1", "fig2", "table1", "table2", "fig3", "fig4", plus the
+ablations); the CLI wraps it.
+
+Every experiment supports two scales: ``quick`` (seconds-to-minutes,
+for CI and benchmarks) and ``full`` (the paper's sample counts).
+"""
+
+from repro.experiments.config import (
+    ExperimentScale,
+    FIG1_SIZES,
+    FIG2_SIZES,
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    scale_by_name,
+)
+from repro.experiments.fig1 import Fig1Row, run_fig1
+from repro.experiments.fig2 import Fig2Row, run_fig2
+from repro.experiments.tables_cv import CVTableRow, run_cv_table
+from repro.experiments.traffic_sweep import TrafficSweepRow, run_traffic_sweep
+from repro.experiments.ablations import (
+    run_message_length_ablation,
+    run_max_destinations_ablation,
+    run_port_count_ablation,
+    run_startup_latency_ablation,
+)
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+from repro.experiments.reporting import format_table
+
+__all__ = [
+    "CVTableRow",
+    "EXPERIMENTS",
+    "ExperimentScale",
+    "FIG1_SIZES",
+    "FIG2_SIZES",
+    "Fig1Row",
+    "Fig2Row",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "TrafficSweepRow",
+    "format_table",
+    "run_cv_table",
+    "run_experiment",
+    "run_fig1",
+    "run_fig2",
+    "run_message_length_ablation",
+    "run_max_destinations_ablation",
+    "run_port_count_ablation",
+    "run_startup_latency_ablation",
+    "run_traffic_sweep",
+    "scale_by_name",
+]

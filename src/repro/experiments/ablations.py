@@ -1,0 +1,181 @@
+"""Ablation studies.
+
+The design choices the paper mentions but does not isolate:
+
+* **start-up latency** — §3 examines Ts = 0.15 and 1.5 µs; this
+  ablation quantifies how the algorithm ranking depends on the
+  Ts/β ratio (the step-count argument weakens as Ts → 0);
+* **message length** — the paper's stated range is 32–2048 flits;
+* **AB's destination limit** — AB "limits the number of destination
+  nodes for each message path"; sweeping the limit trades step-3
+  parallelism against path length;
+* **port count** — EDN is designed for multiport routers; giving every
+  algorithm the same port budget isolates the benefit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.registry import algorithm_names
+from repro.experiments.common import random_sources, run_single_broadcasts
+from repro.experiments.config import ExperimentScale, scale_by_name
+
+__all__ = [
+    "AblationRow",
+    "run_startup_latency_ablation",
+    "run_message_length_ablation",
+    "run_max_destinations_ablation",
+    "run_port_count_ablation",
+]
+
+DIMS = (8, 8, 8)
+
+
+@dataclass(frozen=True)
+class AblationRow:
+    """One ablation point."""
+
+    algorithm: str
+    parameter: str
+    value: float
+    mean_latency_us: float
+    mean_cv: float
+    samples: int
+
+
+def _measure(
+    name: str,
+    dims: Tuple[int, int, int],
+    sources,
+    length_flits: int,
+    startup_latency: float = 1.5,
+    max_destinations_per_path: Optional[int] = None,
+    ports_override: Optional[int] = None,
+) -> Tuple[float, float]:
+    outcomes = run_single_broadcasts(
+        name,
+        dims,
+        sources,
+        length_flits,
+        startup_latency,
+        max_destinations_per_path=max_destinations_per_path,
+        ports_override=ports_override,
+    )
+    return (
+        float(np.mean([o.network_latency for o in outcomes])),
+        float(np.mean([o.coefficient_of_variation for o in outcomes])),
+    )
+
+
+def run_startup_latency_ablation(
+    scale: str | ExperimentScale = "quick",
+    seed: int = 0,
+    startup_values: Tuple[float, ...] = (0.15, 1.5),
+    length_flits: int = 100,
+) -> List[AblationRow]:
+    """Latency/CV of all four algorithms at both paper Ts values."""
+    if isinstance(scale, str):
+        scale = scale_by_name(scale)
+    sources = random_sources(DIMS, scale.sources_per_point, seed)
+    rows: List[AblationRow] = []
+    for ts in startup_values:
+        for name in algorithm_names():
+            latency, cv = _measure(name, DIMS, sources, length_flits, ts)
+            rows.append(
+                AblationRow(
+                    algorithm=name,
+                    parameter="startup_latency_us",
+                    value=ts,
+                    mean_latency_us=latency,
+                    mean_cv=cv,
+                    samples=len(sources),
+                )
+            )
+    return rows
+
+
+def run_message_length_ablation(
+    scale: str | ExperimentScale = "quick",
+    seed: int = 0,
+    lengths: Tuple[int, ...] = (32, 128, 512, 2048),
+) -> List[AblationRow]:
+    """The paper's stated 32–2048-flit message-length range."""
+    if isinstance(scale, str):
+        scale = scale_by_name(scale)
+    sources = random_sources(DIMS, scale.sources_per_point, seed)
+    rows: List[AblationRow] = []
+    for length in lengths:
+        for name in algorithm_names():
+            latency, cv = _measure(name, DIMS, sources, length)
+            rows.append(
+                AblationRow(
+                    algorithm=name,
+                    parameter="message_length_flits",
+                    value=float(length),
+                    mean_latency_us=latency,
+                    mean_cv=cv,
+                    samples=len(sources),
+                )
+            )
+    return rows
+
+
+def run_max_destinations_ablation(
+    scale: str | ExperimentScale = "quick",
+    seed: int = 0,
+    limits: Tuple[Optional[int], ...] = (None, 32, 16, 8),
+    length_flits: int = 100,
+) -> List[AblationRow]:
+    """AB's per-path destination bound: long worms vs many worms."""
+    if isinstance(scale, str):
+        scale = scale_by_name(scale)
+    sources = random_sources(DIMS, scale.sources_per_point, seed)
+    rows: List[AblationRow] = []
+    for limit in limits:
+        latency, cv = _measure(
+            "AB", DIMS, sources, length_flits, max_destinations_per_path=limit
+        )
+        rows.append(
+            AblationRow(
+                algorithm="AB",
+                parameter="max_destinations_per_path",
+                value=float(limit) if limit is not None else float("inf"),
+                mean_latency_us=latency,
+                mean_cv=cv,
+                samples=len(sources),
+            )
+        )
+    return rows
+
+
+def run_port_count_ablation(
+    scale: str | ExperimentScale = "quick",
+    seed: int = 0,
+    ports: Tuple[int, ...] = (1, 2, 3),
+    length_flits: int = 100,
+) -> List[AblationRow]:
+    """Every algorithm at every port budget (EDN's multiport advantage)."""
+    if isinstance(scale, str):
+        scale = scale_by_name(scale)
+    sources = random_sources(DIMS, scale.sources_per_point, seed)
+    rows: List[AblationRow] = []
+    for port_count in ports:
+        for name in algorithm_names():
+            latency, cv = _measure(
+                name, DIMS, sources, length_flits, ports_override=port_count
+            )
+            rows.append(
+                AblationRow(
+                    algorithm=name,
+                    parameter="ports_per_node",
+                    value=float(port_count),
+                    mean_latency_us=latency,
+                    mean_cv=cv,
+                    samples=len(sources),
+                )
+            )
+    return rows

@@ -1,0 +1,97 @@
+"""Shared experiment helpers."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.adaptive_broadcast import AdaptiveBroadcast
+from repro.core.executors import (
+    BarrierStepExecutor,
+    BroadcastOutcome,
+    EventDrivenExecutor,
+)
+from repro.core.registry import get_algorithm
+from repro.network.network import NetworkConfig, NetworkSimulator
+from repro.network.topology import Mesh
+
+__all__ = [
+    "random_sources",
+    "run_single_broadcasts",
+    "run_barrier_broadcasts",
+    "paper_config",
+]
+
+
+def paper_config(ports: int, startup_latency: float = 1.5) -> NetworkConfig:
+    """The paper's timing constants with a given port budget."""
+    return NetworkConfig(
+        startup_latency=startup_latency, flit_time=0.003, ports_per_node=ports
+    )
+
+
+def random_sources(
+    dims: Tuple[int, ...], count: int, seed: int
+) -> List[Tuple[int, ...]]:
+    """``count`` uniformly random source nodes (the paper's protocol)."""
+    rng = np.random.default_rng(seed)
+    return [tuple(int(rng.integers(0, d)) for d in dims) for _ in range(count)]
+
+
+def run_single_broadcasts(
+    algorithm_name: str,
+    dims: Tuple[int, ...],
+    sources: List[Tuple[int, ...]],
+    length_flits: int,
+    startup_latency: float = 1.5,
+    max_destinations_per_path: Optional[int] = None,
+    ports_override: Optional[int] = None,
+) -> List[BroadcastOutcome]:
+    """Event-driven single-source broadcasts, one per source.
+
+    Each broadcast runs on a fresh, otherwise idle network — the
+    paper's §3.1/§3.2 setting.
+    """
+    mesh = Mesh(dims)
+    cls = get_algorithm(algorithm_name)
+    if cls is AdaptiveBroadcast and max_destinations_per_path is not None:
+        algorithm = cls(mesh, max_destinations_per_path=max_destinations_per_path)
+    else:
+        algorithm = cls(mesh)
+    ports = ports_override or algorithm.ports_required
+    config = paper_config(ports, startup_latency)
+    outcomes: List[BroadcastOutcome] = []
+    for source in sources:
+        schedule = algorithm.schedule(source)
+        network = NetworkSimulator(mesh, config)
+        routing = (
+            type(algorithm).make_routing(mesh)
+            if getattr(algorithm, "adaptive", False)
+            else None
+        )
+        executor = EventDrivenExecutor(network, adaptive_routing=routing)
+        outcomes.append(executor.execute(schedule, length_flits))
+    return outcomes
+
+
+def run_barrier_broadcasts(
+    algorithm_name: str,
+    dims: Tuple[int, ...],
+    sources: List[Tuple[int, ...]],
+    length_flits: int,
+    startup_latency: float = 1.5,
+) -> List[BroadcastOutcome]:
+    """Closed-form step-synchronised broadcasts (no contention).
+
+    The semantics under which the paper's per-step arguments are exact;
+    used as the second CV column of the table experiments.
+    """
+    mesh = Mesh(dims)
+    algorithm = get_algorithm(algorithm_name)(mesh)
+    config = paper_config(algorithm.ports_required, startup_latency)
+    executor = BarrierStepExecutor(mesh, config)
+    return [
+        executor.execute(algorithm.schedule(source), length_flits)
+        for source in sources
+    ]

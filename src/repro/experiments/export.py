@@ -1,0 +1,91 @@
+"""Result export: JSON and CSV serialisation of experiment rows.
+
+Experiment runners return lists of dataclass rows; this module writes
+them to disk so full-scale runs can be archived and re-plotted without
+re-simulating.  Tuples (mesh dims) are flattened to ``AxBxC`` strings
+for CSV friendliness; ``inf``/``nan`` survive the JSON round trip via
+string sentinels.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+from pathlib import Path
+from typing import Any, List, Sequence
+
+from repro.experiments.reporting import rows_to_dicts
+
+__all__ = ["rows_to_json", "rows_to_csv", "save_rows", "load_json_rows"]
+
+_INF = "__inf__"
+_NINF = "__-inf__"
+_NAN = "__nan__"
+
+
+def _encode(value: Any) -> Any:
+    if isinstance(value, tuple):
+        return "x".join(str(v) for v in value)
+    if isinstance(value, float):
+        if math.isnan(value):
+            return _NAN
+        if math.isinf(value):
+            return _INF if value > 0 else _NINF
+    return value
+
+
+def _decode(value: Any) -> Any:
+    if value == _NAN:
+        return math.nan
+    if value == _INF:
+        return math.inf
+    if value == _NINF:
+        return -math.inf
+    return value
+
+
+def rows_to_json(rows: Sequence[Any]) -> str:
+    """Serialise result rows to a JSON array string."""
+    dicts = [
+        {key: _encode(val) for key, val in row.items()}
+        for row in rows_to_dicts(rows)
+    ]
+    return json.dumps(dicts, indent=2, sort_keys=True)
+
+
+def load_json_rows(text: str) -> List[dict]:
+    """Inverse of :func:`rows_to_json` (tuples stay as ``AxB`` strings)."""
+    rows = json.loads(text)
+    if not isinstance(rows, list):
+        raise ValueError("expected a JSON array of rows")
+    return [
+        {key: _decode(val) for key, val in row.items()} for row in rows
+    ]
+
+
+def rows_to_csv(rows: Sequence[Any]) -> str:
+    """Serialise result rows to CSV (header from the first row's keys)."""
+    dicts = rows_to_dicts(rows)
+    if not dicts:
+        return ""
+    import io
+
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(dicts[0].keys()))
+    writer.writeheader()
+    for row in dicts:
+        writer.writerow({key: _encode(val) for key, val in row.items()})
+    return buffer.getvalue()
+
+
+def save_rows(rows: Sequence[Any], path: str | Path) -> Path:
+    """Write rows to ``path``; format chosen by suffix (.json / .csv)."""
+    path = Path(path)
+    if path.suffix == ".json":
+        path.write_text(rows_to_json(rows))
+    elif path.suffix == ".csv":
+        path.write_text(rows_to_csv(rows))
+    else:
+        raise ValueError(f"unsupported export format {path.suffix!r}")
+    return path

@@ -1,0 +1,86 @@
+"""Fig. 1 — communication latency vs network size.
+
+Single-source broadcast latency on 3-D meshes of 64, 512, 1000 and
+4096 nodes; message length 100 flits, ``Ts = 1.5 µs``.  Sources are
+drawn uniformly at random and averaged (the paper: "different source
+nodes have been chosen randomly").
+
+Shape targets: RD's and EDN's latency grows with network size, DB's
+and AB's stays nearly flat, DB ≈ EDN on the 4×4×4 mesh (both need the
+same number of steps there, as the paper notes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.registry import algorithm_names
+from repro.experiments.common import random_sources, run_single_broadcasts
+from repro.experiments.config import FIG1_SIZES, ExperimentScale, scale_by_name
+
+__all__ = ["Fig1Row", "run_fig1", "format_fig1"]
+
+MESSAGE_LENGTH = 100  # flits, per the figure caption
+STARTUP_LATENCY = 1.5  # µs
+
+
+@dataclass(frozen=True)
+class Fig1Row:
+    """One bar of the figure: (algorithm, size) → mean latency."""
+
+    algorithm: str
+    dims: Tuple[int, int, int]
+    num_nodes: int
+    mean_latency_us: float
+    std_latency_us: float
+    samples: int
+
+
+def run_fig1(
+    scale: str | ExperimentScale = "quick", seed: int = 0
+) -> List[Fig1Row]:
+    """Regenerate the Fig. 1 series."""
+    if isinstance(scale, str):
+        scale = scale_by_name(scale)
+    rows: List[Fig1Row] = []
+    for dims in FIG1_SIZES:
+        sources = random_sources(dims, scale.sources_per_point, seed)
+        for name in algorithm_names():
+            outcomes = run_single_broadcasts(
+                name, dims, sources, MESSAGE_LENGTH, STARTUP_LATENCY
+            )
+            latencies = [o.network_latency for o in outcomes]
+            rows.append(
+                Fig1Row(
+                    algorithm=name,
+                    dims=dims,
+                    num_nodes=int(np.prod(dims)),
+                    mean_latency_us=float(np.mean(latencies)),
+                    std_latency_us=float(np.std(latencies)),
+                    samples=len(latencies),
+                )
+            )
+    return rows
+
+
+def format_fig1(rows: List[Fig1Row]) -> str:
+    """Print the figure as the paper's series (one column per size)."""
+    sizes = sorted({r.num_nodes for r in rows})
+    by_algo: Dict[str, Dict[int, float]] = {}
+    for row in rows:
+        by_algo.setdefault(row.algorithm, {})[row.num_nodes] = row.mean_latency_us
+    lines = [
+        "Fig. 1 — mean broadcast latency (µs) vs network size"
+        f" (L={MESSAGE_LENGTH} flits, Ts={STARTUP_LATENCY} µs)",
+        "algo   " + "".join(f"{s:>10d}" for s in sizes),
+    ]
+    for name in ("RD", "EDN", "DB", "AB"):
+        series = by_algo.get(name, {})
+        lines.append(
+            f"{name:<6s} "
+            + "".join(f"{series.get(s, float('nan')):>10.3f}" for s in sizes)
+        )
+    return "\n".join(lines)

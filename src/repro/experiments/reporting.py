@@ -1,0 +1,49 @@
+"""Plain-text result rendering shared by the CLI and examples."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, is_dataclass
+from typing import Any, List, Sequence
+
+__all__ = ["format_table", "rows_to_dicts"]
+
+
+def rows_to_dicts(rows: Sequence[Any]) -> List[dict]:
+    """Convert dataclass result rows into plain dictionaries."""
+    out = []
+    for row in rows:
+        if is_dataclass(row):
+            out.append(asdict(row))
+        elif isinstance(row, dict):
+            out.append(dict(row))
+        else:
+            raise TypeError(f"cannot tabulate {type(row).__name__}")
+    return out
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    if isinstance(value, tuple):
+        return "x".join(str(v) for v in value)
+    return str(value)
+
+
+def format_table(rows: Sequence[Any], columns: Sequence[str] | None = None) -> str:
+    """Render rows (dataclasses or dicts) as an aligned text table."""
+    dicts = rows_to_dicts(rows)
+    if not dicts:
+        return "(no rows)"
+    columns = list(columns) if columns else list(dicts[0].keys())
+    table = [[_fmt(d.get(c, "")) for c in columns] for d in dicts]
+    widths = [
+        max(len(col), *(len(row[i]) for row in table))
+        for i, col in enumerate(columns)
+    ]
+    lines = [
+        "  ".join(col.ljust(w) for col, w in zip(columns, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in table:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)

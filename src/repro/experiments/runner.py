@@ -1,0 +1,90 @@
+"""Experiment dispatch.
+
+``run_experiment(id, scale)`` regenerates any of the paper's tables or
+figures (or one of our ablations) and returns ``(rows, rendered_text)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.experiments.ablations import (
+    run_max_destinations_ablation,
+    run_message_length_ablation,
+    run_port_count_ablation,
+    run_startup_latency_ablation,
+)
+from repro.experiments.fig1 import format_fig1, run_fig1
+from repro.experiments.fig2 import format_fig2, run_fig2
+from repro.experiments.reporting import format_table
+from repro.experiments.tables_cv import format_cv_table, run_cv_table
+from repro.experiments.traffic_sweep import format_traffic_sweep, run_traffic_sweep
+
+__all__ = ["EXPERIMENTS", "run_experiment"]
+
+
+def _fig1(scale: str, seed: int):
+    rows = run_fig1(scale, seed)
+    return rows, format_fig1(rows)
+
+
+def _fig2(scale: str, seed: int):
+    rows = run_fig2(scale, seed)
+    return rows, format_fig2(rows)
+
+
+def _table1(scale: str, seed: int):
+    rows = run_cv_table("DB", scale, seed)
+    return rows, format_cv_table(rows)
+
+
+def _table2(scale: str, seed: int):
+    rows = run_cv_table("AB", scale, seed)
+    return rows, format_cv_table(rows)
+
+
+def _fig3(scale: str, seed: int):
+    rows = run_traffic_sweep("fig3", scale, seed)
+    return rows, format_traffic_sweep(rows)
+
+
+def _fig4(scale: str, seed: int):
+    rows = run_traffic_sweep("fig4", scale, seed)
+    return rows, format_traffic_sweep(rows)
+
+
+def _ablation(runner) -> Callable:
+    def run(scale: str, seed: int):
+        rows = runner(scale, seed)
+        return rows, format_table(rows)
+
+    return run
+
+
+#: Experiment id → runner.  Ids match DESIGN.md's experiment index.
+EXPERIMENTS: Dict[str, Callable[[str, int], Tuple[List[Any], str]]] = {
+    "fig1": _fig1,
+    "fig2": _fig2,
+    "table1": _table1,
+    "table2": _table2,
+    "fig3": _fig3,
+    "fig4": _fig4,
+    "ablation-startup": _ablation(run_startup_latency_ablation),
+    "ablation-length": _ablation(run_message_length_ablation),
+    "ablation-maxdest": _ablation(run_max_destinations_ablation),
+    "ablation-ports": _ablation(run_port_count_ablation),
+}
+
+
+def run_experiment(
+    experiment_id: str, scale: str = "quick", seed: int = 0
+) -> Tuple[List[Any], str]:
+    """Regenerate one table/figure; returns (rows, rendered text)."""
+    try:
+        runner = EXPERIMENTS[experiment_id.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r};"
+            f" choose from {sorted(EXPERIMENTS)}"
+        ) from None
+    return runner(scale, seed)

@@ -1,0 +1,141 @@
+"""Tables 1 & 2 — CV of the baselines and DB/AB improvement percentages.
+
+The paper's table protocol: L = 64 flits, sizes 64–1024 nodes, values
+averaged over at least 40 experiments; the improvement column is
+``IMR% = (CV_baseline − CV_proposed) / CV_proposed · 100``.
+
+Table 1 compares DB against RD and EDN; Table 2 compares AB.  The
+measured tables are printed side by side with the paper's values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.experiments.common import (
+    random_sources,
+    run_barrier_broadcasts,
+    run_single_broadcasts,
+)
+from repro.experiments.config import (
+    FIG2_SIZES,
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    ExperimentScale,
+    scale_by_name,
+)
+from repro.metrics.stats import improvement_percent
+
+__all__ = ["CVTableRow", "run_cv_table", "format_cv_table"]
+
+MESSAGE_LENGTH = 64  # flits, per §3.2
+STARTUP_LATENCY = 1.5  # µs
+
+
+@dataclass(frozen=True)
+class CVTableRow:
+    """One cell group of a table: baseline × size."""
+
+    baseline: str
+    proposed: str
+    dims: Tuple[int, int, int]
+    num_nodes: int
+    baseline_cv: float
+    proposed_cv: float
+    improvement_percent: float
+    barrier_baseline_cv: float
+    barrier_proposed_cv: float
+    barrier_improvement_percent: float
+    paper_baseline_cv: Optional[float]
+    paper_improvement_percent: Optional[float]
+
+
+def run_cv_table(
+    proposed: str,
+    scale: str | ExperimentScale = "quick",
+    seed: int = 0,
+) -> List[CVTableRow]:
+    """Regenerate Table 1 (``proposed="DB"``) or Table 2 (``"AB"``)."""
+    proposed = proposed.upper()
+    if proposed not in ("DB", "AB"):
+        raise ValueError(f"the paper's tables propose DB or AB, not {proposed!r}")
+    if isinstance(scale, str):
+        scale = scale_by_name(scale)
+    paper = PAPER_TABLE1 if proposed == "DB" else PAPER_TABLE2
+
+    rows: List[CVTableRow] = []
+    for dims in FIG2_SIZES:
+        nodes = int(np.prod(dims))
+        sources = random_sources(dims, scale.sources_per_point, seed)
+        cvs: Dict[str, float] = {}
+        barrier_cvs: Dict[str, float] = {}
+        for name in ("RD", "EDN", proposed):
+            outcomes = run_single_broadcasts(
+                name, dims, sources, MESSAGE_LENGTH, STARTUP_LATENCY
+            )
+            cvs[name] = float(
+                np.mean([o.coefficient_of_variation for o in outcomes])
+            )
+            barrier = run_barrier_broadcasts(
+                name, dims, sources, MESSAGE_LENGTH, STARTUP_LATENCY
+            )
+            barrier_cvs[name] = float(
+                np.mean([o.coefficient_of_variation for o in barrier])
+            )
+        for baseline in ("RD", "EDN"):
+            paper_cv, paper_imr = paper.get(baseline, {}).get(nodes, (None, None))
+            rows.append(
+                CVTableRow(
+                    baseline=baseline,
+                    proposed=proposed,
+                    dims=dims,
+                    num_nodes=nodes,
+                    baseline_cv=cvs[baseline],
+                    proposed_cv=cvs[proposed],
+                    improvement_percent=improvement_percent(
+                        cvs[baseline], cvs[proposed]
+                    ),
+                    barrier_baseline_cv=barrier_cvs[baseline],
+                    barrier_proposed_cv=barrier_cvs[proposed],
+                    barrier_improvement_percent=improvement_percent(
+                        barrier_cvs[baseline], barrier_cvs[proposed]
+                    ),
+                    paper_baseline_cv=paper_cv,
+                    paper_improvement_percent=paper_imr,
+                )
+            )
+    return rows
+
+
+def format_cv_table(rows: List[CVTableRow]) -> str:
+    """Side-by-side measured vs paper table."""
+    if not rows:
+        return "(empty table)"
+    proposed = rows[0].proposed
+    label = "DBIMR%" if proposed == "DB" else "ABIMR%"
+    lines = [
+        f"Table ({proposed}) — CV and improvement over RD/EDN, L={MESSAGE_LENGTH}"
+        " flits",
+        f"{'base':<5s}{'nodes':>7s}{'CV':>9s}{label:>9s}{'bCV':>9s}"
+        f"{'b' + label:>9s}{'paper CV':>10s}{'paper ' + label:>13s}",
+        "(CV: locally-causal event-driven; bCV: step-barrier semantics)",
+    ]
+    for row in sorted(rows, key=lambda r: (r.baseline, r.num_nodes)):
+        paper_cv = (
+            f"{row.paper_baseline_cv:.4f}" if row.paper_baseline_cv else "-"
+        )
+        paper_imr = (
+            f"{row.paper_improvement_percent:.2f}"
+            if row.paper_improvement_percent
+            else "-"
+        )
+        lines.append(
+            f"{row.baseline:<5s}{row.num_nodes:>7d}{row.baseline_cv:>9.4f}"
+            f"{row.improvement_percent:>9.2f}{row.barrier_baseline_cv:>9.4f}"
+            f"{row.barrier_improvement_percent:>9.2f}"
+            f"{paper_cv:>10s}{paper_imr:>13s}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,41 @@
+"""Measurement machinery.
+
+The statistics the paper reports: mean/SD/CV of arrival times, Student-t
+confidence intervals ("statistics have been collected with a 95%
+confidence interval"), and the batch-means procedure of §3.3 ("20
+batches have been used ... actually 21, but the first batch statistics
+have been ignored because it produces optimistic values due to cold
+start").
+"""
+
+from repro.metrics.stats import (
+    SummaryStats,
+    coefficient_of_variation,
+    improvement_percent,
+    summarize,
+)
+from repro.metrics.confidence import ConfidenceInterval, t_confidence_interval
+from repro.metrics.batch_means import BatchMeans, BatchMeansResult
+from repro.metrics.collectors import (
+    BroadcastStatsCollector,
+    LatencyCollector,
+    ThroughputCollector,
+)
+from repro.metrics.steady_state import is_steady, mser_truncation, truncate_warmup
+
+__all__ = [
+    "BatchMeans",
+    "BatchMeansResult",
+    "BroadcastStatsCollector",
+    "ConfidenceInterval",
+    "LatencyCollector",
+    "SummaryStats",
+    "ThroughputCollector",
+    "coefficient_of_variation",
+    "improvement_percent",
+    "is_steady",
+    "mser_truncation",
+    "summarize",
+    "truncate_warmup",
+    "t_confidence_interval",
+]

@@ -1,0 +1,149 @@
+"""Online collectors used by the traffic experiments.
+
+:class:`LatencyCollector` accumulates per-message latencies (optionally
+split by message kind), :class:`ThroughputCollector` counts deliveries
+per unit time, and :class:`BroadcastStatsCollector` aggregates
+:class:`~repro.core.executors.BroadcastOutcome` objects into the
+paper's per-algorithm rows (mean latency, mean CV, improvement
+percentages).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.executors import BroadcastOutcome
+from repro.metrics.confidence import ConfidenceInterval, t_confidence_interval
+from repro.metrics.stats import SummaryStats, summarize
+
+__all__ = ["LatencyCollector", "ThroughputCollector", "BroadcastStatsCollector"]
+
+
+class LatencyCollector:
+    """Accumulates message latencies, bucketed by a string key."""
+
+    def __init__(self):
+        self._buckets: Dict[str, List[float]] = {}
+
+    def record(self, latency: float, bucket: str = "all") -> None:
+        if latency < 0:
+            raise ValueError(f"negative latency {latency}")
+        self._buckets.setdefault(bucket, []).append(float(latency))
+
+    def count(self, bucket: str = "all") -> int:
+        return len(self._buckets.get(bucket, ()))
+
+    def values(self, bucket: str = "all") -> List[float]:
+        return list(self._buckets.get(bucket, ()))
+
+    def summary(self, bucket: str = "all") -> SummaryStats:
+        values = self._buckets.get(bucket)
+        if not values:
+            raise KeyError(f"no observations in bucket {bucket!r}")
+        return summarize(values)
+
+    def interval(
+        self, bucket: str = "all", level: float = 0.95
+    ) -> ConfidenceInterval:
+        values = self._buckets.get(bucket)
+        if not values or len(values) < 2:
+            raise ValueError(f"bucket {bucket!r} has too few observations")
+        return t_confidence_interval(values, level)
+
+    def buckets(self) -> List[str]:
+        return sorted(self._buckets)
+
+    def clear(self) -> None:
+        self._buckets.clear()
+
+
+class ThroughputCollector:
+    """Counts deliveries over simulated time → messages per time unit."""
+
+    def __init__(self):
+        self._count = 0
+        self._first: Optional[float] = None
+        self._last: Optional[float] = None
+
+    def record(self, time: float) -> None:
+        self._count += 1
+        if self._first is None:
+            self._first = time
+        self._last = time
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def throughput(self, horizon: Optional[float] = None) -> float:
+        """Deliveries per time unit over the observation span.
+
+        ``horizon`` overrides the span end (e.g. total simulated time).
+        """
+        if self._count == 0:
+            return 0.0
+        start = self._first or 0.0
+        end = self._last if horizon is None else horizon
+        span = (end or 0.0) - start
+        if span <= 0:
+            return float("inf") if self._count > 1 else 0.0
+        return self._count / span
+
+    def clear(self) -> None:
+        self._count = 0
+        self._first = self._last = None
+
+
+class BroadcastStatsCollector:
+    """Aggregates broadcast outcomes into the paper's reporting rows."""
+
+    def __init__(self):
+        self._outcomes: Dict[str, List[BroadcastOutcome]] = {}
+
+    def record(self, outcome: BroadcastOutcome) -> None:
+        self._outcomes.setdefault(outcome.algorithm, []).append(outcome)
+
+    def algorithms(self) -> List[str]:
+        return sorted(self._outcomes)
+
+    def count(self, algorithm: str) -> int:
+        return len(self._outcomes.get(algorithm, ()))
+
+    def _require(self, algorithm: str) -> List[BroadcastOutcome]:
+        outcomes = self._outcomes.get(algorithm)
+        if not outcomes:
+            raise KeyError(f"no outcomes recorded for {algorithm!r}")
+        return outcomes
+
+    def mean_network_latency(self, algorithm: str) -> float:
+        """Mean of the broadcast completion latencies (paper Fig. 1)."""
+        return float(
+            np.mean([o.network_latency for o in self._require(algorithm)])
+        )
+
+    def mean_node_latency(self, algorithm: str) -> float:
+        """Mean per-destination latency across all outcomes."""
+        values = np.concatenate(
+            [o.latencies() for o in self._require(algorithm)]
+        )
+        return float(values.mean())
+
+    def mean_cv(self, algorithm: str) -> float:
+        """Mean coefficient of variation (paper Fig. 2 / Tables 1-2)."""
+        return float(
+            np.mean(
+                [o.coefficient_of_variation for o in self._require(algorithm)]
+            )
+        )
+
+    def latency_interval(
+        self, algorithm: str, level: float = 0.95
+    ) -> ConfidenceInterval:
+        return t_confidence_interval(
+            [o.network_latency for o in self._require(algorithm)], level
+        )
+
+    def clear(self) -> None:
+        self._outcomes.clear()

@@ -1,0 +1,97 @@
+"""Steady-state detection and warm-up truncation.
+
+The paper: "Statistics have been collected with a 95% confidence
+interval when the system reaches a steady state (i.e., when results do
+not change with time)."  Two standard tools implement that sentence:
+
+:func:`mser_truncation`
+    the MSER-5 rule — pick the warm-up cut that minimises the standard
+    error of the remaining sample's mean.  Objective, data-driven, and
+    the usual modern replacement for eyeballing a Welch plot.
+:func:`is_steady`
+    the literal "results do not change with time" test: successive
+    window means agree within a relative tolerance.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["mser_truncation", "is_steady", "truncate_warmup"]
+
+
+def mser_truncation(
+    values: Sequence[float], batch: int = 5, max_cut_fraction: float = 0.5
+) -> int:
+    """MSER warm-up truncation point (in observations).
+
+    Observations are grouped into batches of ``batch``; for every
+    candidate cut ``d`` (in whole batches, up to ``max_cut_fraction`` of
+    the series) the MSER statistic ``var(X[d:]) / (n-d)²``-style
+    standard-error proxy is evaluated, and the minimising cut returned
+    as an observation index.
+
+    Parameters
+    ----------
+    values:
+        The raw observation series, time-ordered.
+    batch:
+        Batch width (5 = the classic MSER-5).
+    max_cut_fraction:
+        Never truncate more than this fraction of the data.
+    """
+    if batch < 1:
+        raise ValueError("batch must be >= 1")
+    if not 0.0 < max_cut_fraction < 1.0:
+        raise ValueError("max_cut_fraction must be in (0, 1)")
+    arr = np.asarray(values, dtype=float)
+    if arr.size < 2 * batch:
+        return 0
+    num_batches = arr.size // batch
+    means = arr[: num_batches * batch].reshape(num_batches, batch).mean(axis=1)
+    max_cut = max(1, int(num_batches * max_cut_fraction))
+    best_d, best_stat = 0, math.inf
+    for d in range(0, max_cut + 1):
+        tail = means[d:]
+        if tail.size < 2:
+            break
+        stat = float(tail.var()) / tail.size
+        if stat < best_stat:
+            best_stat, best_d = stat, d
+    return best_d * batch
+
+
+def is_steady(
+    values: Sequence[float],
+    window: int = 20,
+    tolerance: float = 0.05,
+) -> bool:
+    """True when the last two window means agree within ``tolerance``.
+
+    The direct reading of the paper's steady-state criterion: split the
+    tail of the series into two adjacent windows of ``window``
+    observations; the relative difference of their means must not
+    exceed ``tolerance``.
+    """
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    if tolerance <= 0:
+        raise ValueError("tolerance must be positive")
+    arr = np.asarray(values, dtype=float)
+    if arr.size < 2 * window:
+        return False
+    recent = float(arr[-window:].mean())
+    previous = float(arr[-2 * window : -window].mean())
+    scale = max(abs(previous), abs(recent), 1e-300)
+    return abs(recent - previous) / scale <= tolerance
+
+
+def truncate_warmup(
+    values: Sequence[float], batch: int = 5
+) -> Tuple[int, np.ndarray]:
+    """Apply :func:`mser_truncation`; returns ``(cut, steady_tail)``."""
+    cut = mser_truncation(values, batch=batch)
+    return cut, np.asarray(values, dtype=float)[cut:]

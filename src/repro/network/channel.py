@@ -1,0 +1,109 @@
+"""Physical channels.
+
+A :class:`Channel` is a unidirectional link between two adjacent
+routers.  Following the paper's simulator, each channel is a server
+with a *single FIFO queue*: a worm's header requests the channel and
+waits in that queue while it is busy ("Each channel has a single queue
+where messages are held while awaiting transmission").
+
+:class:`ChannelTiming` carries the paper's timing constants: the
+per-flit transmission time ``β = 0.003 µs`` and an optional per-hop
+router (routing-decision) delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.network.coordinates import Coordinate
+from repro.sim.resources import Resource
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Environment
+
+__all__ = ["ChannelTiming", "Channel"]
+
+
+@dataclass(frozen=True)
+class ChannelTiming:
+    """Per-channel timing constants (times in µs, as in the paper).
+
+    Parameters
+    ----------
+    flit_time:
+        Time to transmit one flit on a channel (the paper's ``β``).
+    router_delay:
+        Extra per-hop latency for the routing decision; the paper folds
+        this into the flit time, so it defaults to 0.
+    """
+
+    flit_time: float = 0.003
+    router_delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.flit_time <= 0:
+            raise ValueError(f"flit_time must be positive, got {self.flit_time}")
+        if self.router_delay < 0:
+            raise ValueError(f"router_delay must be >= 0, got {self.router_delay}")
+
+    @property
+    def header_hop_time(self) -> float:
+        """Time for the header flit to advance one hop."""
+        return self.flit_time + self.router_delay
+
+    def body_time(self, length_flits: int) -> float:
+        """Pipeline time for the body after the header arrives.
+
+        With wormhole pipelining the remaining ``L - 1`` flits stream
+        behind the header at one flit per ``β``.
+        """
+        if length_flits < 1:
+            raise ValueError("length_flits must be >= 1")
+        return (length_flits - 1) * self.flit_time
+
+
+class Channel:
+    """A unidirectional physical channel ``src → dst``.
+
+    The embedded :class:`~repro.sim.resources.Resource` (capacity 1)
+    realises the single-queue channel of the paper's model.
+    """
+
+    __slots__ = ("src", "dst", "resource", "timing", "faulty")
+
+    def __init__(
+        self,
+        env: "Environment",
+        src: Coordinate,
+        dst: Coordinate,
+        timing: ChannelTiming,
+    ):
+        self.src = src
+        self.dst = dst
+        self.timing = timing
+        self.faulty = False
+        self.resource = Resource(env, capacity=1, name=f"ch{src}->{dst}")
+
+    @property
+    def busy(self) -> bool:
+        """True while a worm occupies the channel."""
+        return self.resource.count > 0
+
+    @property
+    def queue_length(self) -> int:
+        """Worms waiting for this channel."""
+        return self.resource.queue_length
+
+    @property
+    def load_metric(self) -> int:
+        """Occupancy + queue — the congestion signal adaptive routing reads."""
+        return self.resource.count + self.resource.queue_length
+
+    def utilisation(self) -> float:
+        """Fraction of simulated time the channel was busy."""
+        return self.resource.utilisation()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "FAULTY" if self.faulty else ("busy" if self.busy else "idle")
+        return f"<Channel {self.src}->{self.dst} {state} q={self.queue_length}>"

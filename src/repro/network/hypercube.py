@@ -1,0 +1,59 @@
+"""Binary hypercube topology.
+
+The generalised hypercube is the second "future directions" topology in
+the paper's conclusion.  An ``n``-dimensional binary hypercube has
+``2^n`` nodes; two nodes are adjacent when their addresses differ in
+exactly one bit.  Equivalently it is the 2-ary n-mesh, but the bitwise
+formulation gives O(n) adjacency tests and a natural recursive-doubling
+broadcast.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.network.coordinates import Coordinate, validate_coordinate
+from repro.network.topology import Topology
+
+__all__ = ["Hypercube"]
+
+
+class Hypercube(Topology):
+    """The binary n-cube.
+
+    Parameters
+    ----------
+    order:
+        Number of dimensions ``n``; the network has ``2^n`` nodes.
+
+    Notes
+    -----
+    Coordinates are bit tuples, e.g. ``(1, 0, 1)`` in a 3-cube, so the
+    generic mesh/grid machinery (indexing, iteration) applies unchanged.
+    """
+
+    def __init__(self, order: int):
+        if order < 1:
+            raise ValueError(f"hypercube order must be >= 1, got {order}")
+        super().__init__((2,) * order)
+        self.order = order
+
+    def neighbors(self, coord: Coordinate) -> List[Coordinate]:
+        coord = validate_coordinate(coord, self.dims)
+        return [
+            coord[:axis] + (1 - coord[axis],) + coord[axis + 1 :]
+            for axis in range(self.order)
+        ]
+
+    def distance(self, u: Coordinate, v: Coordinate) -> int:
+        """Hamming distance."""
+        u = validate_coordinate(u, self.dims)
+        v = validate_coordinate(v, self.dims)
+        return sum(a != b for a, b in zip(u, v))
+
+    def flip(self, coord: Coordinate, axis: int) -> Coordinate:
+        """The neighbour of ``coord`` across dimension ``axis``."""
+        coord = validate_coordinate(coord, self.dims)
+        if not 0 <= axis < self.order:
+            raise ValueError(f"axis {axis} out of range")
+        return coord[:axis] + (1 - coord[axis],) + coord[axis + 1 :]

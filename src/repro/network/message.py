@@ -1,0 +1,138 @@
+"""Messages and the coded-path control field.
+
+A :class:`Message` is the unit the paper's simulator traffics in: a worm
+of ``length_flits`` flits with a header carrying routing information.
+For coded-path routing (CPR [1]) the header holds a 2-bit
+:class:`ControlField` telling each router whether to *pass* the worm,
+*absorb* a copy while forwarding, or *sink* it — this is what lets one
+path message deliver to every node it traverses.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional
+
+from repro.network.coordinates import Coordinate
+
+__all__ = ["MessageKind", "ControlField", "Message", "DeliveryRecord"]
+
+_message_ids = itertools.count()
+
+
+class MessageKind(enum.Enum):
+    """What a message is for (drives statistics bucketing)."""
+
+    UNICAST = "unicast"
+    BROADCAST = "broadcast"
+
+
+class ControlField(enum.IntEnum):
+    """The CPR header's 2-bit control field.
+
+    Values follow the paper's AB description (§2): ``10`` marks the
+    corner-bound set-up worms of step 1, ``11`` the corner-to-corner
+    propagation worms of step 2.  The semantics each router applies:
+
+    PASS (00)
+        forward only — a pure transit hop;
+    RECEIVE (01)
+        absorb and sink — classic unicast final delivery;
+    PASS_AND_RECEIVE (10)
+        absorb a copy and keep forwarding — multidestination delivery
+        on the way to a corner;
+    RECEIVE_AND_REPLICATE (11)
+        absorb a copy, keep forwarding, and the absorbing node becomes
+        a source for the next message-passing step.
+    """
+
+    PASS = 0b00
+    RECEIVE = 0b01
+    PASS_AND_RECEIVE = 0b10
+    RECEIVE_AND_REPLICATE = 0b11
+
+    @property
+    def delivers(self) -> bool:
+        """Does a router applying this field absorb a copy?"""
+        return self is not ControlField.PASS
+
+    @property
+    def forwards(self) -> bool:
+        """Does a router applying this field keep forwarding the worm?"""
+        return self is not ControlField.RECEIVE
+
+
+@dataclass
+class Message:
+    """A wormhole message.
+
+    Parameters
+    ----------
+    source:
+        Injecting node.
+    destinations:
+        Nodes that must absorb a copy.  A single-element set is a plain
+        unicast; multi-element sets are CPR multidestination worms.
+    length_flits:
+        Worm length ``L`` in flits.
+    kind:
+        Unicast or broadcast-related (for statistics).
+    control:
+        CPR control field carried in the header.
+    created_at:
+        Simulation time the message entered the source's send queue.
+    broadcast_id:
+        Groups all worms belonging to one broadcast operation.
+    step:
+        Message-passing step (1-based) within the broadcast schedule.
+    """
+
+    source: Coordinate
+    destinations: FrozenSet[Coordinate]
+    length_flits: int
+    kind: MessageKind = MessageKind.UNICAST
+    control: ControlField = ControlField.RECEIVE
+    created_at: float = 0.0
+    broadcast_id: Optional[int] = None
+    step: Optional[int] = None
+    uid: int = field(default_factory=lambda: next(_message_ids))
+
+    def __post_init__(self) -> None:
+        if self.length_flits < 1:
+            raise ValueError(f"message length must be >= 1 flit, got {self.length_flits}")
+        self.destinations = frozenset(self.destinations)
+        if not self.destinations:
+            raise ValueError("message needs at least one destination")
+        if self.source in self.destinations:
+            raise ValueError(f"source {self.source} cannot be its own destination")
+
+    @property
+    def is_multidestination(self) -> bool:
+        """True for CPR worms delivering to more than one node."""
+        return len(self.destinations) > 1
+
+    def single_destination(self) -> Coordinate:
+        """The destination of a unicast worm (error if multidestination)."""
+        if self.is_multidestination:
+            raise ValueError("multidestination message has no single destination")
+        return next(iter(self.destinations))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        dests = sorted(self.destinations)
+        shown = dests if len(dests) <= 3 else dests[:3] + ["..."]
+        return (
+            f"<Message #{self.uid} {self.kind.value} {self.source}->{shown}"
+            f" L={self.length_flits}>"
+        )
+
+
+@dataclass(frozen=True)
+class DeliveryRecord:
+    """One delivery of a broadcast/unicast copy to a node."""
+
+    message_uid: int
+    node: Coordinate
+    time: float
+    step: Optional[int] = None

@@ -1,0 +1,173 @@
+"""The assembled network simulator.
+
+:class:`NetworkSimulator` wires a topology to the simulation kernel:
+one :class:`~repro.network.node.Node` per coordinate, one
+:class:`~repro.network.channel.Channel` per directed link, shared
+timing constants, and delivery bookkeeping.  It is the object every
+executor, traffic generator and experiment works through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.network.channel import Channel, ChannelTiming
+from repro.network.coordinates import Coordinate
+from repro.network.message import DeliveryRecord
+from repro.network.node import Node
+from repro.network.topology import Topology
+from repro.sim.engine import Environment
+from repro.sim.rng import RandomStreams
+
+__all__ = ["NetworkConfig", "NetworkSimulator"]
+
+#: Paper constants (§3): start-up latencies examined, per-flit time.
+PAPER_STARTUP_LATENCY_HIGH = 1.5  # µs
+PAPER_STARTUP_LATENCY_LOW = 0.15  # µs
+PAPER_FLIT_TIME = 0.003  # µs
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Simulator-wide parameters (times in µs, as in the paper).
+
+    Parameters
+    ----------
+    startup_latency:
+        Software send overhead ``Ts`` paid once per injected worm.
+        The paper studies 0.15 and 1.5 µs (Cray T3D-class values).
+    flit_time:
+        Channel time per flit (``β`` = 0.003 µs in the paper).
+    router_delay:
+        Additional per-hop header delay (0 in the paper's model).
+    ports_per_node:
+        Injection-port budget of each router (algorithm-dependent:
+        RD 1, EDN 3, DB/AB 2).
+    """
+
+    startup_latency: float = PAPER_STARTUP_LATENCY_HIGH
+    flit_time: float = PAPER_FLIT_TIME
+    router_delay: float = 0.0
+    ports_per_node: int = 1
+
+    def __post_init__(self) -> None:
+        if self.startup_latency < 0:
+            raise ValueError("startup_latency must be >= 0")
+        if self.flit_time <= 0:
+            raise ValueError("flit_time must be positive")
+        if self.router_delay < 0:
+            raise ValueError("router_delay must be >= 0")
+        if self.ports_per_node < 1:
+            raise ValueError("ports_per_node must be >= 1")
+
+    @property
+    def timing(self) -> ChannelTiming:
+        """Channel-level timing view of this configuration."""
+        return ChannelTiming(flit_time=self.flit_time, router_delay=self.router_delay)
+
+
+class NetworkSimulator:
+    """A simulated wormhole-switched interconnection network.
+
+    Parameters
+    ----------
+    topology:
+        The network shape.
+    config:
+        Timing/port parameters (defaults to the paper's constants).
+    seed:
+        Master seed for all randomness drawn through the simulator.
+
+    Examples
+    --------
+    >>> from repro.network import Mesh, NetworkConfig
+    >>> net = NetworkSimulator(Mesh((4, 4, 4)), NetworkConfig(ports_per_node=2))
+    >>> net.num_nodes
+    64
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: Optional[NetworkConfig] = None,
+        seed: Optional[int] = 0,
+    ):
+        self.topology = topology
+        self.config = config or NetworkConfig()
+        self.env = Environment()
+        self.random = RandomStreams(seed)
+        timing = self.config.timing
+        self.nodes: Dict[Coordinate, Node] = {
+            coord: Node(self.env, coord, ports=self.config.ports_per_node)
+            for coord in topology.nodes()
+        }
+        self.channels: Dict[Tuple[Coordinate, Coordinate], Channel] = {
+            (u, v): Channel(self.env, u, v, timing) for u, v in topology.channels()
+        }
+        self._delivery_hooks: List[Callable[[DeliveryRecord], None]] = []
+
+    # -- shape shortcuts --------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self.topology.num_nodes
+
+    @property
+    def now(self) -> float:
+        return self.env.now
+
+    def node(self, coord: Coordinate) -> Node:
+        """The node at ``coord`` (KeyError when outside the network)."""
+        return self.nodes[tuple(coord)]
+
+    def channel(self, u: Coordinate, v: Coordinate) -> Channel:
+        """The directed channel ``u → v`` (KeyError when absent)."""
+        return self.channels[(tuple(u), tuple(v))]
+
+    def channel_load(self, u: Coordinate, v: Coordinate) -> float:
+        """Congestion oracle for adaptive routing (occupancy + queue).
+
+        Faulty channels report infinite load, so an adaptive worm takes
+        any healthy alternative its routing function allows and only
+        aborts when every legal candidate is broken.
+        """
+        channel = self.channel(u, v)
+        if channel.faulty:
+            return float("inf")
+        return float(channel.load_metric)
+
+    # -- delivery plumbing -------------------------------------------------
+    def add_delivery_hook(self, hook: Callable[[DeliveryRecord], None]) -> None:
+        """Register a callback invoked on every message delivery."""
+        self._delivery_hooks.append(hook)
+
+    def record_delivery(self, record: DeliveryRecord) -> None:
+        """Deliver a copy to its node and notify hooks."""
+        self.nodes[record.node].deliver(record)
+        for hook in self._delivery_hooks:
+            hook(record)
+
+    # -- statistics -------------------------------------------------------
+    def reset_statistics(self) -> None:
+        """Clear all node delivery records (between measurement batches)."""
+        for node in self.nodes.values():
+            node.reset_statistics()
+
+    def max_channel_utilisation(self) -> float:
+        """Highest per-channel utilisation (bottleneck indicator)."""
+        return max(ch.utilisation() for ch in self.channels.values())
+
+    def mean_channel_utilisation(self) -> float:
+        """Average utilisation over all channels."""
+        values = [ch.utilisation() for ch in self.channels.values()]
+        return sum(values) / len(values)
+
+    def run(self, until=None):
+        """Advance the simulation (delegates to the kernel)."""
+        return self.env.run(until=until)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<NetworkSimulator {self.topology!r} t={self.env.now}"
+            f" ports={self.config.ports_per_node}>"
+        )

@@ -1,0 +1,70 @@
+"""Network nodes.
+
+A :class:`Node` is a processor + router pair.  The router's *injection
+ports* limit how many worms the node can be sending simultaneously —
+the paper's port model (RD effectively uses one port, EDN a three-port
+router, DB/AB two ports).  Ports are a FIFO
+:class:`~repro.sim.resources.Resource`, so sends issued in the same
+message-passing step serialise when the port budget is exceeded.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List
+
+from repro.network.coordinates import Coordinate
+from repro.network.message import DeliveryRecord
+from repro.sim.resources import Resource
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Environment
+
+__all__ = ["Node"]
+
+
+class Node:
+    """One mesh node (processor + wormhole router).
+
+    Parameters
+    ----------
+    env:
+        Owning simulation environment.
+    coord:
+        The node's address.
+    ports:
+        Injection-port budget (simultaneous outgoing worms).
+    """
+
+    __slots__ = ("env", "coord", "ports", "deliveries", "sent_count", "_first_arrival")
+
+    def __init__(self, env: "Environment", coord: Coordinate, ports: int = 1):
+        if ports < 1:
+            raise ValueError(f"a node needs at least one port, got {ports}")
+        self.env = env
+        self.coord = coord
+        self.ports = Resource(env, capacity=ports, name=f"ports{coord}")
+        self.deliveries: List[DeliveryRecord] = []
+        self.sent_count = 0
+        self._first_arrival: Dict[int, float] = {}
+
+    def deliver(self, record: DeliveryRecord) -> None:
+        """Record the arrival of a message copy at this node."""
+        self.deliveries.append(record)
+        self._first_arrival.setdefault(record.message_uid, record.time)
+
+    def has_received(self, message_uid: int) -> bool:
+        """True once a copy of the given message has arrived here."""
+        return message_uid in self._first_arrival
+
+    def arrival_time(self, message_uid: int) -> float:
+        """When the first copy of the message arrived (KeyError if never)."""
+        return self._first_arrival[message_uid]
+
+    def reset_statistics(self) -> None:
+        """Drop recorded deliveries (used between measurement batches)."""
+        self.deliveries.clear()
+        self._first_arrival.clear()
+        self.sent_count = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Node {self.coord} rx={len(self.deliveries)} tx={self.sent_count}>"

@@ -1,0 +1,65 @@
+"""k-ary n-cube (torus) topology.
+
+The paper's conclusion names the k-ary n-cube as the natural next
+topology for these broadcast algorithms; this module provides it so the
+extension experiments can run on it.  A torus is a mesh with wraparound
+channels in every dimension.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.network.coordinates import Coordinate, validate_coordinate
+from repro.network.topology import Topology
+
+__all__ = ["Torus"]
+
+
+class Torus(Topology):
+    """The k-ary n-cube: a mesh with wraparound links.
+
+    Parameters
+    ----------
+    dims:
+        Radix per dimension.  A radix-2 dimension would create a double
+        channel between the same pair of nodes; the duplicate is
+        suppressed (neighbour sets are deduplicated), matching the usual
+        definition where a 2-ary torus dimension equals a mesh dimension.
+
+    Examples
+    --------
+    >>> t = Torus((4, 4))
+    >>> t.distance((0, 0), (3, 3))
+    2
+    """
+
+    def neighbors(self, coord: Coordinate) -> List[Coordinate]:
+        coord = validate_coordinate(coord, self.dims)
+        out: List[Coordinate] = []
+        seen = set()
+        for axis, (c, d) in enumerate(zip(coord, self.dims)):
+            if d == 1:
+                continue
+            for delta in (-1, +1):
+                v = coord[:axis] + ((c + delta) % d,) + coord[axis + 1 :]
+                if v not in seen and v != coord:
+                    seen.add(v)
+                    out.append(v)
+        return out
+
+    def distance(self, u: Coordinate, v: Coordinate) -> int:
+        u = validate_coordinate(u, self.dims)
+        v = validate_coordinate(v, self.dims)
+        total = 0
+        for a, b, d in zip(u, v, self.dims):
+            offset = abs(a - b)
+            total += min(offset, d - offset)
+        return total
+
+    def ring(self, coord: Coordinate, axis: int) -> List[Coordinate]:
+        """All nodes on the wraparound ring through ``coord`` along ``axis``."""
+        coord = validate_coordinate(coord, self.dims)
+        return [
+            coord[:axis] + (v,) + coord[axis + 1 :] for v in range(self.dims[axis])
+        ]

@@ -1,0 +1,245 @@
+"""Wormhole path transmission.
+
+:class:`PathTransmission` is the paper's *path process*: the simulation
+process that carries one worm from its source across the network,
+delivering a copy to every destination on its path.
+
+Mechanics (matching the paper's path-level model):
+
+1. acquire an injection port at the source, pay the start-up latency
+   ``Ts``;
+2. advance the header one channel at a time — each channel is a
+   single-queue FIFO resource, and while the header waits for a busy
+   channel the worm *keeps holding* every channel behind it (wormhole
+   blocking);
+3. once the header reaches the end of the path, the body pipelines
+   behind it: a node on the path holds the complete message
+   ``(L-1)·β`` after the header passed it;
+4. destinations absorb their copy as the body streams past
+   (coded-path delivery);
+5. the worm releases its channels when the tail drains.
+
+The release model holds the full path until the tail arrives at the
+terminus.  For the paper's parameters (L = 32–2048 flits vs. path
+lengths ≤ ~45 hops) the worm genuinely spans its whole path during
+transmission, so this is exact, not an approximation, except for worms
+shorter than their path — a regime the paper does not enter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.network.coordinates import Coordinate
+from repro.network.message import DeliveryRecord, Message
+from repro.routing.base import RoutingFunction
+from repro.routing.paths import Path
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.network.network import NetworkSimulator
+    from repro.sim.process import Process
+
+__all__ = ["PathTransmission", "TransmissionResult"]
+
+
+@dataclass(frozen=True)
+class TransmissionResult:
+    """Outcome of one worm's journey.
+
+    Parameters
+    ----------
+    message:
+        The transmitted message.
+    queued_at:
+        When the send was initiated (before port wait).
+    injected_at:
+        When the header entered the network (after port wait + ``Ts``).
+    completed_at:
+        When the tail arrived at the path terminus.
+    arrivals:
+        Full-message arrival time at every delivered node.
+    visited:
+        The nodes the header traversed, in order.
+    """
+
+    message: Message
+    queued_at: float
+    injected_at: float
+    completed_at: float
+    arrivals: Dict[Coordinate, float]
+    visited: Tuple[Coordinate, ...]
+
+    @property
+    def network_latency(self) -> float:
+        """Queued-to-last-delivery latency of this worm."""
+        return self.completed_at - self.queued_at
+
+    def latency_to(self, node: Coordinate) -> float:
+        """Queued-to-delivery latency for one destination."""
+        return self.arrivals[node] - self.queued_at
+
+
+class PathTransmission:
+    """A path process: transmits one worm, possibly multidestination.
+
+    Exactly one of ``path`` / ``waypoints`` must be given:
+
+    ``path``
+        a pre-built :class:`~repro.routing.paths.Path`; the worm
+        follows it hop for hop (deterministic schemes build these
+        offline);
+    ``waypoints``
+        an ordered list of nodes to visit (first entry = source); the
+        route between consecutive waypoints is resolved hop-by-hop by
+        ``routing`` at simulation time — when ``adaptive`` is true the
+        least-loaded legal channel is chosen at each branch, which is
+        how the AB algorithm exploits the west-first turn model.
+
+    Parameters
+    ----------
+    network:
+        The simulator to transmit on.
+    message:
+        The worm; ``message.destinations`` must lie on the route.
+    """
+
+    def __init__(
+        self,
+        network: "NetworkSimulator",
+        message: Message,
+        *,
+        path: Optional[Path] = None,
+        waypoints: Optional[Sequence[Coordinate]] = None,
+        routing: Optional[RoutingFunction] = None,
+        adaptive: bool = False,
+    ):
+        if (path is None) == (waypoints is None):
+            raise ValueError("give exactly one of path= or waypoints=")
+        if waypoints is not None:
+            if routing is None:
+                raise ValueError("waypoints= requires a routing function")
+            waypoints = [tuple(w) for w in waypoints]
+            if waypoints[0] != message.source:
+                raise ValueError(
+                    f"waypoints must start at the source {message.source},"
+                    f" got {waypoints[0]}"
+                )
+            if len(waypoints) < 2:
+                raise ValueError("waypoints must include at least one target")
+        if path is not None:
+            if path.source != message.source:
+                raise ValueError(
+                    f"path starts at {path.source}, message source is {message.source}"
+                )
+            stray = message.destinations - set(path.nodes)
+            if stray:
+                raise ValueError(f"destinations {sorted(stray)} are not on the path")
+        self.network = network
+        self.message = message
+        self.path = path
+        self.waypoints = waypoints
+        self.routing = routing
+        self.adaptive = adaptive
+        self.result: Optional[TransmissionResult] = None
+
+    # -- launching ---------------------------------------------------------
+    def start(self) -> "Process":
+        """Spawn the path process; its value is the TransmissionResult."""
+        return self.network.env.process(self._run())
+
+    def _next_nodes(self):
+        """Yield the nodes after the source, resolving adaptivity live."""
+        if self.path is not None:
+            for node in self.path.nodes[1:]:
+                yield node
+            return
+        net = self.network
+        load = net.channel_load if self.adaptive else None
+        current = self.message.source
+        for target in self.waypoints[1:]:
+            guard = 0
+            while current != target:
+                current = self.routing.next_hop(current, target, load)
+                guard += 1
+                if guard > net.num_nodes:  # pragma: no cover - defensive
+                    raise RuntimeError("routing made no progress")
+                yield current
+
+    def _run(self):
+        net = self.network
+        env = net.env
+        msg = self.message
+        timing = net.config.timing
+        source_node = net.node(msg.source)
+
+        queued_at = env.now
+        # 1. injection port + start-up latency.
+        port_req = source_node.ports.request()
+        yield port_req
+        yield env.timeout(net.config.startup_latency)
+        injected_at = env.now
+        source_node.sent_count += 1
+
+        # 2. header walk: acquire channels in order, holding all behind.
+        held = []
+        visited: List[Coordinate] = [msg.source]
+        header_times: Dict[Coordinate, float] = {}
+        current = msg.source
+        remaining = set(msg.destinations)
+        for nxt in self._next_nodes():
+            channel = net.channel(current, nxt)
+            if channel.faulty:
+                for ch, req in reversed(held):
+                    ch.resource.release(req)
+                source_node.ports.release(port_req)
+                from repro.network.faults import FaultyChannelError
+
+                raise FaultyChannelError(channel)
+            request = channel.resource.request()
+            yield request
+            held.append((channel, request))
+            yield env.timeout(timing.header_hop_time)
+            current = nxt
+            visited.append(current)
+            if current in remaining:
+                header_times[current] = env.now
+                remaining.discard(current)
+
+        if remaining:
+            for ch, req in reversed(held):
+                ch.resource.release(req)
+            source_node.ports.release(port_req)
+            raise RuntimeError(
+                f"worm #{msg.uid} finished its path without reaching {sorted(remaining)}"
+            )
+
+        # 3-4. body pipelining + coded-path deliveries in arrival order.
+        body = timing.body_time(msg.length_flits)
+        arrivals: Dict[Coordinate, float] = {}
+        for node, header_t in sorted(header_times.items(), key=lambda kv: kv[1]):
+            arrival = header_t + body
+            if arrival > env.now:
+                yield env.timeout(arrival - env.now)
+            arrivals[node] = arrival
+            net.record_delivery(
+                DeliveryRecord(
+                    message_uid=msg.uid, node=node, time=arrival, step=msg.step
+                )
+            )
+
+        # 5. tail drains at the terminus; free the path and the port.
+        completed_at = env.now
+        for channel, request in reversed(held):
+            channel.resource.release(request)
+        source_node.ports.release(port_req)
+
+        self.result = TransmissionResult(
+            message=msg,
+            queued_at=queued_at,
+            injected_at=injected_at,
+            completed_at=completed_at,
+            arrivals=arrivals,
+            visited=tuple(visited),
+        )
+        return self.result

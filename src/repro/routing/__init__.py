@@ -1,0 +1,48 @@
+"""Routing algorithms.
+
+Deterministic dimension-ordered routing (the baseline the paper's RD,
+EDN and DB run on), the west-first turn model (the adaptive scheme AB
+runs on), path objects, coded-path (multidestination) path builders,
+and channel-dependence-graph deadlock analysis.
+"""
+
+from repro.routing.base import RoutingFunction, RoutingError
+from repro.routing.dimension_ordered import DimensionOrdered
+from repro.routing.turn_model import (
+    NegativeFirst,
+    NorthLast,
+    WestFirst,
+    WestFirstPlanar,
+)
+from repro.routing.paths import Path
+from repro.routing.cpr import (
+    column_path,
+    row_path,
+    snake_path,
+    split_deliveries,
+    straight_line_path,
+)
+from repro.routing.deadlock import (
+    build_channel_dependence_graph,
+    find_dependence_cycle,
+    is_deadlock_free,
+)
+
+__all__ = [
+    "DimensionOrdered",
+    "NegativeFirst",
+    "NorthLast",
+    "Path",
+    "RoutingError",
+    "RoutingFunction",
+    "WestFirst",
+    "WestFirstPlanar",
+    "build_channel_dependence_graph",
+    "column_path",
+    "find_dependence_cycle",
+    "is_deadlock_free",
+    "row_path",
+    "snake_path",
+    "split_deliveries",
+    "straight_line_path",
+]

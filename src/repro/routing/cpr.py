@@ -1,0 +1,146 @@
+"""Coded-path routing (CPR) path builders.
+
+CPR [Al-Dubai & Ould-Khaoua, IPCCC'01] lets a single worm deliver to
+every router it passes: the header's 2-bit control field tells each
+router to pass, absorb-and-forward, or sink.  The broadcast algorithms
+in :mod:`repro.core` are built from a small vocabulary of
+multidestination paths, constructed here:
+
+* straight lines along one dimension (rows, columns, pillars);
+* boustrophedon ("snake") walks covering a rectangular region;
+* destination-limited splits of long paths (the AB algorithm "limits
+  the number of destination nodes for each message path").
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.network.coordinates import Coordinate
+from repro.routing.paths import Path
+
+__all__ = [
+    "straight_line_path",
+    "row_path",
+    "column_path",
+    "snake_path",
+    "split_deliveries",
+]
+
+
+def straight_line_path(start: Coordinate, axis: int, end_value: int) -> Path:
+    """A path from ``start`` along ``axis`` to coordinate ``end_value``.
+
+    Every node after the start absorbs a copy (control field 10 —
+    pass-and-receive).
+
+    Examples
+    --------
+    >>> p = straight_line_path((0, 0), axis=1, end_value=3)
+    >>> p.nodes
+    ((0, 0), (0, 1), (0, 2), (0, 3))
+    >>> sorted(p.deliveries)
+    [(0, 1), (0, 2), (0, 3)]
+    """
+    if not 0 <= axis < len(start):
+        raise ValueError(f"axis {axis} out of range for {start}")
+    begin = start[axis]
+    if end_value == begin:
+        raise ValueError("straight line path must span at least one hop")
+    step = 1 if end_value > begin else -1
+    nodes = [
+        start[:axis] + (v,) + start[axis + 1 :]
+        for v in range(begin, end_value + step, step)
+    ]
+    return Path(nodes, deliveries=nodes[1:])
+
+
+def row_path(start: Coordinate, end_x: int) -> Path:
+    """Straight multidestination path along dimension 0 (a mesh row)."""
+    return straight_line_path(start, axis=0, end_value=end_x)
+
+
+def column_path(start: Coordinate, end_y: int) -> Path:
+    """Straight multidestination path along dimension 1 (a mesh column)."""
+    return straight_line_path(start, axis=1, end_value=end_y)
+
+
+def snake_path(
+    start: Coordinate,
+    xs: Sequence[int],
+    ys: Sequence[int],
+) -> Path:
+    """A boustrophedon walk covering the rectangle ``xs × ys``.
+
+    The worm starts at ``start`` (which must sit on one corner of the
+    rectangle in the plane of ``start``'s remaining coordinates), sweeps
+    the first column of ``xs`` through all of ``ys``, steps to the next
+    column, sweeps back, and so on.  Every visited node except the start
+    absorbs a copy.  This is the long third-step path shape of the AB
+    algorithm.
+
+    Parameters
+    ----------
+    start:
+        The corner node the worm is launched from.
+    xs:
+        Column coordinates, in sweep order (consecutive values must be
+        adjacent, i.e. differ by 1).
+    ys:
+        Row coordinates for the first column, in sweep order
+        (consecutive values must differ by 1); alternate columns
+        reverse this order.
+    """
+    if not xs or not ys:
+        raise ValueError("snake needs at least one column and one row")
+    for seq, label in ((xs, "xs"), (ys, "ys")):
+        for a, b in zip(seq, seq[1:]):
+            if abs(a - b) != 1:
+                raise ValueError(f"{label} must step by 1, got {a} -> {b}")
+    tail = start[2:]
+    nodes: List[Coordinate] = []
+    for i, x in enumerate(xs):
+        sweep = list(ys) if i % 2 == 0 else list(reversed(ys))
+        for y in sweep:
+            nodes.append((x, y) + tail)
+    if nodes[0] != start:
+        raise ValueError(
+            f"snake must start at {start}, but the sweep begins at {nodes[0]}"
+        )
+    if len(nodes) < 2:
+        raise ValueError("snake must cover at least two nodes")
+    return Path(nodes, deliveries=nodes[1:])
+
+
+def split_deliveries(path: Path, max_destinations: int) -> List[Path]:
+    """Split a multidestination path into chunks of bounded fan-out.
+
+    Reproduces AB's "limiting the number of destination nodes for each
+    message path": the original walk is cut into consecutive segments,
+    each delivering to at most ``max_destinations`` nodes.  Every
+    segment starts where the previous one ended... at the *source* —
+    all segments are launched by the original source, so the first
+    nodes of a later segment are transit-only (control field ``00``).
+
+    Parameters
+    ----------
+    path:
+        A multidestination path whose deliveries are exactly its nodes
+        after the source (the builders above guarantee this).
+    max_destinations:
+        Upper bound on deliveries per returned path.
+    """
+    if max_destinations < 1:
+        raise ValueError("max_destinations must be >= 1")
+    targets = [n for n in path.nodes[1:] if n in path.deliveries]
+    if len(targets) <= max_destinations:
+        return [path]
+    pieces: List[Path] = []
+    source = path.source
+    nodes = list(path.nodes)
+    for lo in range(0, len(targets), max_destinations):
+        chunk = targets[lo : lo + max_destinations]
+        last = chunk[-1]
+        end_index = nodes.index(last)
+        pieces.append(Path(nodes[: end_index + 1], deliveries=chunk))
+    return pieces

@@ -1,0 +1,118 @@
+"""Channel-dependence-graph deadlock analysis.
+
+Duato's classic criterion: a routing function is deadlock-free on
+wormhole networks if its channel-dependence graph — nodes are directed
+channels, with an edge ``(u→v) ⇒ (v→w)`` whenever the routing function
+can forward a header from channel ``(u,v)`` onto channel ``(v,w)`` —
+is acyclic.  We build that graph exhaustively (every source/target
+pair, every adaptive branch) and run an iterative DFS cycle search, so
+the property tests can *prove* the configurations used by the
+experiments are deadlock-free rather than assume it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.network.coordinates import Coordinate
+from repro.network.topology import Topology
+from repro.routing.base import RoutingFunction
+
+__all__ = [
+    "build_channel_dependence_graph",
+    "find_dependence_cycle",
+    "is_deadlock_free",
+]
+
+ChannelId = Tuple[Coordinate, Coordinate]
+
+
+def build_channel_dependence_graph(
+    routing: RoutingFunction,
+) -> Dict[ChannelId, Set[ChannelId]]:
+    """Enumerate every channel-to-channel dependence ``routing`` allows.
+
+    For each (source, target) pair we walk the *set* of reachable
+    (node, arrival-channel) states, following every adaptive candidate,
+    and record each possible hand-off from an input channel to an
+    output channel.
+    """
+    topology = routing.topology
+    graph: Dict[ChannelId, Set[ChannelId]] = {
+        ch: set() for ch in topology.channels()
+    }
+    nodes = list(topology.nodes())
+    for source in nodes:
+        for target in nodes:
+            if source == target:
+                continue
+            # BFS over (current, in_channel) states.
+            frontier: List[Tuple[Coordinate, Optional[ChannelId]]] = [(source, None)]
+            seen: Set[Tuple[Coordinate, Optional[ChannelId]]] = set(frontier)
+            while frontier:
+                current, in_ch = frontier.pop()
+                if current == target:
+                    continue
+                for nxt in routing.candidates(current, target):
+                    out_ch = (current, nxt)
+                    if in_ch is not None:
+                        graph[in_ch].add(out_ch)
+                    state = (nxt, out_ch)
+                    if state not in seen:
+                        seen.add(state)
+                        frontier.append(state)
+    return graph
+
+
+def find_dependence_cycle(
+    graph: Dict[ChannelId, Set[ChannelId]],
+) -> Optional[List[ChannelId]]:
+    """Return one cycle of the dependence graph, or ``None`` if acyclic.
+
+    Iterative three-colour DFS (the graphs reach ~10^4 channels, beyond
+    Python's recursion limit).
+    """
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour = {ch: WHITE for ch in graph}
+    parent: Dict[ChannelId, Optional[ChannelId]] = {}
+
+    for root in graph:
+        if colour[root] != WHITE:
+            continue
+        stack: List[Tuple[ChannelId, object]] = [(root, iter(graph[root]))]
+        colour[root] = GREY
+        parent[root] = None
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for succ in it:
+                if colour[succ] == WHITE:
+                    colour[succ] = GREY
+                    parent[succ] = node
+                    stack.append((succ, iter(graph[succ])))
+                    advanced = True
+                    break
+                if colour[succ] == GREY:
+                    # Reconstruct the cycle succ -> ... -> node -> succ.
+                    cycle = [succ]
+                    walk: Optional[ChannelId] = node
+                    while walk is not None and walk != succ:
+                        cycle.append(walk)
+                        walk = parent[walk]
+                    cycle.append(succ)
+                    cycle.reverse()
+                    return cycle
+            if not advanced:
+                colour[node] = BLACK
+                stack.pop()
+    return None
+
+
+def is_deadlock_free(routing: RoutingFunction) -> bool:
+    """True when the routing function's dependence graph is acyclic."""
+    return find_dependence_cycle(build_channel_dependence_graph(routing)) is None
+
+
+def dependence_count(graph: Dict[ChannelId, Set[ChannelId]]) -> int:
+    """Total number of dependence edges (adaptivity measure)."""
+    return sum(len(v) for v in graph.values())

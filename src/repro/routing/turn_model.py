@@ -1,0 +1,164 @@
+"""Turn-model adaptive routing (Glass & Ni).
+
+The turn model derives deadlock-free *partially adaptive* routing by
+prohibiting just enough turns to break every channel-dependence cycle.
+The paper's AB algorithm uses the **west-first** model: all west (x−)
+moves must be made before any other move, which prohibits exactly the
+(north→west) and (south→west) turns.  Once the header has no west
+component left it may adapt freely among the remaining minimal
+directions.
+
+Conventions (2-D): dimension 0 is the x axis, west = x−, east = x+;
+dimension 1 is the y axis, south = y−, north = y+.
+
+For 3-D the AB algorithm treats the network as a stack of xy planes
+(paper §2), so :class:`WestFirstPlanar` routes the plane-crossing (z)
+component first as a straight line and then applies 2-D west-first
+inside the destination plane.  Dependences then flow one way
+(z-channels → plane channels) and the plane sub-graphs are acyclic by
+the turn model, so the composition stays deadlock-free.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.network.coordinates import Coordinate
+from repro.network.topology import Topology
+from repro.routing.base import RoutingFunction
+
+__all__ = ["WestFirst", "NorthLast", "NegativeFirst", "WestFirstPlanar"]
+
+
+def _move(coord: Coordinate, axis: int, step: int) -> Coordinate:
+    return coord[:axis] + (coord[axis] + step,) + coord[axis + 1 :]
+
+
+class WestFirst(RoutingFunction):
+    """West-first minimal adaptive routing on a 2-D mesh.
+
+    If the target lies to the west, the header travels west exclusively
+    until the x offset is corrected; afterwards it may choose any
+    minimal move among east/north/south.
+    """
+
+    name = "west-first"
+
+    def __init__(self, topology: Topology):
+        if topology.ndim != 2:
+            raise ValueError(
+                f"WestFirst is a 2-D turn model; got {topology.ndim}-D topology"
+                " (use WestFirstPlanar for 3-D)"
+            )
+        super().__init__(topology)
+
+    def candidates(self, current: Coordinate, target: Coordinate) -> List[Coordinate]:
+        if current == target:
+            return []
+        dx = target[0] - current[0]
+        if dx < 0:
+            return [_move(current, 0, -1)]  # west moves first, exclusively
+        out: List[Coordinate] = []
+        if dx > 0:
+            out.append(_move(current, 0, +1))  # east
+        dy = target[1] - current[1]
+        if dy > 0:
+            out.append(_move(current, 1, +1))  # north
+        elif dy < 0:
+            out.append(_move(current, 1, -1))  # south
+        return out
+
+
+class NorthLast(RoutingFunction):
+    """North-last minimal adaptive routing on a 2-D mesh.
+
+    North (y+) moves are deferred until no other offset remains; turns
+    out of the north direction are prohibited.
+    """
+
+    name = "north-last"
+
+    def __init__(self, topology: Topology):
+        if topology.ndim != 2:
+            raise ValueError("NorthLast is a 2-D turn model")
+        super().__init__(topology)
+
+    def candidates(self, current: Coordinate, target: Coordinate) -> List[Coordinate]:
+        if current == target:
+            return []
+        dx = target[0] - current[0]
+        dy = target[1] - current[1]
+        out: List[Coordinate] = []
+        if dx > 0:
+            out.append(_move(current, 0, +1))
+        elif dx < 0:
+            out.append(_move(current, 0, -1))
+        if dy < 0:
+            out.append(_move(current, 1, -1))
+        if out:
+            return out
+        # Only the north component remains: go north, deterministically.
+        return [_move(current, 1, +1)]
+
+
+class NegativeFirst(RoutingFunction):
+    """Negative-first minimal adaptive routing (any dimensionality).
+
+    All negative-direction moves precede all positive-direction moves;
+    the header adapts freely within each phase.  This is the turn
+    model's n-dimensional member, included for the ablation comparing
+    adaptive substrates.
+    """
+
+    name = "negative-first"
+
+    def candidates(self, current: Coordinate, target: Coordinate) -> List[Coordinate]:
+        if current == target:
+            return []
+        negatives: List[Coordinate] = []
+        positives: List[Coordinate] = []
+        for axis in range(len(current)):
+            delta = target[axis] - current[axis]
+            if delta < 0:
+                negatives.append(_move(current, axis, -1))
+            elif delta > 0:
+                positives.append(_move(current, axis, +1))
+        return negatives if negatives else positives
+
+
+class WestFirstPlanar(RoutingFunction):
+    """West-first routing for the 3-D mesh, plane-based (AB's scheme).
+
+    The z (dimension 2) offset is corrected first as a straight line —
+    AB's inter-plane worms travel pure-z corner columns — and the
+    remaining xy offset is routed with 2-D west-first adaptivity inside
+    the destination plane.
+    """
+
+    name = "west-first-planar"
+
+    def __init__(self, topology: Topology):
+        if topology.ndim != 3:
+            raise ValueError(
+                f"WestFirstPlanar needs a 3-D topology, got {topology.ndim}-D"
+            )
+        super().__init__(topology)
+
+    def candidates(self, current: Coordinate, target: Coordinate) -> List[Coordinate]:
+        if current == target:
+            return []
+        dz = target[2] - current[2]
+        if dz != 0:
+            return [_move(current, 2, +1 if dz > 0 else -1)]
+        dx = target[0] - current[0]
+        if dx < 0:
+            return [_move(current, 0, -1)]
+        out: List[Coordinate] = []
+        if dx > 0:
+            out.append(_move(current, 0, +1))
+        dy = target[1] - current[1]
+        if dy > 0:
+            out.append(_move(current, 1, +1))
+        elif dy < 0:
+            out.append(_move(current, 1, -1))
+        return out

@@ -1,0 +1,166 @@
+"""The simulation kernel.
+
+:class:`Environment` owns the simulation clock and the event heap and
+drives process execution.  The structure mirrors CSIM's scheduler (the
+engine the paper's MultiSim simulator runs on): events are processed in
+``(time, priority, insertion order)`` order, so simultaneous events are
+deterministic — essential for reproducible experiments.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Generator, Iterable, Optional
+
+from repro.sim.event import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+
+__all__ = ["Environment", "SimulationError"]
+
+#: Default event priority.  Lower values are processed first among
+#: events scheduled for the same time.
+NORMAL = 1
+#: Priority used for urgent bookkeeping events (process resumption).
+URGENT = 0
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation reaches an inconsistent state."""
+
+
+class Environment:
+    """A discrete-event simulation environment.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulation clock (default ``0.0``).
+
+    Examples
+    --------
+    >>> env = Environment()
+    >>> def proc(env):
+    ...     yield env.timeout(3.0)
+    ...     return "done"
+    >>> p = env.process(proc(env))
+    >>> env.run()
+    >>> env.now
+    3.0
+    >>> p.value
+    'done'
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._heap: list = []
+        self._eid = count()
+        self._active_process: Optional[Process] = None
+
+    # -- clock ------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- event factories ----------------------------------------------------
+    def event(self) -> Event:
+        """Create a new pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new process running ``generator``."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that triggers when all ``events`` have triggered."""
+        return AllOf(self, list(events))
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that triggers when any of ``events`` has triggered."""
+        return AnyOf(self, list(events))
+
+    # -- scheduling ---------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        """Put a triggered event on the heap (kernel internal)."""
+        heapq.heappush(self._heap, (self._now + delay, priority, next(self._eid), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process the next event on the heap."""
+        if not self._heap:
+            raise SimulationError("step() on an empty event heap")
+        when, _prio, _eid, event = heapq.heappop(self._heap)
+        if when < self._now:  # pragma: no cover - defensive
+            raise SimulationError("event scheduled in the past")
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:  # pragma: no cover - defensive
+            raise SimulationError("event processed twice")
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            # A failed event nobody handled: surface the error instead of
+            # silently continuing with a corrupted simulation.
+            raise event._value
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None``
+                run until the event heap is exhausted;
+            a number
+                run until the clock reaches that time;
+            an :class:`Event`
+                run until that event is processed, returning its value.
+        """
+        stop_event: Optional[Event] = None
+        stop_time = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise ValueError(
+                    f"until={stop_time} is in the past (now={self._now})"
+                )
+
+        while self._heap:
+            if stop_event is not None and stop_event.processed:
+                break
+            if self.peek() > stop_time:
+                self._now = stop_time
+                break
+            self.step()
+        else:
+            if stop_time != float("inf"):
+                self._now = stop_time
+
+        if stop_event is not None:
+            if not stop_event.triggered:
+                raise SimulationError(
+                    "run(until=event) finished before the event triggered"
+                )
+            if not stop_event.ok:
+                stop_event.defuse()
+                raise stop_event.value  # type: ignore[misc]
+            return stop_event.value
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Environment t={self._now} pending={len(self._heap)}>"

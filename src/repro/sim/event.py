@@ -1,0 +1,220 @@
+"""Simulation events.
+
+An :class:`Event` is the unit of synchronisation between processes and
+the :class:`~repro.sim.engine.Environment`.  Events move through three
+states:
+
+``pending``
+    created but not yet triggered;
+``triggered``
+    given a value (or an exception) and scheduled on the event heap;
+``processed``
+    callbacks have run and waiting processes resumed.
+
+The design follows the classic process-oriented kernel structure (CSIM,
+simpy): processes ``yield`` events, and the kernel resumes them when the
+event is processed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.sim.engine import Environment
+
+__all__ = ["Event", "Timeout", "Interrupt", "ConditionEvent", "AllOf", "AnyOf"]
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A single-shot synchronisation point.
+
+    Parameters
+    ----------
+    env:
+        The owning environment.
+
+    Notes
+    -----
+    ``callbacks`` is a list of callables invoked (with the event) when the
+    event is processed.  Once processed the list is replaced by ``None``
+    so late registration is an error surfaced early.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_defused")
+
+    _PENDING = object()
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = Event._PENDING
+        self._ok: bool = True
+        self._triggered: bool = False
+        self._defused: bool = False
+
+    # -- state ----------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is on the heap."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True when the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value; raises if the event is still pending."""
+        if self._value is Event._PENDING:
+            raise RuntimeError(f"{self!r} has not been triggered yet")
+        return self._value
+
+    # -- triggering -----------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self._triggered = True
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception is re-raised inside every process waiting on the
+        event.  If nothing ever waits, the environment raises it at
+        ``run()`` time instead of silently dropping it (unless the event
+        was explicitly :meth:`defused <defuse>`).
+        """
+        if self._triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self._triggered = True
+        self.env._schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger with the state of another event (callback helper)."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            event.defuse()
+            self.fail(event._value)
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so the kernel will not re-raise."""
+        self._defused = True
+
+    # -- waiting --------------------------------------------------------
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Register ``callback`` to run when the event is processed."""
+        if self.callbacks is None:
+            # Already processed: run immediately to preserve semantics for
+            # late joiners (e.g. waiting on a finished process).
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def __and__(self, other: "Event") -> "ConditionEvent":
+        return AllOf(self.env, [self, other])
+
+    def __or__(self, other: "Event") -> "ConditionEvent":
+        return AnyOf(self.env, [self, other])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "processed" if self.processed else "triggered" if self._triggered else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers automatically after ``delay`` time units."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        self._triggered = True
+        env._schedule(self, delay=delay)
+
+
+class ConditionEvent(Event):
+    """Base for composite events over a set of sub-events."""
+
+    __slots__ = ("events", "_count")
+
+    def __init__(self, env: "Environment", events: List[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        self._count = 0
+        if any(e.env is not env for e in self.events):
+            raise ValueError("all events must belong to the same environment")
+        if not self.events:
+            self.succeed({})
+            return
+        for event in self.events:
+            event.add_callback(self._check)
+
+    def _collect(self) -> dict:
+        return {e: e._value for e in self.events if e.processed or e.triggered}
+
+    def _check(self, event: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(ConditionEvent):
+    """Triggers once *all* sub-events have triggered (fails fast)."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event._ok:
+            event.defuse()
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._count == len(self.events):
+            self.succeed({e: e._value for e in self.events})
+
+
+class AnyOf(ConditionEvent):
+    """Triggers once *any* sub-event has triggered."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event._ok:
+            event.defuse()
+            self.fail(event._value)
+            return
+        self.succeed({event: event._value})

@@ -1,0 +1,135 @@
+"""Time-series recording for simulation statistics.
+
+:class:`Monitor` records ``(time, value)`` observations and offers the
+summary statistics the paper reports: mean, standard deviation,
+coefficient of variation, and time-weighted averages (for quantities
+like queue length that persist between observations).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Monitor"]
+
+
+class Monitor:
+    """Record observations and summarise them.
+
+    Parameters
+    ----------
+    name:
+        Label used in reports.
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._times: List[float] = []
+        self._values: List[float] = []
+
+    # -- recording ----------------------------------------------------------
+    def record(self, time: float, value: float) -> None:
+        """Append one observation taken at ``time``."""
+        if self._times and time < self._times[-1]:
+            raise ValueError(
+                f"observations must be time-ordered ({time} < {self._times[-1]})"
+            )
+        self._times.append(float(time))
+        self._values.append(float(value))
+
+    def clear(self) -> None:
+        """Discard all observations."""
+        self._times.clear()
+        self._values.clear()
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    # -- access ---------------------------------------------------------------
+    @property
+    def times(self) -> Sequence[float]:
+        return tuple(self._times)
+
+    @property
+    def values(self) -> Sequence[float]:
+        return tuple(self._values)
+
+    def as_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(times, values)`` as numpy arrays."""
+        return np.asarray(self._times), np.asarray(self._values)
+
+    def since(self, t0: float) -> "Monitor":
+        """A new monitor holding only observations with ``time >= t0``."""
+        out = Monitor(self.name)
+        for t, v in zip(self._times, self._values):
+            if t >= t0:
+                out.record(t, v)
+        return out
+
+    # -- statistics -------------------------------------------------------------
+    def mean(self) -> float:
+        """Arithmetic mean of the observed values."""
+        if not self._values:
+            raise ValueError(f"monitor {self.name!r} has no observations")
+        return float(np.mean(self._values))
+
+    def std(self, ddof: int = 0) -> float:
+        """Standard deviation of the observed values."""
+        if len(self._values) <= ddof:
+            raise ValueError("not enough observations for std")
+        return float(np.std(self._values, ddof=ddof))
+
+    def coefficient_of_variation(self) -> float:
+        """``std / mean`` — the paper's node-level parallelism metric."""
+        m = self.mean()
+        if m == 0:
+            return 0.0 if self.std() == 0 else math.inf
+        return self.std() / abs(m)
+
+    def minimum(self) -> float:
+        if not self._values:
+            raise ValueError("no observations")
+        return min(self._values)
+
+    def maximum(self) -> float:
+        if not self._values:
+            raise ValueError("no observations")
+        return max(self._values)
+
+    def time_average(self, until: Optional[float] = None) -> float:
+        """Time-weighted mean, treating values as piecewise-constant.
+
+        Each value is weighted by the duration until the next
+        observation (or ``until`` for the last one).
+        """
+        if not self._values:
+            raise ValueError("no observations")
+        t = list(self._times)
+        end = t[-1] if until is None else float(until)
+        if end < t[-1]:
+            raise ValueError("until precedes the last observation")
+        total = 0.0
+        weight = 0.0
+        for i, v in enumerate(self._values):
+            t1 = t[i + 1] if i + 1 < len(t) else end
+            dt = t1 - t[i]
+            total += v * dt
+            weight += dt
+        if weight == 0:
+            return float(np.mean(self._values))
+        return total / weight
+
+    def rate(self) -> float:
+        """Observations per unit time over the observed span."""
+        if len(self._times) < 2:
+            raise ValueError("need at least two observations for a rate")
+        span = self._times[-1] - self._times[0]
+        if span == 0:
+            return math.inf
+        return (len(self._times) - 1) / span
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Monitor {self.name!r} n={len(self)}>"

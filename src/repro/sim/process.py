@@ -1,0 +1,123 @@
+"""Processes: generators driven by the simulation kernel.
+
+A :class:`Process` wraps a Python generator.  The generator ``yield``\\ s
+events; when a yielded event is processed the kernel resumes the
+generator with the event's value (or throws the event's exception into
+it).  A process is itself an :class:`~repro.sim.event.Event` that
+triggers when the generator finishes, so processes can be joined
+(``yield other_process``) or composed with ``AllOf``/``AnyOf``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.sim.event import Event, Interrupt
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Environment
+
+__all__ = ["Process"]
+
+
+class Process(Event):
+    """A running simulation process.
+
+    Parameters
+    ----------
+    env:
+        Owning environment.
+    generator:
+        The generator to execute.  Each yielded value must be an
+        :class:`Event` of the same environment.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, env: "Environment", generator: Generator):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        self.name = getattr(generator, "__name__", type(generator).__name__)
+        # Kick off the process at the current simulation time.
+        init = Event(env)
+        init._ok = True
+        init._value = None
+        init._triggered = True
+        init.add_callback(self._resume)
+        env._schedule(init, priority=0)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self._triggered
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting on."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Interrupt the process: raise :class:`Interrupt` inside it.
+
+        The process must be alive and not currently executing.  The
+        interrupt is delivered as an urgent event, pre-empting whatever
+        the process was waiting on.
+        """
+        if not self.is_alive:
+            raise RuntimeError(f"{self!r} has already finished")
+        if self.env.active_process is self:
+            raise RuntimeError("a process cannot interrupt itself")
+        event = Event(self.env)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event._defused = True
+        event._triggered = True
+        event.add_callback(self._resume)
+        self.env._schedule(event, priority=0)
+
+    # -- kernel internals -------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with ``event``'s outcome."""
+        if self._triggered:
+            # The process already finished (e.g. interrupted after its
+            # target triggered but before delivery).  Nothing to do.
+            return
+        if self._target is not None and event is not self._target:
+            # An interrupt arrived while waiting on another event: detach
+            # from that event so its later processing does not resume us.
+            if self._target.callbacks is not None:
+                try:
+                    self._target.callbacks.remove(self._resume)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
+        self._target = None
+        self.env._active_process = self
+        try:
+            if event._ok:
+                result = self._generator.send(event._value)
+            else:
+                event.defuse()
+                result = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self.env._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.env._active_process = None
+            self.fail(exc)
+            return
+        self.env._active_process = None
+
+        if not isinstance(result, Event):
+            self._generator.close()
+            self.fail(TypeError(f"process yielded a non-event: {result!r}"))
+            return
+        if result.env is not self.env:
+            self._generator.close()
+            self.fail(ValueError("yielded event belongs to a different environment"))
+            return
+        self._target = result
+        result.add_callback(self._resume)

@@ -1,0 +1,242 @@
+"""Capacity-limited resources and stores.
+
+The paper models every physical channel as a server with a single FIFO
+queue ("Each channel has a single queue where messages are held while
+awaiting transmission").  :class:`Resource` reproduces that behaviour:
+``request()`` returns an event that triggers when a slot is granted, in
+strict FIFO order.  :class:`PriorityResource` additionally orders waiters
+by a priority key, and :class:`Store` is a FIFO buffer of items (used
+for node inboxes).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from itertools import count
+from typing import TYPE_CHECKING, Any, Deque, List, Optional
+
+from repro.sim.event import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Environment
+
+__all__ = ["Resource", "Request", "PriorityResource", "Store"]
+
+
+class Request(Event):
+    """A pending or granted claim on a :class:`Resource`.
+
+    Usable as a context manager::
+
+        with channel.request() as req:
+            yield req
+            yield env.timeout(service_time)
+    """
+
+    __slots__ = ("resource", "priority", "_order")
+
+    def __init__(self, resource: "Resource", priority: float = 0.0):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+        self._order = next(resource._ticket)
+
+    def cancel(self) -> None:
+        """Withdraw the request (release if granted, dequeue if waiting)."""
+        self.resource.release(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.cancel()
+
+
+class Resource:
+    """A server pool with ``capacity`` slots and a FIFO wait queue.
+
+    Parameters
+    ----------
+    env:
+        Owning environment.
+    capacity:
+        Number of simultaneous holders (physical channels use 1).
+    name:
+        Optional label for diagnostics.
+    """
+
+    def __init__(self, env: "Environment", capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self.users: List[Request] = []
+        self.queue: Deque[Request] = deque()
+        self._ticket = count()
+        # Cumulative statistics for utilisation reporting.
+        self._busy_time = 0.0
+        self._last_change = env.now
+        self._grants = 0
+
+    # -- introspection ------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Number of current holders."""
+        return len(self.users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of waiting requests."""
+        return len(self.queue)
+
+    @property
+    def grants(self) -> int:
+        """Total number of requests ever granted."""
+        return self._grants
+
+    def utilisation(self, now: Optional[float] = None) -> float:
+        """Fraction of time at least one slot was busy, up to ``now``."""
+        now = self.env.now if now is None else now
+        busy = self._busy_time
+        if self.users:
+            busy += now - self._last_change
+        return busy / now if now > 0 else 0.0
+
+    def _mark(self) -> None:
+        now = self.env.now
+        if self.users:
+            self._busy_time += now - self._last_change
+        self._last_change = now
+
+    # -- operations ---------------------------------------------------------
+    def request(self, priority: float = 0.0) -> Request:
+        """Ask for a slot; the returned event triggers when granted."""
+        req = Request(self, priority)
+        if len(self.users) < self.capacity and not self.queue:
+            self._grant(req)
+        else:
+            self._enqueue(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return a granted slot (or withdraw a waiting request)."""
+        if request in self.users:
+            self._mark()
+            self.users.remove(request)
+            self._dispatch()
+        else:
+            try:
+                self.queue.remove(request)
+            except ValueError:
+                pass  # Already released / never queued: release is idempotent.
+
+    # -- internals ------------------------------------------------------------
+    def _enqueue(self, req: Request) -> None:
+        self.queue.append(req)
+
+    def _next_waiter(self) -> Optional[Request]:
+        return self.queue.popleft() if self.queue else None
+
+    def _grant(self, req: Request) -> None:
+        self._mark()
+        self.users.append(req)
+        self._grants += 1
+        req.succeed(self)
+
+    def _dispatch(self) -> None:
+        while len(self.users) < self.capacity:
+            nxt = self._next_waiter()
+            if nxt is None:
+                break
+            self._grant(nxt)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<{type(self).__name__}{label} {self.count}/{self.capacity} busy,"
+            f" {self.queue_length} queued>"
+        )
+
+
+class PriorityResource(Resource):
+    """A :class:`Resource` whose waiters are served by priority.
+
+    Lower ``priority`` values are served first; ties break FIFO.
+    """
+
+    def __init__(self, env: "Environment", capacity: int = 1, name: str = ""):
+        super().__init__(env, capacity, name)
+        self._pqueue: List[tuple] = []
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._pqueue)
+
+    def _enqueue(self, req: Request) -> None:
+        heapq.heappush(self._pqueue, (req.priority, req._order, req))
+
+    def _next_waiter(self) -> Optional[Request]:
+        if not self._pqueue:
+            return None
+        return heapq.heappop(self._pqueue)[2]
+
+    def release(self, request: Request) -> None:
+        if request in self.users:
+            super().release(request)
+        else:
+            self._pqueue = [e for e in self._pqueue if e[2] is not request]
+            heapq.heapify(self._pqueue)
+
+
+class Store:
+    """An unbounded (or bounded) FIFO buffer of items.
+
+    ``put`` never blocks unless a ``capacity`` is given; ``get`` returns
+    an event that triggers with the oldest item once one is available.
+    """
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        """Insert ``item``; the returned event triggers once stored."""
+        event = Event(self.env)
+        if len(self.items) < self.capacity:
+            self.items.append(item)
+            event.succeed(item)
+            self._serve_getters()
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def get(self) -> Event:
+        """Remove and return (via the event's value) the oldest item."""
+        event = Event(self.env)
+        if self.items:
+            event.succeed(self.items.popleft())
+            self._serve_putters()
+        else:
+            self._getters.append(event)
+        return event
+
+    def _serve_getters(self) -> None:
+        while self._getters and self.items:
+            self._getters.popleft().succeed(self.items.popleft())
+
+    def _serve_putters(self) -> None:
+        while self._putters and len(self.items) < self.capacity:
+            event, item = self._putters.popleft()
+            self.items.append(item)
+            event.succeed(item)
+            self._serve_getters()

@@ -1,0 +1,35 @@
+"""Traffic generation.
+
+Reproduces the paper's §3.3 workload: every node generates messages
+with exponentially distributed inter-arrival times; 90 % are unicasts
+to uniformly random destinations, 10 % are broadcast operations.  Also
+provides the classic synthetic destination patterns (hotspot,
+transpose, bit-complement) for the extension studies.
+"""
+
+from repro.traffic.arrivals import ExponentialArrivals, rate_per_us
+from repro.traffic.patterns import (
+    BitComplementPattern,
+    DestinationPattern,
+    HotspotPattern,
+    TransposePattern,
+    UniformPattern,
+)
+from repro.traffic.workload import (
+    MixedTrafficConfig,
+    MixedTrafficSimulation,
+    TrafficStats,
+)
+
+__all__ = [
+    "BitComplementPattern",
+    "DestinationPattern",
+    "ExponentialArrivals",
+    "HotspotPattern",
+    "MixedTrafficConfig",
+    "MixedTrafficSimulation",
+    "TrafficStats",
+    "TransposePattern",
+    "UniformPattern",
+    "rate_per_us",
+]

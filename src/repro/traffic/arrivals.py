@@ -1,0 +1,55 @@
+"""Arrival processes.
+
+The paper: "Nodes generate messages at time intervals chosen from an
+exponential distribution", with traffic load expressed in messages/ms.
+Internally the simulator clock runs in µs (the unit of ``Ts`` and
+``β``), so loads convert via :func:`rate_per_us`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["ExponentialArrivals", "rate_per_us"]
+
+#: Simulator clock units (µs) per load unit (ms).
+US_PER_MS = 1000.0
+
+
+def rate_per_us(load_messages_per_ms: float) -> float:
+    """Convert the paper's load axis (messages/ms) to messages/µs."""
+    if load_messages_per_ms < 0:
+        raise ValueError(f"load must be >= 0, got {load_messages_per_ms}")
+    return load_messages_per_ms / US_PER_MS
+
+
+class ExponentialArrivals:
+    """A Poisson arrival process: exponential inter-arrival gaps.
+
+    Parameters
+    ----------
+    rng:
+        Numpy generator supplying the randomness.
+    rate:
+        Mean arrivals per time unit (must be positive).
+    """
+
+    def __init__(self, rng: np.random.Generator, rate: float):
+        if rate <= 0:
+            raise ValueError(f"arrival rate must be positive, got {rate}")
+        self.rng = rng
+        self.rate = rate
+
+    def next_gap(self) -> float:
+        """One inter-arrival time draw."""
+        return float(self.rng.exponential(1.0 / self.rate))
+
+    def gaps(self) -> Iterator[float]:
+        """Endless stream of inter-arrival times."""
+        while True:
+            yield self.next_gap()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ExponentialArrivals rate={self.rate}>"

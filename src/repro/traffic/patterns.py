@@ -1,0 +1,120 @@
+"""Destination-selection patterns for unicast traffic.
+
+The paper's experiments use uniformly random destinations
+(:class:`UniformPattern`); the other classic synthetic patterns are
+included for the extension/ablation studies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.network.coordinates import Coordinate
+from repro.network.topology import Topology
+
+__all__ = [
+    "DestinationPattern",
+    "UniformPattern",
+    "HotspotPattern",
+    "TransposePattern",
+    "BitComplementPattern",
+]
+
+
+class DestinationPattern:
+    """Maps a source node to a destination for each generated unicast."""
+
+    name = "abstract"
+
+    def __init__(self, topology: Topology):
+        self.topology = topology
+
+    def pick(self, source: Coordinate, rng: np.random.Generator) -> Coordinate:
+        """Choose a destination != source."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} on {self.topology!r}>"
+
+
+class UniformPattern(DestinationPattern):
+    """Uniformly random destination over all other nodes (the paper's)."""
+
+    name = "uniform"
+
+    def pick(self, source: Coordinate, rng: np.random.Generator) -> Coordinate:
+        n = self.topology.num_nodes
+        src_index = self.topology.index(source)
+        # Draw from n-1 slots, skipping the source's own index.
+        draw = int(rng.integers(0, n - 1))
+        if draw >= src_index:
+            draw += 1
+        return self.topology.coordinate(draw)
+
+
+class HotspotPattern(DestinationPattern):
+    """With probability ``hotspot_fraction`` target one hot node,
+    otherwise fall back to uniform — the classic hotspot stressor.
+    """
+
+    name = "hotspot"
+
+    def __init__(
+        self,
+        topology: Topology,
+        hotspot: Optional[Coordinate] = None,
+        hotspot_fraction: float = 0.1,
+    ):
+        super().__init__(topology)
+        if not 0.0 <= hotspot_fraction <= 1.0:
+            raise ValueError("hotspot_fraction must be within [0, 1]")
+        centre = tuple(d // 2 for d in topology.dims)
+        self.hotspot = tuple(hotspot) if hotspot is not None else centre
+        if not topology.contains(self.hotspot):
+            raise ValueError(f"hotspot {self.hotspot} outside {topology!r}")
+        self.hotspot_fraction = hotspot_fraction
+        self._uniform = UniformPattern(topology)
+
+    def pick(self, source: Coordinate, rng: np.random.Generator) -> Coordinate:
+        if source != self.hotspot and rng.random() < self.hotspot_fraction:
+            return self.hotspot
+        return self._uniform.pick(source, rng)
+
+
+class TransposePattern(DestinationPattern):
+    """Matrix-transpose permutation: ``(x, y, …) → (y, x, …)``.
+
+    Nodes on the diagonal (fixed points) fall back to uniform.
+    """
+
+    name = "transpose"
+
+    def __init__(self, topology: Topology):
+        super().__init__(topology)
+        if len(topology.dims) < 2 or topology.dims[0] != topology.dims[1]:
+            raise ValueError("transpose needs equal first two dimensions")
+        self._uniform = UniformPattern(topology)
+
+    def pick(self, source: Coordinate, rng: np.random.Generator) -> Coordinate:
+        dest = (source[1], source[0]) + tuple(source[2:])
+        if dest == source:
+            return self._uniform.pick(source, rng)
+        return dest
+
+
+class BitComplementPattern(DestinationPattern):
+    """Complement permutation: ``x_i → (k_i - 1) - x_i`` per dimension."""
+
+    name = "bit-complement"
+
+    def __init__(self, topology: Topology):
+        super().__init__(topology)
+        self._uniform = UniformPattern(topology)
+
+    def pick(self, source: Coordinate, rng: np.random.Generator) -> Coordinate:
+        dest = tuple(d - 1 - c for c, d in zip(source, self.topology.dims))
+        if dest == source:
+            return self._uniform.pick(source, rng)
+        return dest

@@ -1,0 +1,168 @@
+"""White-box tests of the algorithm constructions.
+
+These pin the *internal* structure DESIGN.md documents: EDN's three
+phases, DB's corner/pillar/row/column anatomy, and AB's control-field
+usage — so a refactor that keeps coverage but breaks the construction
+is caught.
+"""
+
+import pytest
+
+from repro.core import (
+    AdaptiveBroadcast,
+    DeterministicBroadcast,
+    ExtendedDominatingNodes,
+    RecursiveDoubling,
+)
+from repro.network import ControlField, Mesh
+
+
+# ----------------------------------------------------------------- EDN
+def test_edn_phase_steps_partition_total():
+    algo = ExtendedDominatingNodes(Mesh((16, 16, 8)))
+    a, b, c = algo.phase_steps()
+    assert (a, b, c) == (2, 3, 2)
+    assert algo.step_count() == a + b + c
+
+
+def test_edn_phase_a_stays_in_source_plane():
+    mesh = Mesh((16, 16, 4))
+    algo = ExtendedDominatingNodes(mesh)
+    a_steps, _, _ = algo.phase_steps()
+    schedule = algo.schedule((5, 9, 2))
+    for step in schedule.steps[:a_steps]:
+        for send in step.sends:
+            assert send.source[2] == 2
+            for node in send.deliveries:
+                assert node[2] == 2, "phase A must not leave the source plane"
+
+
+def test_edn_phase_b_moves_only_along_z():
+    mesh = Mesh((8, 8, 8))
+    algo = ExtendedDominatingNodes(mesh)
+    a_steps, b_steps, _ = algo.phase_steps()
+    schedule = algo.schedule((1, 1, 1))
+    for step in schedule.steps[a_steps : a_steps + b_steps]:
+        for send in step.sends:
+            (dest,) = send.deliveries
+            assert (send.source[0], send.source[1]) == (dest[0], dest[1])
+            assert send.source[2] != dest[2]
+
+
+def test_edn_phase_c_stays_inside_blocks():
+    mesh = Mesh((8, 8, 4))
+    algo = ExtendedDominatingNodes(mesh)
+    a_steps, b_steps, _ = algo.phase_steps()
+    schedule = algo.schedule((0, 0, 0))
+    for step in schedule.steps[a_steps + b_steps :]:
+        for send in step.sends:
+            (dest,) = send.deliveries
+            assert send.source[2] == dest[2]
+            assert send.source[0] // 4 == dest[0] // 4
+            assert send.source[1] // 4 == dest[1] // 4
+
+
+# ------------------------------------------------------------------ DB
+def test_db_step2_uses_replicating_control_field():
+    schedule = DeterministicBroadcast(Mesh((4, 4, 4))).schedule((1, 1, 1))
+    pillar_step = schedule.steps[1]
+    for send in pillar_step.sends:
+        assert send.control is ControlField.RECEIVE_AND_REPLICATE
+        # Pillars run along z from the two mesh corners.
+        assert (send.source[0], send.source[1]) in {(0, 0), (3, 3)}
+
+
+def test_db_step3_covers_boundary_rows_only():
+    mesh = Mesh((6, 6, 3))
+    schedule = DeterministicBroadcast(mesh).schedule((2, 2, 1))
+    row_step = schedule.steps[2]
+    for send in row_step.sends:
+        for node in send.deliveries:
+            assert node[1] in (0, 5), "step 3 deliveries must sit on y-boundary rows"
+
+
+def test_db_step4_fills_interior_columns():
+    mesh = Mesh((6, 6, 3))
+    schedule = DeterministicBroadcast(mesh).schedule((2, 2, 1))
+    column_step = schedule.steps[3]
+    for send in column_step.sends:
+        assert send.source[1] in (0, 5)
+        for node in send.deliveries:
+            assert 1 <= node[1] <= 4
+
+
+def test_db_interior_split_is_balanced():
+    mesh = Mesh((4, 8, 2))
+    schedule = DeterministicBroadcast(mesh).schedule((0, 0, 0))
+    south = north = 0
+    for send in schedule.steps[3].sends:
+        if send.source[1] == 0:
+            south += len(send.deliveries)
+        else:
+            north += len(send.deliveries)
+    assert abs(south - north) <= mesh.dims[0] * mesh.dims[2]
+
+
+# ------------------------------------------------------------------ AB
+def test_ab_control_fields_follow_the_paper():
+    """Step 1 worms carry 10, step 2 pillars carry 11 (paper §2)."""
+    schedule = AdaptiveBroadcast(Mesh((8, 8, 4))).schedule((2, 2, 1))
+    for send in schedule.steps[0].sends:
+        assert send.control is ControlField.PASS_AND_RECEIVE  # 10
+    for send in schedule.steps[1].sends:
+        assert send.control is ControlField.RECEIVE_AND_REPLICATE  # 11
+
+
+def test_ab_pillars_start_from_the_step1_corners():
+    mesh = Mesh((8, 8, 4))
+    schedule = AdaptiveBroadcast(mesh).schedule((1, 6, 2))
+    step1_targets = {
+        d for send in schedule.steps[0].sends for d in send.deliveries
+    }
+    pillar_sources = {send.source for send in schedule.steps[1].sends}
+    assert pillar_sources <= step1_targets | {(1, 6, 2)}
+
+
+def test_ab_step3_halves_split_by_rows():
+    mesh = Mesh((6, 6, 2))
+    schedule = AdaptiveBroadcast(mesh).schedule((1, 1, 0))
+    half = mesh.dims[1] // 2
+    for send in schedule.steps[2].sends:
+        rows = {n[1] for n in send.deliveries}
+        assert rows <= set(range(half)) or rows <= set(range(half, 6))
+
+
+def test_ab_snake_covers_exactly_its_half():
+    mesh = Mesh((4, 4, 1))
+    schedule = AdaptiveBroadcast(mesh).schedule((0, 0, 0))
+    step3 = schedule.steps[-1]
+    covered = {n for send in step3.sends for n in send.deliveries}
+    # Everything except the two corners and the source.
+    corners_and_source = {(0, 0, 0), (3, 3, 0)}
+    expected = {n for n in mesh.nodes()} - corners_and_source
+    assert covered == expected
+
+
+# ------------------------------------------------------------------ RD
+def test_rd_covers_dimensions_in_order():
+    mesh = Mesh((4, 4, 4))
+    schedule = RecursiveDoubling(mesh).schedule((0, 0, 0))
+    # Steps 1-2 move along x only, 3-4 along y, 5-6 along z.
+    for index, axis in [(0, 0), (1, 0), (2, 1), (3, 1), (4, 2), (5, 2)]:
+        for send in schedule.steps[index].sends:
+            (dest,) = send.deliveries
+            moved = [i for i in range(3) if dest[i] != send.source[i]]
+            assert moved == [axis], (index, send.source, dest)
+
+
+def test_rd_line_sends_shrink_within_dimension():
+    """First halving jumps half the line, later ones shrink to 1 hop."""
+    schedule = RecursiveDoubling(Mesh((8,))).schedule((0,))
+    jumps_per_step = []
+    for step in schedule.steps:
+        jumps = [
+            abs(next(iter(send.deliveries))[0] - send.source[0])
+            for send in step.sends
+        ]
+        jumps_per_step.append(max(jumps))
+    assert jumps_per_step == [4, 2, 1]

@@ -1,0 +1,296 @@
+"""Structural tests for the four broadcast algorithms.
+
+Every algorithm, on a grid of mesh sizes and sources, must produce a
+schedule that covers every node exactly once, respects causality and
+its port budget, uses only real channels, and matches its closed-form
+step count.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    AdaptiveBroadcast,
+    DeterministicBroadcast,
+    ExtendedDominatingNodes,
+    RecursiveDoubling,
+    get_algorithm,
+    algorithm_names,
+    validate_schedule,
+)
+from repro.network import Mesh
+from repro.routing.turn_model import WestFirst, WestFirstPlanar
+
+ALL = [RecursiveDoubling, ExtendedDominatingNodes, DeterministicBroadcast, AdaptiveBroadcast]
+
+PAPER_SIZES = [(4, 4, 4), (4, 4, 16), (8, 8, 8), (8, 8, 16), (16, 16, 8)]
+
+
+@pytest.mark.parametrize("cls", ALL)
+@pytest.mark.parametrize("dims", PAPER_SIZES)
+def test_schedule_valid_on_paper_sizes(cls, dims):
+    mesh = Mesh(dims)
+    algo = cls(mesh)
+    for source in [(0, 0, 0), tuple(d - 1 for d in dims), tuple(d // 2 for d in dims)]:
+        schedule = algo.schedule(source)
+        validate_schedule(schedule, mesh, algo.ports_required)
+
+
+@pytest.mark.parametrize("cls", ALL)
+def test_schedule_valid_on_non_power_of_two(cls):
+    mesh = Mesh((10, 10, 10))  # the 1000-node Fig. 1 point
+    algo = cls(mesh)
+    schedule = algo.schedule((5, 5, 5))
+    validate_schedule(schedule, mesh, algo.ports_required)
+
+
+@pytest.mark.parametrize("cls", ALL)
+def test_schedule_valid_on_2d(cls):
+    mesh = Mesh((8, 8))
+    algo = cls(mesh)
+    schedule = algo.schedule((3, 4))
+    validate_schedule(schedule, mesh, algo.ports_required)
+
+
+@pytest.mark.parametrize("cls", ALL)
+def test_source_outside_topology_rejected(cls):
+    algo = cls(Mesh((4, 4, 4)))
+    with pytest.raises(ValueError):
+        algo.schedule((9, 9, 9))
+
+
+# ------------------------------------------------------------- step counts
+def test_rd_step_count_is_log2_n():
+    assert RecursiveDoubling(Mesh((8, 8, 8))).step_count() == 9  # log2(512)
+    assert RecursiveDoubling(Mesh((16, 16, 16))).step_count() == 12
+    assert RecursiveDoubling(Mesh((4, 4))).step_count() == 4
+
+
+def test_rd_step_count_non_power_of_two():
+    assert RecursiveDoubling(Mesh((10, 10, 10))).step_count() == 12  # 3*ceil(log2 10)
+
+
+def test_edn_step_count_matches_paper_formula():
+    """k + m + 4 on (4*2^k) x (4*2^k) x (4*2^m) networks."""
+    for k, m in [(0, 0), (0, 2), (1, 1), (1, 2), (2, 1), (2, 2)]:
+        dims = (4 * 2**k, 4 * 2**k, 4 * 2**m)
+        algo = ExtendedDominatingNodes(Mesh(dims))
+        assert algo.step_count() == k + m + 4, dims
+        assert algo.conforming_parameters(dims) == (k, m)
+
+
+def test_edn_conforming_parameters_rejections():
+    f = ExtendedDominatingNodes.conforming_parameters
+    assert f((8, 4, 8)) is None      # not square in xy
+    assert f((10, 10, 10)) is None   # not multiple-of-4 powers
+    assert f((8, 8)) is None         # wrong arity
+    assert f((12, 12, 8)) is None    # 12 = 4*3, 3 not a power of two
+
+
+def test_db_step_count_is_four_in_3d():
+    for dims in PAPER_SIZES:
+        assert DeterministicBroadcast(Mesh(dims)).step_count() == 4
+
+
+def test_db_step_count_degenerate():
+    assert DeterministicBroadcast(Mesh((8, 8))).step_count() == 3
+    assert DeterministicBroadcast(Mesh((8, 2, 4))).step_count() == 3
+
+
+def test_ab_step_count_is_three_in_3d():
+    for dims in PAPER_SIZES:
+        assert AdaptiveBroadcast(Mesh(dims)).step_count() == 3
+
+
+def test_ab_step_count_2d():
+    assert AdaptiveBroadcast(Mesh((8, 8))).step_count() == 2
+
+
+@pytest.mark.parametrize("cls", ALL)
+@pytest.mark.parametrize("dims", PAPER_SIZES)
+def test_built_steps_match_closed_form(cls, dims):
+    algo = cls(Mesh(dims))
+    assert algo.schedule((1, 1, 1)).num_steps == algo.step_count()
+
+
+# --------------------------------------------------------------- RD details
+def test_rd_all_sends_are_unicast():
+    schedule = RecursiveDoubling(Mesh((8, 8))).schedule((0, 0))
+    for _, send in schedule.all_sends():
+        assert send.fanout == 1
+
+
+def test_rd_one_send_per_node_per_step():
+    schedule = RecursiveDoubling(Mesh((8, 8, 8))).schedule((0, 0, 0))
+    assert schedule.max_concurrent_sends() == 1
+
+
+def test_rd_doubles_coverage_on_power_of_two_line():
+    schedule = RecursiveDoubling(Mesh((8,))).schedule((0,))
+    covered = 1
+    for step in schedule.steps:
+        covered += len(step.deliveries())
+        assert covered <= 2 ** step.index
+    assert covered == 8
+
+
+# -------------------------------------------------------------- EDN details
+def test_edn_requires_mesh_2d_or_3d():
+    with pytest.raises(ValueError):
+        ExtendedDominatingNodes(Mesh((4, 4, 4, 4)))
+
+
+def test_edn_max_three_sends_per_step():
+    schedule = ExtendedDominatingNodes(Mesh((16, 16, 8))).schedule((3, 3, 3))
+    assert schedule.max_concurrent_sends() <= 3
+
+
+def test_edn_all_sends_are_unicast():
+    schedule = ExtendedDominatingNodes(Mesh((8, 8, 8))).schedule((0, 0, 0))
+    for _, send in schedule.all_sends():
+        assert send.fanout == 1
+
+
+# --------------------------------------------------------------- DB details
+def test_db_rejects_thin_meshes():
+    with pytest.raises(ValueError):
+        DeterministicBroadcast(Mesh((1, 8, 8)))
+
+
+def test_db_step1_targets_opposite_corners():
+    mesh = Mesh((8, 8, 8))
+    schedule = DeterministicBroadcast(mesh).schedule((3, 3, 3))
+    step1 = schedule.steps[0]
+    targets = {d for send in step1.sends for d in send.deliveries}
+    assert targets == {(0, 0, 0), (7, 7, 7)}
+
+
+def test_db_source_at_corner_sends_once_in_step1():
+    schedule = DeterministicBroadcast(Mesh((4, 4, 4))).schedule((0, 0, 0))
+    assert len(schedule.steps[0].sends) == 1
+
+
+def test_db_most_nodes_arrive_in_last_step():
+    """The partition balance behind DB's low CV (paper §3.2)."""
+    schedule = DeterministicBroadcast(Mesh((8, 8, 8))).schedule((0, 0, 0))
+    receive = schedule.receive_step()
+    last = schedule.num_steps
+    frac_last = sum(1 for s in receive.values() if s == last) / len(receive)
+    assert frac_last > 0.5
+
+
+def test_db_uses_dor_paths():
+    schedule = DeterministicBroadcast(Mesh((6, 6, 6))).schedule((2, 3, 4))
+    mesh = Mesh((6, 6, 6))
+    for _, send in schedule.all_sends():
+        assert send.path is not None
+        assert send.path.is_minimal(mesh)
+
+
+# --------------------------------------------------------------- AB details
+def test_ab_step1_targets_nearest_and_opposite_plane_corners():
+    mesh = Mesh((8, 8, 8))
+    schedule = AdaptiveBroadcast(mesh).schedule((1, 6, 4))
+    step1 = schedule.steps[0]
+    targets = {d for send in step1.sends for d in send.deliveries}
+    assert targets == {(0, 7, 4), (7, 0, 4)}
+
+
+def test_ab_adaptive_sends_only_in_early_steps():
+    schedule = AdaptiveBroadcast(Mesh((8, 8, 8))).schedule((3, 3, 3))
+    step3 = schedule.steps[-1]
+    assert all(send.path is not None for send in step3.sends)
+    assert all(send.is_adaptive for send in schedule.steps[0].sends)
+
+
+def test_ab_third_step_paths_are_long():
+    """AB 'uses longer paths in its third step' (paper §3.2)."""
+    mesh = Mesh((8, 8, 8))
+    ab_sched = AdaptiveBroadcast(mesh).schedule((0, 0, 0))
+    db_sched = DeterministicBroadcast(mesh).schedule((0, 0, 0))
+    ab_longest = max(s.path.hop_count for _, s in ab_sched.all_sends() if s.path)
+    db_longest = max(s.path.hop_count for _, s in db_sched.all_sends())
+    assert ab_longest > db_longest
+
+
+WEST = (0, -1)
+
+
+def _directions(nodes):
+    out = []
+    for a, b in zip(nodes, nodes[1:]):
+        for axis, (x, y) in enumerate(zip(a, b)):
+            if x != y:
+                out.append((axis, 1 if y > x else -1))
+    return out
+
+
+@pytest.mark.parametrize("dims", [(8, 8, 4), (5, 7, 3), (8, 8)])
+def test_ab_fixed_paths_are_west_first_legal(dims):
+    """Step-3 worms never turn into the west direction mid-path."""
+    mesh = Mesh(dims)
+    source = tuple(d // 2 for d in dims)
+    schedule = AdaptiveBroadcast(mesh).schedule(source)
+    for _, send in schedule.all_sends():
+        if send.path is None:
+            continue
+        dirs = _directions(send.path.nodes)
+        for before, after in zip(dirs, dirs[1:]):
+            if after == WEST:
+                assert before == WEST, f"turn into west on {send.path}"
+
+
+def test_ab_max_destinations_split():
+    mesh = Mesh((8, 8, 4))
+    ab = AdaptiveBroadcast(mesh, max_destinations_per_path=8)
+    schedule = ab.schedule((0, 0, 0))
+    validate_schedule(schedule, mesh, ports=2, strict_ports=False)
+    step3 = schedule.steps[-1]
+    assert all(send.fanout <= 8 for send in step3.sends)
+    # More worms than the unlimited variant.
+    unlimited = AdaptiveBroadcast(mesh).schedule((0, 0, 0))
+    assert schedule.total_sends() > unlimited.total_sends()
+
+
+def test_ab_invalid_max_destinations():
+    with pytest.raises(ValueError):
+        AdaptiveBroadcast(Mesh((8, 8)), max_destinations_per_path=0)
+
+
+def test_ab_make_routing_dimensionality():
+    assert isinstance(AdaptiveBroadcast.make_routing(Mesh((4, 4, 4))), WestFirstPlanar)
+    assert isinstance(AdaptiveBroadcast.make_routing(Mesh((4, 4))), WestFirst)
+
+
+# ---------------------------------------------------------------- registry
+def test_registry_round_trip():
+    assert algorithm_names() == ["RD", "EDN", "DB", "AB"]
+    assert get_algorithm("db") is DeterministicBroadcast
+    assert get_algorithm("AB") is AdaptiveBroadcast
+    with pytest.raises(KeyError):
+        get_algorithm("nope")
+
+
+# ----------------------------------------------------- property-based sweep
+@given(
+    dims=st.tuples(st.integers(2, 6), st.integers(2, 6), st.integers(1, 6)),
+    name=st.sampled_from(["RD", "EDN", "DB", "AB"]),
+    data=st.data(),
+)
+@settings(max_examples=60, deadline=None)
+def test_any_algorithm_any_mesh_any_source(dims, name, data):
+    mesh = Mesh(dims)
+    source = data.draw(
+        st.tuples(*[st.integers(0, d - 1) for d in dims]), label="source"
+    )
+    algo = get_algorithm(name)(mesh)
+    schedule = algo.schedule(source)
+    validate_schedule(schedule, mesh, algo.ports_required)
+    assert schedule.num_steps == algo.step_count()
+    # The step count never exceeds RD's log2 bound by more than EDN's
+    # constant: a loose global sanity bound.
+    assert schedule.num_steps <= sum(
+        math.ceil(math.log2(d)) for d in dims if d > 1
+    ) + 4

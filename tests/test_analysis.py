@@ -1,0 +1,157 @@
+"""Tests for the closed-form analysis (`repro.analysis`).
+
+The step-count functions are independent re-derivations of what the
+schedule builders construct; these tests pin them to each other and to
+the paper's quoted formulas.
+"""
+
+import pytest
+
+from repro.analysis import (
+    LatencyModel,
+    ab_steps,
+    broadcast_latency_lower_bound,
+    compare_algorithms,
+    db_steps,
+    edn_steps,
+    message_latency,
+    rd_steps,
+    step_count,
+)
+from repro.core import get_algorithm
+from repro.network import Mesh, NetworkConfig
+
+
+# ------------------------------------------------------------- step counts
+def test_rd_steps_formula():
+    assert rd_steps((8, 8, 8)) == 9
+    assert rd_steps((16, 16, 16)) == 12
+    assert rd_steps((10, 10, 10)) == 12
+    assert rd_steps((1, 1, 8)) == 3
+
+
+def test_edn_steps_paper_formula():
+    for k, m in [(0, 0), (1, 1), (2, 1), (1, 2)]:
+        dims = (4 * 2**k, 4 * 2**k, 4 * 2**m)
+        assert edn_steps(dims) == k + m + 4
+
+
+def test_db_ab_steps():
+    assert db_steps((8, 8, 8)) == 4
+    assert ab_steps((8, 8, 8)) == 3
+    assert db_steps((8, 8)) == 3
+    assert ab_steps((8, 8)) == 2
+
+
+def test_step_models_require_2d_or_3d():
+    with pytest.raises(ValueError):
+        edn_steps((4, 4, 4, 4))
+    with pytest.raises(ValueError):
+        db_steps((4,))
+    with pytest.raises(ValueError):
+        ab_steps((4, 4, 4, 4))
+
+
+def test_step_count_dispatch():
+    assert step_count("rd", (8, 8, 8)) == 9
+    assert step_count("AB", (8, 8, 8)) == 3
+    with pytest.raises(KeyError):
+        step_count("nope", (8, 8, 8))
+
+
+@pytest.mark.parametrize("name", ["RD", "EDN", "DB", "AB"])
+@pytest.mark.parametrize("dims", [(4, 4, 4), (8, 8, 8), (10, 10, 10), (6, 6, 3)])
+def test_analysis_matches_builders(name, dims):
+    """The independent formulas agree with the schedule constructors."""
+    algo = get_algorithm(name)(Mesh(dims))
+    assert step_count(name, dims) == algo.step_count()
+
+
+# ------------------------------------------------------------ latency model
+def test_message_latency_formula():
+    config = NetworkConfig(startup_latency=1.5, flit_time=0.003)
+    assert message_latency(config, hops=9, length_flits=100) == pytest.approx(
+        1.5 + 9 * 0.003 + 99 * 0.003
+    )
+
+
+def test_message_latency_validation():
+    config = NetworkConfig()
+    with pytest.raises(ValueError):
+        message_latency(config, hops=0, length_flits=10)
+    with pytest.raises(ValueError):
+        message_latency(config, hops=1, length_flits=0)
+
+
+def test_distance_bound_never_beaten_by_simulation():
+    from repro import broadcast
+    from repro.analysis import distance_lower_bound
+
+    mesh = Mesh((4, 4, 4))
+    for name in ("RD", "EDN", "DB", "AB"):
+        algo = get_algorithm(name)(mesh)
+        config = NetworkConfig(ports_per_node=algo.ports_required)
+        floor = distance_lower_bound(mesh, (1, 2, 3), config, 64)
+        outcome = broadcast(name, mesh, (1, 2, 3), 64)
+        assert outcome.network_latency >= floor - 1e-9, name
+
+
+def test_steps_floor_bounds_barrier_execution():
+    from repro.core import BarrierStepExecutor
+
+    mesh = Mesh((4, 4, 4))
+    for name in ("RD", "EDN", "DB", "AB"):
+        algo = get_algorithm(name)(mesh)
+        config = NetworkConfig(ports_per_node=algo.ports_required)
+        floor = broadcast_latency_lower_bound(name, (4, 4, 4), config, 64)
+        outcome = BarrierStepExecutor(mesh, config).execute(
+            algo.schedule((1, 2, 3)), 64
+        )
+        assert outcome.network_latency >= floor - 1e-9, name
+
+
+def test_startup_share_dominates_at_paper_constants():
+    """The paper's premise: Ts dwarfs the transmission terms."""
+    model = LatencyModel(NetworkConfig(startup_latency=1.5), length_flits=100)
+    assert model.startup_share(hops=9) > 0.8
+    cheap = LatencyModel(NetworkConfig(startup_latency=0.15), length_flits=100)
+    assert cheap.startup_share(hops=9) < 0.4
+
+
+def test_latency_model_wrapper():
+    model = LatencyModel(NetworkConfig(), length_flits=32)
+    assert model.message(5) > 0
+    assert model.broadcast_floor("AB", (8, 8, 8)) == pytest.approx(
+        3 * model.message(1)
+    )
+
+
+def test_distance_lower_bound_is_farthest_node_latency():
+    from repro.analysis import distance_lower_bound
+
+    mesh = Mesh((4, 4))
+    config = NetworkConfig()
+    floor = distance_lower_bound(mesh, (0, 0), config, 10)
+    assert floor == pytest.approx(message_latency(config, hops=6, length_flits=10))
+    centre = distance_lower_bound(mesh, (2, 2), config, 10)
+    assert centre < floor  # centre sources are closer to everything
+
+
+# ------------------------------------------------------------- comparison
+def test_compare_algorithms_profile():
+    rows = compare_algorithms((4, 4, 4), length_flits=64)
+    by_name = {r.algorithm: r for r in rows}
+    assert set(by_name) == {"RD", "EDN", "DB", "AB"}
+    assert by_name["RD"].steps == 6
+    assert by_name["AB"].steps == 3
+    assert by_name["AB"].analytic_latency < by_name["RD"].analytic_latency
+    for row in rows:
+        assert row.analytic_latency >= row.latency_floor - 1e-9
+        assert row.total_sends > 0
+        d = row.as_dict()
+        assert d["algorithm"] == row.algorithm
+
+
+def test_compare_algorithms_custom_source():
+    rows = compare_algorithms((4, 4, 4), source=(0, 0, 0))
+    assert all(r.steps > 0 for r in rows)

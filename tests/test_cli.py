@@ -1,0 +1,66 @@
+"""Tests for the command-line interface (`repro.cli`)."""
+
+import pytest
+
+from repro.cli import _parse_coord, _parse_dims, main
+
+
+def test_parse_dims():
+    assert _parse_dims("8x8x8") == (8, 8, 8)
+    assert _parse_dims("4X4") == (4, 4)
+    import argparse
+
+    with pytest.raises(argparse.ArgumentTypeError):
+        _parse_dims("8x8xa")
+
+
+def test_parse_coord():
+    assert _parse_coord("3,4,5") == (3, 4, 5)
+    import argparse
+
+    with pytest.raises(argparse.ArgumentTypeError):
+        _parse_coord("3;4")
+
+
+def test_cli_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig1" in out and "table2" in out
+
+
+def test_cli_broadcast(capsys):
+    assert main(["broadcast", "--algo", "AB", "--dims", "4x4x4"]) == 0
+    out = capsys.readouterr().out
+    assert "network latency" in out
+    assert "63 nodes" in out
+
+
+def test_cli_broadcast_custom_source(capsys):
+    assert main(
+        ["broadcast", "--algo", "DB", "--dims", "4x4", "--source", "1,2",
+         "--flits", "16"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "(1, 2)" in out
+
+
+def test_cli_compare(capsys):
+    assert main(["compare", "--dims", "4x4x4", "--flits", "32"]) == 0
+    out = capsys.readouterr().out
+    assert "RD" in out and "AB" in out and "steps" in out
+
+
+def test_cli_experiment_table2(capsys):
+    assert main(["table2", "--scale", "smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "ABIMR%" in out
+
+
+def test_cli_requires_command():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_cli_rejects_unknown_algo():
+    with pytest.raises(SystemExit):
+        main(["broadcast", "--algo", "XYZ"])

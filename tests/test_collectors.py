@@ -1,0 +1,123 @@
+"""Unit tests for metric collectors (`repro.metrics.collectors`)."""
+
+import pytest
+
+from repro.core import BroadcastOutcome
+from repro.metrics import (
+    BroadcastStatsCollector,
+    LatencyCollector,
+    ThroughputCollector,
+)
+
+
+# ------------------------------------------------------------ latencies
+def test_latency_collector_buckets():
+    lc = LatencyCollector()
+    lc.record(1.0, "unicast")
+    lc.record(3.0, "unicast")
+    lc.record(10.0, "broadcast")
+    assert lc.count("unicast") == 2
+    assert lc.count("broadcast") == 1
+    assert lc.count("missing") == 0
+    assert lc.summary("unicast").mean == pytest.approx(2.0)
+    assert lc.buckets() == ["broadcast", "unicast"]
+
+
+def test_latency_collector_rejects_negative():
+    with pytest.raises(ValueError):
+        LatencyCollector().record(-1.0)
+
+
+def test_latency_collector_missing_bucket():
+    with pytest.raises(KeyError):
+        LatencyCollector().summary("nope")
+
+
+def test_latency_collector_interval():
+    lc = LatencyCollector()
+    for v in [10.0, 11.0, 9.0, 10.5]:
+        lc.record(v)
+    ci = lc.interval()
+    assert ci.contains(10.0)
+    with pytest.raises(ValueError):
+        LatencyCollector().interval()
+
+
+def test_latency_collector_clear():
+    lc = LatencyCollector()
+    lc.record(1.0)
+    lc.clear()
+    assert lc.count() == 0
+
+
+# ------------------------------------------------------------ throughput
+def test_throughput_counts_per_time():
+    tc = ThroughputCollector()
+    for t in [10.0, 20.0, 30.0]:
+        tc.record(t)
+    assert tc.count == 3
+    assert tc.throughput() == pytest.approx(3 / 20.0)
+    assert tc.throughput(horizon=110.0) == pytest.approx(3 / 100.0)
+
+
+def test_throughput_empty_is_zero():
+    assert ThroughputCollector().throughput() == 0.0
+
+
+def test_throughput_single_observation():
+    tc = ThroughputCollector()
+    tc.record(5.0)
+    assert tc.throughput() == 0.0
+    assert tc.throughput(horizon=10.0) == pytest.approx(1 / 5.0)
+
+
+def test_throughput_clear():
+    tc = ThroughputCollector()
+    tc.record(1.0)
+    tc.clear()
+    assert tc.count == 0
+
+
+# ------------------------------------------------------------ broadcast stats
+def _outcome(algorithm, latencies, start=0.0):
+    arrivals = {(i, 0): start + lat for i, lat in enumerate(latencies, start=1)}
+    return BroadcastOutcome(
+        algorithm=algorithm,
+        source=(0, 0),
+        start_time=start,
+        arrivals=arrivals,
+        total_sends=len(latencies),
+    )
+
+
+def test_broadcast_stats_means():
+    bc = BroadcastStatsCollector()
+    bc.record(_outcome("DB", [1.0, 2.0, 3.0]))
+    bc.record(_outcome("DB", [2.0, 3.0, 4.0]))
+    bc.record(_outcome("RD", [5.0, 6.0, 7.0]))
+    assert bc.algorithms() == ["DB", "RD"]
+    assert bc.count("DB") == 2
+    assert bc.mean_network_latency("DB") == pytest.approx(3.5)  # max of each
+    assert bc.mean_node_latency("DB") == pytest.approx(2.5)
+    assert bc.mean_network_latency("RD") == pytest.approx(7.0)
+
+
+def test_broadcast_stats_cv_and_interval():
+    bc = BroadcastStatsCollector()
+    bc.record(_outcome("AB", [1.0, 1.0, 1.0]))  # cv 0
+    bc.record(_outcome("AB", [1.0, 2.0, 3.0]))
+    assert 0 < bc.mean_cv("AB") < 1
+    ci = bc.latency_interval("AB")
+    assert ci.count == 2
+
+
+def test_broadcast_stats_missing_algorithm():
+    with pytest.raises(KeyError):
+        BroadcastStatsCollector().mean_cv("XX")
+
+
+def test_broadcast_stats_clear():
+    bc = BroadcastStatsCollector()
+    bc.record(_outcome("DB", [1.0]))
+    bc.clear()
+    assert bc.algorithms() == []

@@ -1,0 +1,107 @@
+"""Unit + property tests for `repro.network.coordinates`."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.network.coordinates import (
+    add,
+    chebyshev_distance,
+    coordinate_iter,
+    from_index,
+    manhattan_distance,
+    to_index,
+    validate_coordinate,
+    validate_dims,
+)
+
+dims_strategy = st.lists(st.integers(1, 6), min_size=1, max_size=4).map(tuple)
+
+
+def coords_for(dims):
+    return st.tuples(*[st.integers(0, d - 1) for d in dims])
+
+
+# ----------------------------------------------------------------- validation
+def test_validate_dims_rejects_empty():
+    with pytest.raises(ValueError):
+        validate_dims(())
+
+
+def test_validate_dims_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        validate_dims((4, 0))
+
+
+def test_validate_coordinate_wrong_arity():
+    with pytest.raises(ValueError):
+        validate_coordinate((1, 2), (4, 4, 4))
+
+
+def test_validate_coordinate_out_of_range():
+    with pytest.raises(ValueError):
+        validate_coordinate((4, 0), (4, 4))
+
+
+# ----------------------------------------------------------------- indexing
+def test_to_index_row_major():
+    # Last dimension varies fastest.
+    assert to_index((0, 0, 0), (2, 3, 4)) == 0
+    assert to_index((0, 0, 1), (2, 3, 4)) == 1
+    assert to_index((0, 1, 0), (2, 3, 4)) == 4
+    assert to_index((1, 0, 0), (2, 3, 4)) == 12
+
+
+def test_from_index_bounds():
+    with pytest.raises(ValueError):
+        from_index(24, (2, 3, 4))
+    with pytest.raises(ValueError):
+        from_index(-1, (2, 3, 4))
+
+
+@given(dims_strategy.flatmap(lambda d: st.tuples(st.just(d), coords_for(d))))
+def test_index_roundtrip(dims_coord):
+    dims, coord = dims_coord
+    assert from_index(to_index(coord, dims), dims) == coord
+
+
+def test_coordinate_iter_matches_linear_order():
+    dims = (2, 3)
+    coords = list(coordinate_iter(dims))
+    assert coords == [from_index(i, dims) for i in range(6)]
+    assert len(set(coords)) == 6
+
+
+# ----------------------------------------------------------------- distances
+def test_manhattan_distance_basic():
+    assert manhattan_distance((0, 0, 0), (3, 2, 1)) == 6
+
+
+def test_chebyshev_distance_basic():
+    assert chebyshev_distance((0, 0, 0), (3, 2, 1)) == 3
+
+
+def test_distance_arity_mismatch():
+    with pytest.raises(ValueError):
+        manhattan_distance((0, 0), (1, 1, 1))
+    with pytest.raises(ValueError):
+        chebyshev_distance((0, 0), (1, 1, 1))
+
+
+@given(
+    dims_strategy.flatmap(
+        lambda d: st.tuples(st.just(d), coords_for(d), coords_for(d), coords_for(d))
+    )
+)
+def test_manhattan_is_a_metric(args):
+    _, a, b, c = args
+    assert manhattan_distance(a, b) == manhattan_distance(b, a)
+    assert manhattan_distance(a, a) == 0
+    assert manhattan_distance(a, c) <= manhattan_distance(a, b) + manhattan_distance(
+        b, c
+    )
+
+
+def test_add():
+    assert add((1, 2), (0, -1)) == (1, 1)
+    with pytest.raises(ValueError):
+        add((1,), (1, 2))

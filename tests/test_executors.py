@@ -1,0 +1,229 @@
+"""Tests for the analytic and event-driven broadcast executors.
+
+The central invariant: on a contention-free schedule the two executors
+agree *exactly*; with contention the event-driven executor can only be
+slower.
+"""
+
+import math
+
+import pytest
+
+from repro.core import (
+    AdaptiveBroadcast,
+    BroadcastOutcome,
+    DeterministicBroadcast,
+    EventDrivenExecutor,
+    ExtendedDominatingNodes,
+    RecursiveDoubling,
+    UnitStepExecutor,
+)
+from repro.network import Mesh, NetworkConfig, NetworkSimulator
+
+ALL = [RecursiveDoubling, ExtendedDominatingNodes, DeterministicBroadcast, AdaptiveBroadcast]
+
+
+def run_both(cls, dims, source, L=100, ports=None):
+    mesh = Mesh(dims)
+    algo = cls(mesh)
+    ports = ports or algo.ports_required
+    config = NetworkConfig(ports_per_node=ports)
+    schedule = algo.schedule(source)
+    analytic = UnitStepExecutor(mesh, config).execute(schedule, length_flits=L)
+    net = NetworkSimulator(mesh, config)
+    executor = EventDrivenExecutor(
+        net, adaptive_routing=AdaptiveBroadcast.make_routing(mesh)
+    )
+    event = executor.execute(schedule, length_flits=L)
+    return analytic, event
+
+
+# ------------------------------------------------------------ delivery set
+@pytest.mark.parametrize("cls", ALL)
+def test_both_executors_deliver_everywhere(cls):
+    analytic, event = run_both(cls, (4, 4, 4), (1, 2, 3))
+    assert analytic.delivered_count == 63
+    assert event.delivered_count == 63
+    assert set(analytic.arrivals) == set(event.arrivals)
+
+
+# ------------------------------------------------------------ agreement
+@pytest.mark.parametrize("cls", [DeterministicBroadcast, AdaptiveBroadcast, RecursiveDoubling])
+def test_executors_agree_on_contention_free_schedules(cls):
+    """DB/AB/RD single broadcasts are contention-free by construction."""
+    analytic, event = run_both(cls, (6, 6, 6), (2, 3, 4))
+    for node, t in analytic.arrivals.items():
+        assert event.arrivals[node] == pytest.approx(t), node
+
+
+@pytest.mark.parametrize("cls", ALL)
+@pytest.mark.parametrize("dims", [(4, 4, 4), (8, 8, 8), (5, 6, 3)])
+def test_event_never_beats_analytic(cls, dims):
+    source = tuple(d // 2 for d in dims)
+    analytic, event = run_both(cls, dims, source, L=32)
+    for node, t in analytic.arrivals.items():
+        assert event.arrivals[node] >= t - 1e-9, node
+
+
+def test_analytic_latency_closed_form_db_corner():
+    """Hand-computed DB timing from a corner source on 4x4x4."""
+    mesh = Mesh((4, 4, 4))
+    config = NetworkConfig(
+        startup_latency=1.5, flit_time=0.003, ports_per_node=2
+    )
+    schedule = DeterministicBroadcast(mesh).schedule((0, 0, 0))
+    outcome = UnitStepExecutor(mesh, config).execute(schedule, length_flits=100)
+    body = 99 * 0.003
+    # Step 1: source (corner A) -> B over 9 hops.
+    t_b = 1.5 + 9 * 0.003 + body
+    assert outcome.arrivals[(3, 3, 3)] == pytest.approx(t_b)
+    # Step 2: A's pillar reaches (0,0,1) after 1 hop.
+    assert outcome.arrivals[(0, 0, 1)] == pytest.approx(1.5 + 1 * 0.003 + body)
+
+
+def test_outcome_statistics():
+    outcome = BroadcastOutcome(
+        algorithm="X",
+        source=(0, 0),
+        start_time=10.0,
+        arrivals={(1, 0): 12.0, (2, 0): 14.0, (3, 0): 16.0},
+        total_sends=3,
+    )
+    assert outcome.network_latency == pytest.approx(6.0)
+    assert outcome.mean_latency == pytest.approx(4.0)
+    expected_cv = outcome.latency_std / 4.0
+    assert outcome.coefficient_of_variation == pytest.approx(expected_cv)
+    assert outcome.delivered_count == 3
+
+
+def test_outcome_empty_raises():
+    outcome = BroadcastOutcome("X", (0, 0), 0.0, {}, 0)
+    with pytest.raises(ValueError):
+        outcome.network_latency
+
+
+def test_outcome_zero_mean_cv():
+    outcome = BroadcastOutcome("X", (0, 0), 0.0, {(1, 0): 0.0}, 1)
+    assert outcome.coefficient_of_variation == 0.0
+
+
+# ------------------------------------------------------------ orderings
+def test_latency_ordering_matches_paper_fig1():
+    """Single-source broadcast: RD slowest, then EDN, then DB, then AB."""
+    results = {}
+    for cls in ALL:
+        _, event = run_both(cls, (8, 8, 8), (3, 4, 5))
+        results[cls.name] = event.network_latency
+    assert results["RD"] > results["EDN"] > results["DB"] > results["AB"]
+
+
+def test_cv_ordering_matches_paper_fig2():
+    """Node-level variation (source-averaged): AB lowest; DB/AB beat EDN.
+
+    The paper's Tables 1-2 show positive DB/AB improvement over EDN and
+    AB's CV below DB's; those orderings are structural and must hold.
+    (The paper's RD-vs-EDN ordering is not structurally recoverable —
+    see EXPERIMENTS.md.)
+    """
+    import numpy as np
+
+    mesh_dims = (8, 8, 8)
+    rng = np.random.default_rng(7)
+    sources = [tuple(int(rng.integers(0, d)) for d in mesh_dims) for _ in range(8)]
+    results = {}
+    for cls in ALL:
+        cvs = []
+        for source in sources:
+            _, event = run_both(cls, mesh_dims, source)
+            cvs.append(event.coefficient_of_variation)
+        results[cls.name] = float(np.mean(cvs))
+    assert results["AB"] < results["DB"]
+    assert results["AB"] < results["EDN"]
+    assert results["AB"] < results["RD"]
+    assert results["DB"] < results["EDN"]
+
+
+def test_db_ab_latency_flat_rd_grows():
+    """Paper Fig. 1: DB/AB scale; RD latency grows with network size."""
+    lat = {name: [] for name in ("RD", "DB", "AB")}
+    for dims in [(4, 4, 4), (8, 8, 8)]:
+        for cls in (RecursiveDoubling, DeterministicBroadcast, AdaptiveBroadcast):
+            _, event = run_both(cls, dims, (0, 0, 0))
+            lat[cls.name].append(event.network_latency)
+    rd_growth = lat["RD"][1] / lat["RD"][0]
+    db_growth = lat["DB"][1] / lat["DB"][0]
+    ab_growth = lat["AB"][1] / lat["AB"][0]
+    assert rd_growth > db_growth
+    assert rd_growth > ab_growth
+
+
+# ------------------------------------------------------------ misc modes
+def test_event_executor_requires_routing_for_adaptive():
+    mesh = Mesh((4, 4, 4))
+    schedule = AdaptiveBroadcast(mesh).schedule((1, 1, 1))
+    net = NetworkSimulator(mesh, NetworkConfig(ports_per_node=2))
+    executor = EventDrivenExecutor(net)  # no adaptive routing
+    with pytest.raises(ValueError):
+        executor.execute(schedule, length_flits=16)
+
+
+def test_analytic_rejects_causality_violation():
+    from repro.core import BroadcastSchedule, BroadcastStep, PathSend
+    from repro.routing import Path
+
+    bad = BroadcastSchedule(
+        algorithm="bad",
+        source=(0, 0),
+        steps=[
+            BroadcastStep(
+                index=1,
+                sends=[
+                    PathSend(
+                        source=(3, 3),  # never received anything
+                        deliveries=frozenset({(2, 3)}),
+                        path=Path([(3, 3), (2, 3)]),
+                    )
+                ],
+            )
+        ],
+    )
+    with pytest.raises(ValueError):
+        UnitStepExecutor(Mesh((4, 4))).execute(bad, length_flits=8)
+
+
+def test_port_serialisation_in_analytic_executor():
+    """With 1 port the analytic executor serialises same-node sends."""
+    mesh = Mesh((8, 8, 8))
+    schedule = ExtendedDominatingNodes(mesh).schedule((0, 0, 0))
+    one_port = UnitStepExecutor(
+        mesh, NetworkConfig(ports_per_node=1)
+    ).execute(schedule, length_flits=100)
+    three_port = UnitStepExecutor(
+        mesh, NetworkConfig(ports_per_node=3)
+    ).execute(schedule, length_flits=100)
+    assert one_port.network_latency > three_port.network_latency
+
+
+def test_start_time_offsets_arrivals():
+    mesh = Mesh((4, 4))
+    schedule = DeterministicBroadcast(mesh).schedule((0, 0))
+    a = UnitStepExecutor(mesh).execute(schedule, length_flits=16, start_time=0.0)
+    b = UnitStepExecutor(mesh).execute(schedule, length_flits=16, start_time=100.0)
+    assert b.network_latency == pytest.approx(a.network_latency)
+    assert min(b.arrivals.values()) >= 100.0
+
+
+def test_cv_is_dimensionless_under_flit_scaling():
+    """CV should not change when all times scale together."""
+    mesh = Mesh((4, 4, 4))
+    schedule = DeterministicBroadcast(mesh).schedule((0, 0, 0))
+    small = UnitStepExecutor(
+        mesh, NetworkConfig(startup_latency=1.5, flit_time=0.003, ports_per_node=2)
+    ).execute(schedule, length_flits=100)
+    scaled = UnitStepExecutor(
+        mesh, NetworkConfig(startup_latency=15.0, flit_time=0.03, ports_per_node=2)
+    ).execute(schedule, length_flits=100)
+    assert scaled.coefficient_of_variation == pytest.approx(
+        small.coefficient_of_variation
+    )
+    assert not math.isnan(small.coefficient_of_variation)

@@ -1,0 +1,148 @@
+"""Tests for the future-work topology broadcasts (torus, hypercube)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import UnitStepExecutor, validate_schedule
+from repro.core.hypercube_broadcast import HypercubeBroadcast
+from repro.core.torus_broadcast import TorusRingBroadcast
+from repro.network import Hypercube, Mesh, NetworkConfig, Torus
+
+
+# -------------------------------------------------------------- hypercube
+def test_hypercube_broadcast_requires_hypercube():
+    with pytest.raises(TypeError):
+        HypercubeBroadcast(Mesh((4, 4)))
+
+
+def test_hypercube_broadcast_step_count():
+    assert HypercubeBroadcast(Hypercube(6)).step_count() == 6
+
+
+@pytest.mark.parametrize("order", [1, 2, 3, 5, 7])
+def test_hypercube_broadcast_valid(order):
+    cube = Hypercube(order)
+    algo = HypercubeBroadcast(cube)
+    schedule = algo.schedule((0,) * order)
+    validate_schedule(schedule, cube, algo.ports_required)
+    assert schedule.num_steps == order
+
+
+def test_hypercube_broadcast_doubles_each_step():
+    cube = Hypercube(5)
+    schedule = HypercubeBroadcast(cube).schedule((1, 0, 1, 0, 1))
+    covered = 1
+    for step in schedule.steps:
+        assert len(step.sends) == covered
+        covered *= 2
+    assert covered == 32
+
+
+def test_hypercube_broadcast_all_single_hop():
+    schedule = HypercubeBroadcast(Hypercube(4)).schedule((0, 0, 0, 0))
+    for _, send in schedule.all_sends():
+        assert send.path.hop_count == 1
+
+
+# ---------------------------------------------------------------- torus
+def test_torus_broadcast_requires_torus():
+    with pytest.raises(TypeError):
+        TorusRingBroadcast(Mesh((4, 4)))
+
+
+def test_torus_broadcast_step_count_is_dimensions():
+    assert TorusRingBroadcast(Torus((8, 8, 8))).step_count() == 3
+    assert TorusRingBroadcast(Torus((8, 8))).step_count() == 2
+    assert TorusRingBroadcast(Torus((8, 1, 8))).step_count() == 2
+
+
+@pytest.mark.parametrize("dims", [(4, 4), (5, 5), (4, 4, 4), (3, 5, 7), (2, 2)])
+def test_torus_broadcast_valid(dims):
+    torus = Torus(dims)
+    algo = TorusRingBroadcast(torus)
+    for source in [tuple(0 for _ in dims), tuple(d - 1 for d in dims)]:
+        schedule = algo.schedule(source)
+        validate_schedule(schedule, torus, algo.ports_required)
+
+
+@given(
+    dims=st.tuples(st.integers(2, 6), st.integers(2, 6)),
+    data=st.data(),
+)
+@settings(max_examples=30, deadline=None)
+def test_torus_broadcast_any_source(dims, data):
+    source = data.draw(st.tuples(*[st.integers(0, d - 1) for d in dims]))
+    torus = Torus(dims)
+    algo = TorusRingBroadcast(torus)
+    schedule = algo.schedule(source)
+    validate_schedule(schedule, torus, algo.ports_required)
+    assert schedule.num_steps == algo.step_count()
+
+
+def test_torus_broadcast_fewer_steps_than_mesh_rd():
+    """The wraparound pays off: n steps vs mesh RD's sum of logs."""
+    from repro.core import RecursiveDoubling
+
+    torus_steps = TorusRingBroadcast(Torus((8, 8, 8))).step_count()
+    mesh_steps = RecursiveDoubling(Mesh((8, 8, 8))).step_count()
+    assert torus_steps == 3 < mesh_steps == 9
+
+
+def test_torus_broadcast_ring_paths_are_half_rings():
+    torus = Torus((8, 8))
+    schedule = TorusRingBroadcast(torus).schedule((0, 0))
+    step1 = schedule.steps[0]
+    assert len(step1.sends) == 2
+    fanouts = sorted(send.fanout for send in step1.sends)
+    assert fanouts == [3, 4]  # radix 8: halves of 7 remaining nodes
+
+
+def test_torus_broadcast_low_cv():
+    """Ring worms deliver whole dimensions per step → very tight arrivals."""
+    torus = Torus((8, 8, 8))
+    algo = TorusRingBroadcast(torus)
+    outcome = UnitStepExecutor(torus, NetworkConfig(ports_per_node=2)).execute(
+        algo.schedule((0, 0, 0)), length_flits=100
+    )
+    assert outcome.delivered_count == 511
+    assert outcome.coefficient_of_variation < 0.25
+
+
+def test_torus_broadcast_event_driven_execution():
+    """Ring worms run to completion on the event simulator.
+
+    Worms within one step ride disjoint rings (holders differ in every
+    earlier dimension) and a holder's two worms use opposite channel
+    directions, so a single broadcast is contention- and deadlock-free.
+    """
+    from repro.core import EventDrivenExecutor
+    from repro.network import NetworkConfig, NetworkSimulator
+
+    torus = Torus((4, 4, 4))
+    algo = TorusRingBroadcast(torus)
+    net = NetworkSimulator(torus, NetworkConfig(ports_per_node=2))
+    outcome = EventDrivenExecutor(net).execute(algo.schedule((1, 2, 3)), 64)
+    assert outcome.delivered_count == 63
+    # Contention-free: event == analytic, exactly.
+    analytic = UnitStepExecutor(torus, NetworkConfig(ports_per_node=2)).execute(
+        algo.schedule((1, 2, 3)), 64
+    )
+    for node, t in analytic.arrivals.items():
+        assert outcome.arrivals[node] == pytest.approx(t)
+    for channel in net.channels.values():
+        assert not channel.busy
+
+
+def test_torus_broadcast_analytic_latency_beats_mesh_db():
+    from repro.core import DeterministicBroadcast
+
+    config = NetworkConfig(ports_per_node=2)
+    torus = Torus((8, 8, 8))
+    mesh = Mesh((8, 8, 8))
+    torus_out = UnitStepExecutor(torus, config).execute(
+        TorusRingBroadcast(torus).schedule((0, 0, 0)), length_flits=100
+    )
+    mesh_out = UnitStepExecutor(mesh, config).execute(
+        DeterministicBroadcast(mesh).schedule((0, 0, 0)), length_flits=100
+    )
+    assert torus_out.network_latency < mesh_out.network_latency

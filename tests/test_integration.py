@@ -1,0 +1,128 @@
+"""End-to-end integration tests across subsystem boundaries.
+
+These exercise the full stack — topology → routing → schedule →
+event-driven simulation → metrics — the way a downstream user would,
+including concurrent broadcasts and broadcasts mixed with unicast
+traffic on one shared network.
+"""
+
+import pytest
+
+from repro import Mesh, NetworkConfig, NetworkSimulator, broadcast, get_algorithm
+from repro.core import EventDrivenExecutor
+from repro.core.adaptive_broadcast import AdaptiveBroadcast
+from repro.metrics import BroadcastStatsCollector
+from repro.network import Message, PathTransmission
+from repro.routing import DimensionOrdered, Path
+
+
+def test_public_broadcast_api_end_to_end():
+    outcome = broadcast("DB", Mesh((4, 4, 4)), (1, 2, 3), length_flits=64)
+    assert outcome.delivered_count == 63
+    assert outcome.network_latency > 0
+    assert 0 < outcome.coefficient_of_variation < 1
+
+
+def test_broadcast_reproducible_across_runs():
+    a = broadcast("AB", Mesh((4, 4, 4)), (0, 1, 2), seed=5)
+    b = broadcast("AB", Mesh((4, 4, 4)), (0, 1, 2), seed=5)
+    assert a.arrivals == b.arrivals
+
+
+def test_two_concurrent_broadcasts_share_the_network():
+    """Two DB broadcasts launched together contend at the mesh corners."""
+    mesh = Mesh((4, 4, 4))
+    config = NetworkConfig(ports_per_node=2)
+    algo = get_algorithm("DB")(mesh)
+
+    solo_net = NetworkSimulator(mesh, config)
+    solo = EventDrivenExecutor(solo_net).execute(algo.schedule((0, 0, 0)), 64)
+
+    shared_net = NetworkSimulator(mesh, config)
+    executor = EventDrivenExecutor(shared_net)
+    p1 = executor.launch(algo.schedule((0, 0, 0)), 64)
+    p2 = executor.launch(algo.schedule((3, 3, 3)), 64)
+    shared_net.run()
+    out1, out2 = p1.value, p2.value
+
+    assert out1.delivered_count == out2.delivered_count == 63
+    # Contention can only slow things down relative to a solo run.
+    assert out1.network_latency >= solo.network_latency - 1e-9
+    assert out2.network_latency >= solo.network_latency - 1e-9
+    # Both broadcasts must be slower than at least one would be alone
+    # (they share the same corner pillars).
+    assert max(out1.network_latency, out2.network_latency) > solo.network_latency
+
+
+def test_broadcast_with_background_unicast_traffic():
+    """A broadcast crossing live unicast worms still delivers everywhere."""
+    mesh = Mesh((4, 4, 4))
+    net = NetworkSimulator(mesh, NetworkConfig(ports_per_node=2))
+    dor = DimensionOrdered(mesh)
+
+    # Saturate a few channels with long unicasts first.
+    for src, dst in [((0, 0, 0), (3, 0, 0)), ((0, 1, 0), (0, 1, 3))]:
+        msg = Message(source=src, destinations={dst}, length_flits=2000)
+        PathTransmission(
+            net, msg, path=Path(dor.path(src, dst), deliveries=[dst])
+        ).start()
+
+    algo = get_algorithm("DB")(mesh)
+    outcome = EventDrivenExecutor(net).execute(algo.schedule((1, 2, 3)), 64)
+    assert outcome.delivered_count == 63
+
+    # Compare against an idle network: traffic must not speed things up.
+    idle_net = NetworkSimulator(mesh, NetworkConfig(ports_per_node=2))
+    idle = EventDrivenExecutor(idle_net).execute(algo.schedule((1, 2, 3)), 64)
+    assert outcome.network_latency >= idle.network_latency - 1e-9
+
+
+def test_all_algorithms_on_shared_collector():
+    collector = BroadcastStatsCollector()
+    mesh = Mesh((4, 4, 2))
+    for name in ("RD", "EDN", "DB", "AB"):
+        for source in [(0, 0, 0), (3, 3, 1)]:
+            collector.record(broadcast(name, mesh, source, 32))
+    assert collector.algorithms() == ["AB", "DB", "EDN", "RD"]
+    for name in collector.algorithms():
+        assert collector.count(name) == 2
+        assert collector.mean_network_latency(name) > 0
+    assert collector.mean_network_latency("AB") < collector.mean_network_latency(
+        "RD"
+    )
+
+
+def test_adaptive_broadcast_under_congestion_uses_alternatives():
+    """AB's step-1 worms pick the less-loaded west-first branch."""
+    mesh = Mesh((6, 6, 1))
+    net = NetworkSimulator(mesh, NetworkConfig(ports_per_node=2))
+    routing = AdaptiveBroadcast.make_routing(mesh)
+
+    # Clog the (2,2,0)->(3,2,0) channel, on AB's default eastward branch.
+    msg = Message(source=(2, 2, 0), destinations={(3, 2, 0)}, length_flits=5000)
+    PathTransmission(net, msg, path=Path([(2, 2, 0), (3, 2, 0)])).start()
+    net.run(until=0.01)
+
+    algo = AdaptiveBroadcast(mesh)
+    outcome = EventDrivenExecutor(net, adaptive_routing=routing).execute(
+        algo.schedule((2, 2, 0)), 16
+    )
+    assert outcome.delivered_count == 35
+
+
+def test_deep_sequential_broadcasts_on_one_network():
+    """The network stays consistent across many back-to-back operations."""
+    mesh = Mesh((4, 4))
+    net = NetworkSimulator(mesh, NetworkConfig(ports_per_node=2))
+    algo = get_algorithm("DB")(mesh)
+    executor = EventDrivenExecutor(net)
+    last_end = 0.0
+    for i in range(10):
+        source = (i % 4, (i * 3) % 4)
+        outcome = executor.execute(algo.schedule(source), 16)
+        assert outcome.delivered_count == 15
+        assert outcome.start_time >= last_end - 1e-9
+        last_end = max(outcome.arrivals.values())
+    # All channels released after the last broadcast drains.
+    assert all(not ch.busy for ch in net.channels.values())
+    assert all(node.ports.count == 0 for node in net.nodes.values())

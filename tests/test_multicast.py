@@ -1,0 +1,165 @@
+"""Tests for path-based multicast (`repro.core.multicast`)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import UnitStepExecutor
+from repro.core.multicast import (
+    DualPathMulticast,
+    UnicastMulticast,
+    hamiltonian_rank,
+    hamiltonian_walk,
+    validate_multicast,
+)
+from repro.network import Mesh, NetworkConfig
+
+
+# ------------------------------------------------------- hamiltonian walk
+def test_walk_visits_every_node_once():
+    walk = hamiltonian_walk((3, 4, 2))
+    assert len(walk) == 24
+    assert len(set(walk)) == 24
+
+
+def test_walk_consecutive_nodes_adjacent():
+    mesh = Mesh((4, 3, 2))
+    walk = hamiltonian_walk(mesh.dims)
+    for a, b in zip(walk, walk[1:]):
+        assert mesh.distance(a, b) == 1, (a, b)
+
+
+def test_walk_2x2_example():
+    assert hamiltonian_walk((2, 2)) == [(0, 0), (1, 0), (1, 1), (0, 1)]
+
+
+def test_walk_1d():
+    assert hamiltonian_walk((4,)) == [(0,), (1,), (2,), (3,)]
+
+
+def test_walk_bad_dims():
+    with pytest.raises(ValueError):
+        hamiltonian_walk(())
+    with pytest.raises(ValueError):
+        hamiltonian_walk((0, 3))
+
+
+def test_rank_is_walk_inverse():
+    dims = (3, 3)
+    walk = hamiltonian_walk(dims)
+    rank = hamiltonian_rank(dims)
+    for i, coord in enumerate(walk):
+        assert rank[coord] == i
+
+
+@given(st.tuples(st.integers(2, 5), st.integers(2, 5), st.integers(1, 3)))
+@settings(max_examples=25, deadline=None)
+def test_walk_property(dims):
+    mesh = Mesh(dims)
+    walk = hamiltonian_walk(dims)
+    assert len(walk) == mesh.num_nodes
+    for a, b in zip(walk, walk[1:]):
+        assert mesh.distance(a, b) == 1
+
+
+# ------------------------------------------------------------- dual path
+def test_dual_path_one_step_two_worms():
+    mesh = Mesh((4, 4))
+    mc = DualPathMulticast(mesh)
+    schedule = mc.schedule((1, 1), [(0, 0), (3, 3), (2, 0)])
+    assert schedule.num_steps == 1
+    assert len(schedule.steps[0].sends) <= 2
+    validate_multicast(schedule, mesh, [(0, 0), (3, 3), (2, 0)])
+
+
+def test_dual_path_all_up_rank_single_worm():
+    mesh = Mesh((4, 4))
+    mc = DualPathMulticast(mesh)
+    rank = hamiltonian_rank(mesh.dims)
+    dests = [d for d in mesh.nodes() if rank[d] > rank[(0, 0)]][:3]
+    schedule = mc.schedule((0, 0), dests)
+    assert len(schedule.steps[0].sends) == 1
+
+
+def test_dual_path_destination_at_rank_zero():
+    mesh = Mesh((4, 4))
+    mc = DualPathMulticast(mesh)
+    schedule = mc.schedule((2, 2), [(0, 0)])  # rank 0 — down-path edge case
+    validate_multicast(schedule, mesh, [(0, 0)])
+
+
+def test_dual_path_rejects_bad_destinations():
+    mc = DualPathMulticast(Mesh((4, 4)))
+    with pytest.raises(ValueError):
+        mc.schedule((0, 0), [])
+    with pytest.raises(ValueError):
+        mc.schedule((0, 0), [(0, 0)])  # only the source itself
+    with pytest.raises(ValueError):
+        mc.schedule((0, 0), [(9, 9)])
+
+
+def test_dual_path_source_excluded_silently():
+    mesh = Mesh((4, 4))
+    schedule = DualPathMulticast(mesh).schedule((1, 1), [(1, 1), (2, 2)])
+    validate_multicast(schedule, mesh, [(2, 2)])
+
+
+@given(
+    dims=st.tuples(st.integers(2, 5), st.integers(2, 5)),
+    data=st.data(),
+)
+@settings(max_examples=40, deadline=None)
+def test_dual_path_property(dims, data):
+    mesh = Mesh(dims)
+    nodes = list(mesh.nodes())
+    source = data.draw(st.sampled_from(nodes))
+    dests = data.draw(
+        st.lists(st.sampled_from(nodes), min_size=1, max_size=6, unique=True)
+    )
+    if set(dests) == {source}:
+        dests.append(nodes[0] if nodes[0] != source else nodes[-1])
+    schedule = DualPathMulticast(mesh).schedule(source, dests)
+    validate_multicast(schedule, mesh, dests)
+
+
+# ------------------------------------------------------------- baselines
+def test_unicast_multicast_one_worm_per_destination():
+    mesh = Mesh((4, 4))
+    schedule = UnicastMulticast(mesh).schedule((0, 0), [(1, 1), (3, 3)])
+    assert schedule.total_sends() == 2
+    validate_multicast(schedule, mesh, [(1, 1), (3, 3)])
+
+
+def test_unicast_multicast_rejects_empty():
+    with pytest.raises(ValueError):
+        UnicastMulticast(Mesh((4, 4))).schedule((0, 0), [(0, 0)])
+
+
+def test_dual_path_fewer_startups_than_unicast():
+    """The multidestination advantage: 2 worms instead of |D|."""
+    mesh = Mesh((8, 8))
+    dests = [(x, y) for x in range(0, 8, 2) for y in range(0, 8, 2)]
+    dual = DualPathMulticast(mesh).schedule((3, 3), dests)
+    naive = UnicastMulticast(mesh).schedule((3, 3), dests)
+    assert dual.total_sends() <= 2 < naive.total_sends()
+
+
+def test_dual_path_latency_beats_serialised_unicast():
+    """With 1-2 ports, |D| start-ups dominate the naive scheme."""
+    mesh = Mesh((8, 8))
+    dests = [(x, y) for x in range(8) for y in (0, 7)]
+    config = NetworkConfig(ports_per_node=2)
+    executor = UnitStepExecutor(mesh, config)
+    dual = executor.execute(
+        DualPathMulticast(mesh).schedule((3, 3), dests), length_flits=64
+    )
+    naive = executor.execute(
+        UnicastMulticast(mesh).schedule((3, 3), dests), length_flits=64
+    )
+    assert dual.network_latency < naive.network_latency
+
+
+def test_validate_multicast_catches_extra_delivery():
+    mesh = Mesh((4, 4))
+    schedule = UnicastMulticast(mesh).schedule((0, 0), [(1, 1), (2, 2)])
+    with pytest.raises(Exception):
+        validate_multicast(schedule, mesh, [(1, 1)])  # (2,2) is "extra"

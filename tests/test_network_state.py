@@ -1,0 +1,125 @@
+"""Tests for network-level bookkeeping: config, statistics, hooks."""
+
+import pytest
+
+from repro.network import (
+    Mesh,
+    Message,
+    NetworkConfig,
+    NetworkSimulator,
+    PathTransmission,
+)
+from repro.network.message import DeliveryRecord
+from repro.routing import Path
+
+
+# ------------------------------------------------------------- config
+def test_network_config_validation():
+    with pytest.raises(ValueError):
+        NetworkConfig(startup_latency=-1.0)
+    with pytest.raises(ValueError):
+        NetworkConfig(flit_time=0.0)
+    with pytest.raises(ValueError):
+        NetworkConfig(router_delay=-0.1)
+    with pytest.raises(ValueError):
+        NetworkConfig(ports_per_node=0)
+
+
+def test_network_config_timing_view():
+    config = NetworkConfig(flit_time=0.01, router_delay=0.002)
+    assert config.timing.header_hop_time == pytest.approx(0.012)
+
+
+def test_paper_constants_are_defaults():
+    config = NetworkConfig()
+    assert config.startup_latency == 1.5
+    assert config.flit_time == 0.003
+
+
+# ------------------------------------------------------------- wiring
+def test_simulator_builds_all_nodes_and_channels():
+    net = NetworkSimulator(Mesh((3, 3)))
+    assert len(net.nodes) == 9
+    assert len(net.channels) == 2 * (2 * 3) * 2  # 24 directed channels
+    assert net.num_nodes == 9
+
+
+def test_node_and_channel_lookup():
+    net = NetworkSimulator(Mesh((3, 3)))
+    assert net.node((1, 1)).coord == (1, 1)
+    assert net.channel((0, 0), (1, 0)).src == (0, 0)
+    with pytest.raises(KeyError):
+        net.channel((0, 0), (2, 2))  # not adjacent
+    with pytest.raises(KeyError):
+        net.node((9, 9))
+
+
+def test_channel_load_oracle_counts_queue():
+    net = NetworkSimulator(
+        Mesh((3, 3)), NetworkConfig(ports_per_node=3, startup_latency=0.0)
+    )
+    path = Path([(0, 0), (1, 0)])
+    for _ in range(3):
+        msg = Message(source=(0, 0), destinations={(1, 0)}, length_flits=500)
+        PathTransmission(net, msg, path=path).start()
+    net.run(until=0.5)
+    # One holder + two queued.
+    assert net.channel_load((0, 0), (1, 0)) == 3.0
+
+
+# ----------------------------------------------------------- statistics
+def _run_one(net):
+    msg = Message(source=(0, 0), destinations={(2, 0)}, length_flits=100)
+    path = Path([(0, 0), (1, 0), (2, 0)])
+    proc = PathTransmission(net, msg, path=path).start()
+    net.run(until=proc)
+
+
+def test_channel_utilisation_accumulates():
+    net = NetworkSimulator(Mesh((3, 1)), NetworkConfig(startup_latency=0.0))
+    _run_one(net)
+    assert net.channel((0, 0), (1, 0)).utilisation() > 0.5
+    assert net.max_channel_utilisation() >= net.mean_channel_utilisation() > 0
+
+
+def test_reset_statistics_clears_deliveries():
+    net = NetworkSimulator(Mesh((3, 1)))
+    _run_one(net)
+    assert net.node((2, 0)).deliveries
+    net.reset_statistics()
+    assert not net.node((2, 0)).deliveries
+    assert net.node((0, 0)).sent_count == 0
+
+
+def test_delivery_hooks_fire_once_per_delivery():
+    net = NetworkSimulator(Mesh((3, 1)))
+    seen = []
+    net.add_delivery_hook(seen.append)
+    _run_one(net)
+    assert len(seen) == 1
+    assert seen[0].node == (2, 0)
+
+
+def test_node_arrival_bookkeeping():
+    net = NetworkSimulator(Mesh((3, 1)))
+    node = net.node((2, 0))
+    record = DeliveryRecord(message_uid=1234, node=(2, 0), time=5.0)
+    node.deliver(record)
+    assert node.has_received(1234)
+    assert node.arrival_time(1234) == 5.0
+    with pytest.raises(KeyError):
+        node.arrival_time(999)
+
+
+def test_node_requires_a_port():
+    net = NetworkSimulator(Mesh((2, 1)))
+    from repro.network.node import Node
+
+    with pytest.raises(ValueError):
+        Node(net.env, (0, 0), ports=0)
+
+
+def test_seeded_networks_draw_identical_streams():
+    a = NetworkSimulator(Mesh((3, 3)), seed=42)
+    b = NetworkSimulator(Mesh((3, 3)), seed=42)
+    assert a.random["x"].random(5).tolist() == b.random["x"].random(5).tolist()

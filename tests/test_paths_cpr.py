@@ -1,0 +1,169 @@
+"""Unit tests for path objects and CPR path builders."""
+
+import pytest
+
+from repro.network import ControlField, Mesh
+from repro.routing import (
+    Path,
+    column_path,
+    row_path,
+    snake_path,
+    split_deliveries,
+    straight_line_path,
+)
+
+
+# ---------------------------------------------------------------- Path
+def test_path_defaults_unicast_delivery():
+    p = Path([(0, 0), (1, 0), (2, 0)])
+    assert p.deliveries == frozenset({(2, 0)})
+    assert p.hop_count == 2
+    assert p.source == (0, 0)
+    assert p.terminus == (2, 0)
+
+
+def test_path_explicit_deliveries():
+    p = Path([(0, 0), (1, 0), (2, 0)], deliveries=[(1, 0), (2, 0)])
+    assert p.deliveries == frozenset({(1, 0), (2, 0)})
+
+
+def test_path_rejects_off_path_delivery():
+    with pytest.raises(ValueError):
+        Path([(0, 0), (1, 0)], deliveries=[(5, 5)])
+
+
+def test_path_rejects_source_delivery():
+    with pytest.raises(ValueError):
+        Path([(0, 0), (1, 0)], deliveries=[(0, 0)])
+
+
+def test_path_rejects_empty():
+    with pytest.raises(ValueError):
+        Path([])
+
+
+def test_path_channels():
+    p = Path([(0, 0), (1, 0), (1, 1)])
+    assert list(p.channels()) == [((0, 0), (1, 0)), ((1, 0), (1, 1))]
+
+
+def test_path_validate_against_topology():
+    m = Mesh((4, 4))
+    Path([(0, 0), (1, 0), (1, 1)]).validate(m)  # ok
+    with pytest.raises(ValueError):
+        Path([(0, 0), (2, 0)]).validate(m)  # not adjacent
+    with pytest.raises(ValueError):
+        Path([(0, 0), (0, 4)]).validate(m)  # outside
+
+
+def test_path_rejects_channel_reuse():
+    m = Mesh((4, 4))
+    p = Path([(0, 0), (1, 0), (0, 0), (1, 0)])
+    with pytest.raises(ValueError, match="reuses"):
+        p.validate(m)
+
+
+def test_path_is_minimal():
+    m = Mesh((4, 4))
+    assert Path([(0, 0), (1, 0), (2, 0)]).is_minimal(m)
+    assert not Path([(0, 0), (0, 1), (1, 1), (1, 0), (2, 0)]).is_minimal(m)
+
+
+# ----------------------------------------------------------- straight lines
+def test_straight_line_forward_and_backward():
+    p = straight_line_path((0, 2), axis=1, end_value=0)
+    assert p.nodes == ((0, 2), (0, 1), (0, 0))
+    assert p.deliveries == frozenset({(0, 1), (0, 0)})
+
+
+def test_straight_line_zero_span_rejected():
+    with pytest.raises(ValueError):
+        straight_line_path((0, 2), axis=1, end_value=2)
+
+
+def test_straight_line_bad_axis():
+    with pytest.raises(ValueError):
+        straight_line_path((0, 2), axis=5, end_value=0)
+
+
+def test_row_and_column_paths():
+    assert row_path((0, 3), 2).nodes == ((0, 3), (1, 3), (2, 3))
+    assert column_path((3, 0), 2).nodes == ((3, 0), (3, 1), (3, 2))
+
+
+# ---------------------------------------------------------------- snakes
+def test_snake_covers_rectangle_once():
+    p = snake_path((0, 0), xs=[0, 1, 2], ys=[0, 1, 2, 3])
+    m = Mesh((4, 4))
+    p.validate(m)
+    assert len(p.nodes) == 12
+    assert len(set(p.nodes)) == 12
+    assert p.deliveries == frozenset(p.nodes[1:])
+
+
+def test_snake_alternates_direction():
+    p = snake_path((0, 0), xs=[0, 1], ys=[0, 1])
+    assert p.nodes == ((0, 0), (0, 1), (1, 1), (1, 0))
+
+
+def test_snake_start_must_match():
+    with pytest.raises(ValueError):
+        snake_path((5, 5), xs=[0, 1], ys=[0, 1])
+
+
+def test_snake_rejects_non_adjacent_steps():
+    with pytest.raises(ValueError):
+        snake_path((0, 0), xs=[0, 2], ys=[0, 1])
+
+
+def test_snake_3d_keeps_tail_coordinates():
+    p = snake_path((0, 0, 5), xs=[0, 1], ys=[0, 1])
+    assert all(n[2] == 5 for n in p.nodes)
+
+
+# ---------------------------------------------------------- split_deliveries
+def test_split_deliveries_noop_when_small():
+    p = straight_line_path((0, 0), axis=0, end_value=3)
+    assert split_deliveries(p, 10) == [p]
+
+
+def test_split_deliveries_partitions_targets():
+    p = straight_line_path((0, 0), axis=0, end_value=7)  # 7 deliveries
+    pieces = split_deliveries(p, 3)
+    assert len(pieces) == 3
+    got = set()
+    for piece in pieces:
+        assert piece.source == (0, 0)
+        assert len(piece.deliveries) <= 3
+        assert not (piece.deliveries & got)
+        got |= piece.deliveries
+    assert got == p.deliveries
+
+
+def test_split_deliveries_pieces_are_prefixes():
+    p = straight_line_path((0, 0), axis=0, end_value=7)
+    pieces = split_deliveries(p, 3)
+    for piece in pieces:
+        assert piece.nodes == p.nodes[: len(piece.nodes)]
+
+
+def test_split_deliveries_invalid_bound():
+    p = straight_line_path((0, 0), axis=0, end_value=3)
+    with pytest.raises(ValueError):
+        split_deliveries(p, 0)
+
+
+# ---------------------------------------------------------- control fields
+def test_control_field_semantics():
+    assert not ControlField.PASS.delivers
+    assert ControlField.PASS.forwards
+    assert ControlField.RECEIVE.delivers
+    assert not ControlField.RECEIVE.forwards
+    assert ControlField.PASS_AND_RECEIVE.delivers
+    assert ControlField.PASS_AND_RECEIVE.forwards
+    assert ControlField.RECEIVE_AND_REPLICATE.delivers
+    assert ControlField.RECEIVE_AND_REPLICATE.forwards
+
+
+def test_control_field_is_two_bits():
+    assert {f.value for f in ControlField} == {0b00, 0b01, 0b10, 0b11}

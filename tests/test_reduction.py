@@ -1,0 +1,130 @@
+"""Tests for global combine / reduction (`repro.core.reduction`)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import BarrierStepExecutor, get_algorithm
+from repro.core.reduction import ReductionExecutor, ReductionTree
+from repro.network import Mesh, NetworkConfig
+
+
+def tree_for(name, dims, source):
+    mesh = Mesh(dims)
+    schedule = get_algorithm(name)(mesh).schedule(source)
+    return mesh, schedule, ReductionTree.from_broadcast(schedule, mesh)
+
+
+# ---------------------------------------------------------------- trees
+def test_tree_covers_all_nodes():
+    mesh, _, tree = tree_for("DB", (4, 4, 4), (1, 2, 3))
+    assert tree.num_nodes == 64
+    assert tree.root == (1, 2, 3)
+
+
+def test_tree_parents_terminate_at_root():
+    _, _, tree = tree_for("RD", (8, 8), (3, 3))
+    for node in tree.parent:
+        walker = node
+        for _ in range(100):
+            if walker == tree.root:
+                break
+            walker = tree.parent[walker][0]
+        assert walker == tree.root, node
+
+
+def test_tree_children_inverse_of_parent():
+    _, _, tree = tree_for("EDN", (4, 4, 4), (0, 0, 0))
+    children = tree.children()
+    for parent_node, kids in children.items():
+        for kid in kids:
+            assert tree.parent[kid][0] == parent_node
+
+
+def test_tree_depth_bounded_by_steps():
+    for name in ("RD", "EDN", "DB", "AB"):
+        mesh, schedule, tree = tree_for(name, (4, 4, 4), (1, 1, 1))
+        assert 1 <= tree.depth() <= schedule.num_steps, name
+
+
+def test_tree_hops_positive():
+    _, _, tree = tree_for("AB", (4, 4, 4), (1, 2, 3))
+    for _, (_, hops) in tree.parent.items():
+        assert hops >= 1
+
+
+# ------------------------------------------------------------ execution
+def test_reduction_completes_with_positive_latency():
+    mesh, schedule, tree = tree_for("DB", (4, 4, 4), (0, 0, 0))
+    outcome = ReductionExecutor(mesh, NetworkConfig(ports_per_node=2)).execute(
+        tree, length_flits=64
+    )
+    assert outcome.latency > 0
+    assert outcome.combine_count == 63
+    assert len(outcome.send_times) == 63
+    assert outcome.root == (0, 0, 0)
+
+
+def test_reduction_leaf_sends_before_parent():
+    mesh, schedule, tree = tree_for("RD", (8, 8), (0, 0))
+    outcome = ReductionExecutor(mesh).execute(tree, length_flits=16)
+    for child, (parent_node, _) in tree.parent.items():
+        if parent_node == tree.root:
+            continue
+        assert outcome.send_times[parent_node] > outcome.send_times[child] - 1e-9
+
+
+def test_reduction_combine_time_adds_latency():
+    mesh, schedule, tree = tree_for("DB", (4, 4, 4), (0, 0, 0))
+    fast = ReductionExecutor(mesh).execute(tree, 32)
+    slow = ReductionExecutor(mesh, combine_time=1.0).execute(tree, 32)
+    assert slow.latency > fast.latency
+
+
+def test_reduction_invalid_combine_time():
+    with pytest.raises(ValueError):
+        ReductionExecutor(Mesh((4, 4)), combine_time=-1.0)
+
+
+def test_reduce_from_broadcast_convenience():
+    mesh = Mesh((4, 4))
+    schedule = get_algorithm("DB")(mesh).schedule((0, 0))
+    outcome = ReductionExecutor(mesh).reduce_from_broadcast(schedule, 32)
+    assert outcome.combine_count == 15
+
+
+@pytest.mark.parametrize("name", ["RD", "EDN", "DB", "AB"])
+def test_reduction_mirrors_broadcast_cost(name):
+    """Reduce over a broadcast tree costs about the broadcast itself.
+
+    The tree is traversed in the opposite direction with the same
+    per-edge costs; reductions lack the broadcast's multidestination
+    sharing (each child sends its own worm), so reduction latency is
+    bounded below by the barrier broadcast's per-chain cost and above
+    by a port-serialisation factor.
+    """
+    mesh = Mesh((4, 4, 4))
+    algo = get_algorithm(name)(mesh)
+    config = NetworkConfig(ports_per_node=algo.ports_required)
+    schedule = algo.schedule((1, 2, 3))
+    forward = BarrierStepExecutor(mesh, config).execute(schedule, 64)
+    backward = ReductionExecutor(mesh, config).reduce_from_broadcast(schedule, 64)
+    ratio = backward.latency / forward.network_latency
+    assert 0.3 < ratio < 3.0, (name, ratio)
+
+
+@given(
+    name=st.sampled_from(["RD", "DB", "AB"]),
+    dims=st.tuples(st.integers(2, 5), st.integers(2, 5)),
+    data=st.data(),
+)
+@settings(max_examples=30, deadline=None)
+def test_reduction_property(name, dims, data):
+    source = data.draw(st.tuples(*[st.integers(0, d - 1) for d in dims]))
+    mesh = Mesh(dims)
+    schedule = get_algorithm(name)(mesh).schedule(source)
+    tree = ReductionTree.from_broadcast(schedule, mesh)
+    assert tree.num_nodes == mesh.num_nodes
+    outcome = ReductionExecutor(mesh).execute(tree, 16)
+    assert outcome.combine_count == mesh.num_nodes - 1
+    # Every non-root node sends exactly once, after time zero.
+    assert all(t > 0 for t in outcome.send_times.values())

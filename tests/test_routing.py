@@ -1,0 +1,235 @@
+"""Unit + property tests for routing functions and deadlock analysis."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.network import Mesh
+from repro.routing import (
+    DimensionOrdered,
+    NegativeFirst,
+    NorthLast,
+    RoutingError,
+    WestFirst,
+    WestFirstPlanar,
+    build_channel_dependence_graph,
+    find_dependence_cycle,
+    is_deadlock_free,
+)
+
+
+def coords_for(dims):
+    return st.tuples(*[st.integers(0, d - 1) for d in dims])
+
+
+# ---------------------------------------------------------- dimension ordered
+def test_dor_path_is_xy():
+    dor = DimensionOrdered(Mesh((4, 4)))
+    assert dor.path((0, 0), (2, 2)) == [(0, 0), (1, 0), (2, 0), (2, 1), (2, 2)]
+
+
+def test_dor_custom_order_yx():
+    dor = DimensionOrdered(Mesh((4, 4)), order=(1, 0))
+    assert dor.path((0, 0), (2, 2)) == [(0, 0), (0, 1), (0, 2), (1, 2), (2, 2)]
+
+
+def test_dor_invalid_order_rejected():
+    with pytest.raises(ValueError):
+        DimensionOrdered(Mesh((4, 4)), order=(0, 0))
+
+
+def test_dor_single_candidate():
+    dor = DimensionOrdered(Mesh((4, 4, 4)))
+    assert len(dor.candidates((0, 0, 0), (3, 3, 3))) == 1
+
+
+def test_dor_candidates_empty_at_target():
+    dor = DimensionOrdered(Mesh((4, 4)))
+    assert dor.candidates((2, 2), (2, 2)) == []
+
+
+def test_next_hop_raises_without_candidates():
+    dor = DimensionOrdered(Mesh((4, 4)))
+    with pytest.raises(RoutingError):
+        dor.next_hop((1, 1), (1, 1))
+
+
+@given(
+    st.tuples(st.integers(2, 6), st.integers(2, 6), st.integers(2, 6)).flatmap(
+        lambda d: st.tuples(st.just(d), coords_for(d), coords_for(d))
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_dor_paths_are_minimal_and_monotone(args):
+    dims, src, dst = args
+    m = Mesh(dims)
+    path = DimensionOrdered(m).path(src, dst)
+    assert len(path) - 1 == m.distance(src, dst)
+    # Dimension-monotone: once a dimension is left it never changes again.
+    for axis in range(3):
+        values = [n[axis] for n in path]
+        deltas = [b - a for a, b in zip(values, values[1:]) if b != a]
+        assert all(d > 0 for d in deltas) or all(d < 0 for d in deltas) or not deltas
+
+
+# ---------------------------------------------------------- west-first model
+def test_west_first_goes_west_exclusively_first():
+    wf = WestFirst(Mesh((8, 8)))
+    assert wf.candidates((5, 3), (2, 6)) == [(4, 3)]
+
+
+def test_west_first_adapts_east_north_south():
+    wf = WestFirst(Mesh((8, 8)))
+    cands = wf.candidates((2, 3), (5, 6))
+    assert set(cands) == {(3, 3), (2, 4)}
+
+
+def test_west_first_rejects_3d():
+    with pytest.raises(ValueError):
+        WestFirst(Mesh((4, 4, 4)))
+
+
+def test_west_first_path_minimal():
+    m = Mesh((8, 8))
+    wf = WestFirst(m)
+    for src, dst in [((7, 0), (0, 7)), ((3, 3), (5, 1)), ((0, 0), (7, 7))]:
+        path = wf.path(src, dst)
+        assert len(path) - 1 == m.distance(src, dst)
+
+
+def _turns(path):
+    """Direction pairs (as (axis, sign)) for each turn in a node path."""
+    dirs = []
+    for a, b in zip(path, path[1:]):
+        for axis, (x, y) in enumerate(zip(a, b)):
+            if x != y:
+                dirs.append((axis, 1 if y > x else -1))
+    return list(zip(dirs, dirs[1:]))
+
+
+WEST = (0, -1)
+
+
+@given(
+    st.tuples(st.integers(3, 8), st.integers(3, 8)).flatmap(
+        lambda d: st.tuples(st.just(d), coords_for(d), coords_for(d))
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_west_first_never_turns_into_west(args):
+    dims, src, dst = args
+    wf = WestFirst(Mesh(dims))
+    path = wf.path(src, dst)
+    for before, after in _turns(path):
+        if after == WEST:
+            assert before == WEST, f"illegal turn into west: {before} -> {after}"
+
+
+def test_north_last_defers_north():
+    nl = NorthLast(Mesh((8, 8)))
+    cands = nl.candidates((2, 2), (5, 5))
+    assert (2, 3) not in cands  # north deferred
+    assert (3, 2) in cands
+
+
+def test_north_last_goes_north_when_nothing_else_left():
+    nl = NorthLast(Mesh((8, 8)))
+    assert nl.candidates((5, 2), (5, 5)) == [(5, 3)]
+
+
+def test_negative_first_phases():
+    nf = NegativeFirst(Mesh((6, 6, 6)))
+    cands = nf.candidates((3, 3, 3), (1, 5, 2))
+    assert set(cands) == {(2, 3, 3), (3, 3, 2)}  # negatives first
+    cands2 = nf.candidates((1, 3, 2), (1, 5, 2))
+    assert cands2 == [(1, 4, 2)]
+
+
+def test_west_first_planar_routes_z_first():
+    wfp = WestFirstPlanar(Mesh((4, 4, 4)))
+    assert wfp.candidates((1, 1, 0), (2, 2, 3)) == [(1, 1, 1)]
+    cands = wfp.candidates((1, 1, 3), (2, 2, 3))
+    assert set(cands) == {(2, 1, 3), (1, 2, 3)}
+
+
+def test_west_first_planar_requires_3d():
+    with pytest.raises(ValueError):
+        WestFirstPlanar(Mesh((4, 4)))
+
+
+@given(
+    st.tuples(st.integers(2, 4), st.integers(2, 4), st.integers(2, 4)).flatmap(
+        lambda d: st.tuples(st.just(d), coords_for(d), coords_for(d))
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_west_first_planar_minimal(args):
+    dims, src, dst = args
+    m = Mesh(dims)
+    path = WestFirstPlanar(m).path(src, dst)
+    assert len(path) - 1 == m.distance(src, dst)
+
+
+# ---------------------------------------------------------- deadlock analysis
+def test_dor_is_deadlock_free_2d():
+    assert is_deadlock_free(DimensionOrdered(Mesh((4, 4))))
+
+
+def test_dor_is_deadlock_free_3d():
+    assert is_deadlock_free(DimensionOrdered(Mesh((3, 3, 3))))
+
+
+def test_west_first_is_deadlock_free():
+    assert is_deadlock_free(WestFirst(Mesh((5, 5))))
+
+
+def test_north_last_is_deadlock_free():
+    assert is_deadlock_free(NorthLast(Mesh((4, 4))))
+
+
+def test_negative_first_is_deadlock_free_3d():
+    assert is_deadlock_free(NegativeFirst(Mesh((3, 3, 3))))
+
+
+def test_west_first_planar_is_deadlock_free():
+    assert is_deadlock_free(WestFirstPlanar(Mesh((3, 3, 3))))
+
+
+def test_fully_adaptive_minimal_routing_has_cycles():
+    """Sanity: the analysis *does* find cycles for unrestricted routing."""
+
+    class FullyAdaptive(DimensionOrdered):
+        name = "fully-adaptive"
+
+        def candidates(self, current, target):
+            out = []
+            for axis in range(len(current)):
+                delta = target[axis] - current[axis]
+                if delta:
+                    step = 1 if delta > 0 else -1
+                    out.append(
+                        current[:axis] + (current[axis] + step,) + current[axis + 1 :]
+                    )
+            return out
+
+    graph = build_channel_dependence_graph(FullyAdaptive(Mesh((3, 3))))
+    assert find_dependence_cycle(graph) is not None
+
+
+def test_dependence_cycle_is_closed_walk():
+    class FullyAdaptive(DimensionOrdered):
+        def candidates(self, current, target):
+            out = []
+            for axis in range(len(current)):
+                delta = target[axis] - current[axis]
+                if delta:
+                    step = 1 if delta > 0 else -1
+                    out.append(
+                        current[:axis] + (current[axis] + step,) + current[axis + 1 :]
+                    )
+            return out
+
+    graph = build_channel_dependence_graph(FullyAdaptive(Mesh((3, 3))))
+    cycle = find_dependence_cycle(graph)
+    assert cycle[0] == cycle[-1]
+    for a, b in zip(cycle, cycle[1:]):
+        assert b in graph[a]

@@ -1,0 +1,157 @@
+"""Unit tests for the schedule data model (`repro.core.schedule`)."""
+
+import pytest
+
+from repro.core import BroadcastSchedule, BroadcastStep, PathSend
+from repro.network import ControlField
+from repro.routing import Path
+
+
+def mk_send(src=(0, 0), dst=(1, 0)):
+    return PathSend(
+        source=src, deliveries=frozenset({dst}), path=Path([src, dst])
+    )
+
+
+# ---------------------------------------------------------------- PathSend
+def test_pathsend_requires_exactly_one_route():
+    with pytest.raises(ValueError):
+        PathSend(source=(0, 0), deliveries=frozenset({(1, 0)}))
+    with pytest.raises(ValueError):
+        PathSend(
+            source=(0, 0),
+            deliveries=frozenset({(1, 0)}),
+            path=Path([(0, 0), (1, 0)]),
+            waypoints=((0, 0), (1, 0)),
+        )
+
+
+def test_pathsend_rejects_empty_deliveries():
+    with pytest.raises(ValueError):
+        PathSend(source=(0, 0), deliveries=frozenset(), path=Path([(0, 0), (1, 0)]))
+
+
+def test_pathsend_rejects_self_delivery():
+    with pytest.raises(ValueError):
+        PathSend(
+            source=(0, 0),
+            deliveries=frozenset({(0, 0)}),
+            path=Path([(0, 0), (1, 0)]),
+        )
+
+
+def test_pathsend_path_source_mismatch():
+    with pytest.raises(ValueError):
+        PathSend(
+            source=(5, 5), deliveries=frozenset({(1, 0)}), path=Path([(0, 0), (1, 0)])
+        )
+
+
+def test_pathsend_deliveries_must_be_on_path():
+    with pytest.raises(ValueError):
+        PathSend(
+            source=(0, 0),
+            deliveries=frozenset({(9, 9)}),
+            path=Path([(0, 0), (1, 0)]),
+        )
+
+
+def test_pathsend_adaptive_deliveries_must_be_waypoints():
+    with pytest.raises(ValueError):
+        PathSend(
+            source=(0, 0),
+            deliveries=frozenset({(2, 2)}),
+            waypoints=((0, 0), (1, 1)),
+        )
+    send = PathSend(
+        source=(0, 0), deliveries=frozenset({(1, 1)}), waypoints=((0, 0), (1, 1))
+    )
+    assert send.is_adaptive
+    assert send.fanout == 1
+
+
+def test_pathsend_waypoints_must_start_at_source():
+    with pytest.raises(ValueError):
+        PathSend(
+            source=(0, 0),
+            deliveries=frozenset({(1, 1)}),
+            waypoints=((1, 1), (0, 0)),
+        )
+
+
+def test_pathsend_min_hops():
+    from repro.network import Mesh
+
+    m = Mesh((4, 4))
+    fixed = mk_send()
+    assert fixed.min_hops(m) == 1
+    adaptive = PathSend(
+        source=(0, 0),
+        deliveries=frozenset({(3, 3)}),
+        waypoints=((0, 0), (3, 0), (3, 3)),
+    )
+    assert adaptive.min_hops(m) == 6
+
+
+# ---------------------------------------------------------------- steps
+def test_step_index_one_based():
+    with pytest.raises(ValueError):
+        BroadcastStep(index=0)
+
+
+def test_step_senders_and_deliveries():
+    step = BroadcastStep(index=1, sends=[mk_send(), mk_send((0, 1), (1, 1))])
+    assert step.senders() == {(0, 0), (0, 1)}
+    assert step.deliveries() == {(1, 0), (1, 1)}
+    assert len(step.sends_from((0, 0))) == 1
+
+
+# ---------------------------------------------------------------- schedules
+def test_schedule_requires_sequential_indices():
+    with pytest.raises(ValueError):
+        BroadcastSchedule(
+            algorithm="X",
+            source=(0, 0),
+            steps=[BroadcastStep(index=2, sends=[mk_send()])],
+        )
+
+
+def test_schedule_receive_step_first_wins():
+    s1 = BroadcastStep(index=1, sends=[mk_send((0, 0), (1, 0))])
+    s2 = BroadcastStep(index=2, sends=[mk_send((1, 0), (2, 0))])
+    sched = BroadcastSchedule(algorithm="X", source=(0, 0), steps=[s1, s2])
+    rs = sched.receive_step()
+    assert rs[(0, 0)] == 0
+    assert rs[(1, 0)] == 1
+    assert rs[(2, 0)] == 2
+
+
+def test_schedule_covered_and_counts():
+    s1 = BroadcastStep(index=1, sends=[mk_send((0, 0), (1, 0))])
+    s2 = BroadcastStep(index=2, sends=[mk_send((1, 0), (2, 0))])
+    sched = BroadcastSchedule(algorithm="X", source=(0, 0), steps=[s1, s2])
+    assert sched.covered_nodes() == {(0, 0), (1, 0), (2, 0)}
+    assert sched.total_sends() == 2
+    assert sched.num_steps == 2
+    assert len(sched.all_sends()) == 2
+
+
+def test_schedule_sends_by_node_preserves_step_order():
+    s1 = BroadcastStep(index=1, sends=[mk_send((0, 0), (1, 0))])
+    s2 = BroadcastStep(index=2, sends=[mk_send((0, 0), (0, 1))])
+    sched = BroadcastSchedule(algorithm="X", source=(0, 0), steps=[s1, s2])
+    by_node = sched.sends_by_node()
+    steps = [step for step, _ in by_node[(0, 0)]]
+    assert steps == [1, 2]
+
+
+def test_max_concurrent_sends():
+    s1 = BroadcastStep(
+        index=1, sends=[mk_send((0, 0), (1, 0)), mk_send((0, 0), (0, 1))]
+    )
+    sched = BroadcastSchedule(algorithm="X", source=(0, 0), steps=[s1])
+    assert sched.max_concurrent_sends() == 2
+
+
+def test_pathsend_control_default():
+    assert mk_send().control is ControlField.RECEIVE

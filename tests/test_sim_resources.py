@@ -1,0 +1,208 @@
+"""Unit tests for resources and stores (`repro.sim.resources`)."""
+
+import pytest
+
+from repro.sim import Environment, PriorityResource, Resource, Store
+
+
+# ---------------------------------------------------------------- Resource
+def test_capacity_must_be_positive():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_immediate_grant_when_free():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    req = res.request()
+    assert req.triggered
+    assert res.count == 1
+
+
+def test_fifo_queueing_order():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def user(env, res, label, hold):
+        with res.request() as req:
+            yield req
+            order.append((label, env.now))
+            yield env.timeout(hold)
+
+    for label, hold in [("a", 2.0), ("b", 1.0), ("c", 1.0)]:
+        env.process(user(env, res, label, hold))
+    env.run()
+    assert order == [("a", 0.0), ("b", 2.0), ("c", 3.0)]
+
+
+def test_release_is_idempotent():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    req = res.request()
+    res.release(req)
+    res.release(req)  # no error
+    assert res.count == 0
+
+
+def test_cancel_waiting_request_dequeues():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    first = res.request()
+    second = res.request()
+    assert res.queue_length == 1
+    second.cancel()
+    assert res.queue_length == 0
+    res.release(first)
+    assert not second.triggered
+
+
+def test_multi_capacity_concurrent_grants():
+    env = Environment()
+    res = Resource(env, capacity=3)
+    active = []
+
+    def user(env, res, label):
+        with res.request() as req:
+            yield req
+            active.append(label)
+            yield env.timeout(1.0)
+
+    for label in range(5):
+        env.process(user(env, res, label))
+    env.run(until=0.5)
+    assert len(active) == 3
+
+
+def test_grants_counter():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def user(env, res):
+        with res.request() as req:
+            yield req
+            yield env.timeout(1.0)
+
+    for _ in range(4):
+        env.process(user(env, res))
+    env.run()
+    assert res.grants == 4
+
+
+def test_utilisation_tracking():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def user(env, res):
+        yield env.timeout(1.0)  # idle 0..1
+        with res.request() as req:
+            yield req
+            yield env.timeout(3.0)  # busy 1..4
+
+    env.process(user(env, res))
+    env.run()
+    assert res.utilisation() == pytest.approx(0.75)
+
+
+# ---------------------------------------------------------- PriorityResource
+def test_priority_resource_orders_waiters():
+    env = Environment()
+    res = PriorityResource(env, capacity=1)
+    order = []
+
+    def user(env, res, label, prio):
+        with res.request(priority=prio) as req:
+            yield req
+            order.append(label)
+            yield env.timeout(1.0)
+
+    def spawn(env):
+        env.process(user(env, res, "first", 5))  # grabs the slot
+        yield env.timeout(0.1)
+        env.process(user(env, res, "low", 10))
+        env.process(user(env, res, "high", 1))
+        env.process(user(env, res, "mid", 5))
+
+    env.process(spawn(env))
+    env.run()
+    assert order == ["first", "high", "mid", "low"]
+
+
+def test_priority_resource_cancel_waiter():
+    env = Environment()
+    res = PriorityResource(env, capacity=1)
+    holder = res.request(priority=0)
+    waiter = res.request(priority=1)
+    assert res.queue_length == 1
+    res.release(waiter)
+    assert res.queue_length == 0
+    res.release(holder)
+    assert not waiter.triggered
+
+
+# ---------------------------------------------------------------- Store
+def test_store_put_then_get():
+    env = Environment()
+    store = Store(env)
+    store.put("x")
+    got = store.get()
+    env.run()
+    assert got.value == "x"
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+    received = []
+
+    def consumer(env, store):
+        item = yield store.get()
+        received.append((env.now, item))
+
+    def producer(env, store):
+        yield env.timeout(2.0)
+        yield store.put("msg")
+
+    env.process(consumer(env, store))
+    env.process(producer(env, store))
+    env.run()
+    assert received == [(2.0, "msg")]
+
+
+def test_store_fifo_order():
+    env = Environment()
+    store = Store(env)
+    for item in "abc":
+        store.put(item)
+    out = [store.get().value for _ in range(3)]
+    assert out == ["a", "b", "c"]
+
+
+def test_bounded_store_blocks_putter():
+    env = Environment()
+    store = Store(env, capacity=1)
+    log = []
+
+    def producer(env, store):
+        yield store.put("one")
+        log.append(("put one", env.now))
+        yield store.put("two")
+        log.append(("put two", env.now))
+
+    def consumer(env, store):
+        yield env.timeout(5.0)
+        item = yield store.get()
+        log.append((f"got {item}", env.now))
+
+    env.process(producer(env, store))
+    env.process(consumer(env, store))
+    env.run()
+    assert ("put one", 0.0) in log
+    assert ("put two", 5.0) in log
+
+
+def test_store_invalid_capacity():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Store(env, capacity=0)

@@ -1,0 +1,144 @@
+"""Unit tests for RNG streams and monitors (`repro.sim.rng`, `repro.sim.monitor`)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim import Monitor, RandomStreams
+
+
+# ------------------------------------------------------------ RandomStreams
+def test_same_seed_same_stream():
+    a = RandomStreams(seed=7)["traffic"].random(10)
+    b = RandomStreams(seed=7)["traffic"].random(10)
+    assert np.array_equal(a, b)
+
+
+def test_different_seeds_differ():
+    a = RandomStreams(seed=1)["traffic"].random(10)
+    b = RandomStreams(seed=2)["traffic"].random(10)
+    assert not np.array_equal(a, b)
+
+
+def test_streams_are_independent_of_creation_order():
+    s1 = RandomStreams(seed=3)
+    _ = s1["a"].random(100)  # burn numbers on another stream
+    v1 = s1["b"].random(5)
+
+    s2 = RandomStreams(seed=3)
+    v2 = s2["b"].random(5)  # "b" created first this time
+    assert np.array_equal(v1, v2)
+
+
+def test_named_streams_differ_from_each_other():
+    s = RandomStreams(seed=9)
+    assert not np.array_equal(s["x"].random(10), s["y"].random(10))
+
+
+def test_stream_is_cached():
+    s = RandomStreams(seed=0)
+    assert s["t"] is s["t"]
+
+
+def test_exponential_helper_mean():
+    s = RandomStreams(seed=11)
+    draws = [s.exponential("arr", rate=2.0) for _ in range(5000)]
+    assert np.mean(draws) == pytest.approx(0.5, rel=0.1)
+
+
+def test_exponential_invalid_rate():
+    with pytest.raises(ValueError):
+        RandomStreams(seed=0).exponential("x", rate=0.0)
+
+
+def test_choice_index_bounds():
+    s = RandomStreams(seed=5)
+    for _ in range(100):
+        assert 0 <= s.choice_index("c", 7) < 7
+    with pytest.raises(ValueError):
+        s.choice_index("c", 0)
+
+
+# ---------------------------------------------------------------- Monitor
+def test_monitor_mean_std():
+    m = Monitor("lat")
+    for t, v in enumerate([2.0, 4.0, 6.0]):
+        m.record(float(t), v)
+    assert m.mean() == pytest.approx(4.0)
+    assert m.std() == pytest.approx(np.std([2.0, 4.0, 6.0]))
+
+
+def test_monitor_cv():
+    m = Monitor()
+    for t, v in enumerate([1.0, 2.0, 3.0]):
+        m.record(float(t), v)
+    expected = np.std([1, 2, 3]) / 2.0
+    assert m.coefficient_of_variation() == pytest.approx(expected)
+
+
+def test_monitor_cv_zero_mean():
+    m = Monitor()
+    m.record(0.0, 0.0)
+    m.record(1.0, 0.0)
+    assert m.coefficient_of_variation() == 0.0
+
+
+def test_monitor_cv_zero_mean_nonzero_std_is_inf():
+    m = Monitor()
+    m.record(0.0, -1.0)
+    m.record(1.0, 1.0)
+    assert math.isinf(m.coefficient_of_variation())
+
+
+def test_monitor_requires_time_order():
+    m = Monitor()
+    m.record(5.0, 1.0)
+    with pytest.raises(ValueError):
+        m.record(4.0, 1.0)
+
+
+def test_monitor_empty_stats_raise():
+    m = Monitor()
+    with pytest.raises(ValueError):
+        m.mean()
+    with pytest.raises(ValueError):
+        m.time_average()
+
+
+def test_monitor_since_filters():
+    m = Monitor()
+    for t in range(10):
+        m.record(float(t), float(t))
+    late = m.since(5.0)
+    assert len(late) == 5
+    assert late.minimum() == 5.0
+
+
+def test_monitor_time_average_piecewise_constant():
+    m = Monitor()
+    m.record(0.0, 1.0)   # value 1 on [0, 2)
+    m.record(2.0, 3.0)   # value 3 on [2, 4]
+    assert m.time_average(until=4.0) == pytest.approx(2.0)
+
+
+def test_monitor_time_average_until_before_last_raises():
+    m = Monitor()
+    m.record(0.0, 1.0)
+    m.record(2.0, 3.0)
+    with pytest.raises(ValueError):
+        m.time_average(until=1.0)
+
+
+def test_monitor_rate():
+    m = Monitor()
+    for t in range(5):
+        m.record(float(t) * 2.0, 0.0)  # 5 obs over 8 time units
+    assert m.rate() == pytest.approx(4 / 8)
+
+
+def test_monitor_clear():
+    m = Monitor()
+    m.record(0.0, 1.0)
+    m.clear()
+    assert len(m) == 0

@@ -1,0 +1,109 @@
+"""Tests for steady-state detection (`repro.metrics.steady_state`)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics.steady_state import is_steady, mser_truncation, truncate_warmup
+
+
+def transient_then_steady(transient=50, steady=300, seed=0):
+    """Cold-start ramp (low values) followed by stationary noise."""
+    rng = np.random.default_rng(seed)
+    ramp = np.linspace(1.0, 10.0, transient)
+    flat = 10.0 + rng.normal(0, 0.3, steady)
+    return np.concatenate([ramp, flat])
+
+
+# ------------------------------------------------------------------ MSER
+def test_mser_cuts_the_transient():
+    data = transient_then_steady()
+    cut = mser_truncation(data)
+    assert 20 <= cut <= 120  # removes (most of) the 50-point ramp
+    assert np.mean(data[cut:]) == pytest.approx(10.0, abs=0.3)
+
+
+def test_mser_no_cut_for_stationary_data():
+    rng = np.random.default_rng(1)
+    data = 5.0 + rng.normal(0, 0.1, 400)
+    cut = mser_truncation(data)
+    assert cut <= 40  # nothing systematic to remove
+
+
+def test_mser_short_series_returns_zero():
+    assert mser_truncation([1.0, 2.0, 3.0]) == 0
+
+
+def test_mser_respects_max_cut_fraction():
+    data = transient_then_steady(transient=300, steady=100)
+    cut = mser_truncation(data, max_cut_fraction=0.25)
+    assert cut <= 0.25 * len(data) + 5
+
+
+def test_mser_validation():
+    with pytest.raises(ValueError):
+        mser_truncation([1.0] * 20, batch=0)
+    with pytest.raises(ValueError):
+        mser_truncation([1.0] * 20, max_cut_fraction=1.5)
+
+
+def test_truncate_warmup_round_trip():
+    data = transient_then_steady()
+    cut, tail = truncate_warmup(data)
+    assert len(tail) == len(data) - cut
+    assert tail.mean() == pytest.approx(10.0, abs=0.3)
+
+
+@given(st.lists(st.floats(0.1, 100.0), min_size=10, max_size=200))
+@settings(max_examples=40)
+def test_mser_cut_is_within_bounds(values):
+    cut = mser_truncation(values)
+    assert 0 <= cut <= len(values) * 0.5 + 5
+
+
+# ----------------------------------------------------------------- steady
+def test_is_steady_on_flat_series():
+    rng = np.random.default_rng(2)
+    data = 7.0 + rng.normal(0, 0.05, 100)
+    assert is_steady(data, window=20, tolerance=0.05)
+
+
+def test_is_steady_rejects_trending_series():
+    data = np.linspace(1.0, 50.0, 100)
+    assert not is_steady(data, window=20, tolerance=0.05)
+
+
+def test_is_steady_needs_two_windows():
+    assert not is_steady([1.0] * 10, window=20)
+
+
+def test_is_steady_validation():
+    with pytest.raises(ValueError):
+        is_steady([1.0] * 50, window=0)
+    with pytest.raises(ValueError):
+        is_steady([1.0] * 50, tolerance=0.0)
+
+
+def test_steady_state_on_simulated_traffic():
+    """End to end: the mixed-traffic latency stream stabilises."""
+    from repro.network import Mesh
+    from repro.traffic import MixedTrafficConfig, MixedTrafficSimulation
+
+    sim = MixedTrafficSimulation(
+        Mesh((4, 4, 2)),
+        "DB",
+        MixedTrafficConfig(
+            load_messages_per_ms=2.0,
+            batch_size=40,
+            num_batches=5,
+            discard=1,
+            seed=4,
+            max_sim_time_us=200_000,
+        ),
+    )
+    sim.run()
+    series = sim.latencies.values("all")
+    assert len(series) == 200
+    cut, tail = truncate_warmup(series)
+    assert len(tail) >= 100
+    assert is_steady(tail, window=40, tolerance=0.5)

@@ -1,0 +1,188 @@
+"""Unit + integration tests for traffic generation (`repro.traffic`)."""
+
+import numpy as np
+import pytest
+
+from repro.network import Mesh
+from repro.traffic import (
+    BitComplementPattern,
+    ExponentialArrivals,
+    HotspotPattern,
+    MixedTrafficConfig,
+    MixedTrafficSimulation,
+    TransposePattern,
+    UniformPattern,
+    rate_per_us,
+)
+
+
+# ------------------------------------------------------------ arrivals
+def test_rate_conversion():
+    assert rate_per_us(1000.0) == pytest.approx(1.0)
+    assert rate_per_us(0.05) == pytest.approx(5e-5)
+    with pytest.raises(ValueError):
+        rate_per_us(-1.0)
+
+
+def test_exponential_arrivals_mean():
+    rng = np.random.default_rng(0)
+    arr = ExponentialArrivals(rng, rate=4.0)
+    gaps = [arr.next_gap() for _ in range(4000)]
+    assert np.mean(gaps) == pytest.approx(0.25, rel=0.1)
+    assert all(g >= 0 for g in gaps)
+
+
+def test_exponential_arrivals_invalid_rate():
+    with pytest.raises(ValueError):
+        ExponentialArrivals(np.random.default_rng(0), rate=0.0)
+
+
+def test_arrivals_gap_stream():
+    rng = np.random.default_rng(1)
+    arr = ExponentialArrivals(rng, rate=1.0)
+    stream = arr.gaps()
+    assert next(stream) >= 0
+
+
+# ------------------------------------------------------------ patterns
+def test_uniform_pattern_never_self():
+    m = Mesh((4, 4))
+    pattern = UniformPattern(m)
+    rng = np.random.default_rng(0)
+    src = (2, 2)
+    for _ in range(500):
+        assert pattern.pick(src, rng) != src
+
+
+def test_uniform_pattern_covers_all_destinations():
+    m = Mesh((3, 3))
+    pattern = UniformPattern(m)
+    rng = np.random.default_rng(0)
+    seen = {pattern.pick((1, 1), rng) for _ in range(2000)}
+    assert len(seen) == 8  # every other node reachable
+
+
+def test_hotspot_pattern_bias():
+    m = Mesh((4, 4))
+    pattern = HotspotPattern(m, hotspot=(0, 0), hotspot_fraction=0.5)
+    rng = np.random.default_rng(0)
+    picks = [pattern.pick((3, 3), rng) for _ in range(2000)]
+    frac = sum(1 for p in picks if p == (0, 0)) / len(picks)
+    assert frac == pytest.approx(0.5, abs=0.08)
+
+
+def test_hotspot_validation():
+    m = Mesh((4, 4))
+    with pytest.raises(ValueError):
+        HotspotPattern(m, hotspot=(9, 9))
+    with pytest.raises(ValueError):
+        HotspotPattern(m, hotspot_fraction=1.5)
+
+
+def test_hotspot_source_is_hotspot_falls_back():
+    m = Mesh((4, 4))
+    pattern = HotspotPattern(m, hotspot=(0, 0), hotspot_fraction=1.0)
+    rng = np.random.default_rng(0)
+    assert pattern.pick((0, 0), rng) != (0, 0)
+
+
+def test_transpose_pattern():
+    m = Mesh((4, 4))
+    pattern = TransposePattern(m)
+    rng = np.random.default_rng(0)
+    assert pattern.pick((1, 3), rng) == (3, 1)
+    assert pattern.pick((2, 2), rng) != (2, 2)  # diagonal falls back
+
+
+def test_transpose_requires_square():
+    with pytest.raises(ValueError):
+        TransposePattern(Mesh((4, 8)))
+
+
+def test_bit_complement_pattern():
+    m = Mesh((4, 4, 4))
+    pattern = BitComplementPattern(m)
+    rng = np.random.default_rng(0)
+    assert pattern.pick((0, 1, 2), rng) == (3, 2, 1)
+
+
+# ------------------------------------------------------------ mixed traffic
+def test_traffic_config_validation():
+    with pytest.raises(ValueError):
+        MixedTrafficConfig(load_messages_per_ms=0.0)
+    with pytest.raises(ValueError):
+        MixedTrafficConfig(load_messages_per_ms=1.0, broadcast_fraction=2.0)
+    with pytest.raises(ValueError):
+        MixedTrafficConfig(load_messages_per_ms=1.0, message_length_flits=0)
+
+
+def quick_config(**kw):
+    defaults = dict(
+        load_messages_per_ms=2.0,
+        batch_size=8,
+        num_batches=4,
+        discard=1,
+        seed=3,
+        max_sim_time_us=100000,
+    )
+    defaults.update(kw)
+    return MixedTrafficConfig(**defaults)
+
+
+def test_mixed_traffic_completes_batches():
+    sim = MixedTrafficSimulation(Mesh((4, 4, 2)), "DB", quick_config())
+    stats = sim.run()
+    assert not stats.saturated
+    assert stats.batches_completed == 4
+    assert stats.operations_completed >= 32
+    assert stats.mean_latency_us > 0
+    assert stats.throughput_msgs_per_us > 0
+
+
+def test_mixed_traffic_records_both_kinds():
+    sim = MixedTrafficSimulation(
+        Mesh((4, 4, 2)), "DB", quick_config(broadcast_fraction=0.3, batch_size=15)
+    )
+    stats = sim.run()
+    assert stats.unicast_mean_latency_us is not None
+    assert stats.broadcast_mean_latency_us is not None
+    assert stats.broadcast_mean_latency_us > stats.unicast_mean_latency_us
+
+
+def test_mixed_traffic_pure_unicast():
+    sim = MixedTrafficSimulation(
+        Mesh((4, 4, 2)), "RD", quick_config(broadcast_fraction=0.0)
+    )
+    stats = sim.run()
+    assert stats.broadcast_mean_latency_us is None
+    assert stats.unicast_mean_latency_us == pytest.approx(
+        stats.mean_latency_us, rel=0.3
+    )
+
+
+def test_mixed_traffic_reproducible():
+    a = MixedTrafficSimulation(Mesh((4, 4, 2)), "AB", quick_config()).run()
+    b = MixedTrafficSimulation(Mesh((4, 4, 2)), "AB", quick_config()).run()
+    assert a.mean_latency_us == pytest.approx(b.mean_latency_us)
+    assert a.operations_completed == b.operations_completed
+
+
+def test_mixed_traffic_latency_grows_with_load():
+    low = MixedTrafficSimulation(
+        Mesh((4, 4, 4)), "RD", quick_config(load_messages_per_ms=1.0, batch_size=25)
+    ).run()
+    high = MixedTrafficSimulation(
+        Mesh((4, 4, 4)), "RD", quick_config(load_messages_per_ms=40.0, batch_size=25)
+    ).run()
+    assert high.mean_latency_us > low.mean_latency_us
+
+
+def test_mixed_traffic_time_cap_reports_saturation():
+    sim = MixedTrafficSimulation(
+        Mesh((4, 4, 2)),
+        "DB",
+        quick_config(load_messages_per_ms=0.001, max_sim_time_us=500.0),
+    )
+    stats = sim.run()
+    assert stats.saturated  # nowhere near enough arrivals in 500 us
+    assert stats.batches_completed < 4

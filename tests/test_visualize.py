@@ -1,0 +1,90 @@
+"""Tests for the ASCII visualisations (`repro.analysis.visualize`)."""
+
+import pytest
+
+from repro import Mesh, broadcast
+from repro.analysis.visualize import arrival_heatmap, receive_step_map
+from repro.core import DeterministicBroadcast, RecursiveDoubling
+
+
+def test_step_map_2d_shape_and_glyphs():
+    mesh = Mesh((4, 4))
+    schedule = DeterministicBroadcast(mesh).schedule((0, 0))
+    text = receive_step_map(schedule, mesh)
+    lines = text.splitlines()
+    assert len(lines) == 1 + 4  # header + ky rows
+    grid = "".join(lines[1:])
+    assert grid.count("S") == 1
+    assert "." not in grid  # full coverage
+    # The source sits at the south-west corner → last line, first cell.
+    assert lines[-1].split()[0] == "S"
+
+
+def test_step_map_digits_match_schedule():
+    mesh = Mesh((4, 4))
+    schedule = DeterministicBroadcast(mesh).schedule((0, 0))
+    receive = schedule.receive_step()
+    text = receive_step_map(schedule, mesh)
+    rows = text.splitlines()[1:]
+    for y in range(4):
+        cells = rows[3 - y].split()
+        for x in range(4):
+            if (x, y) == (0, 0):
+                assert cells[x] == "S"
+            else:
+                assert cells[x] == str(receive[(x, y)])
+
+
+def test_step_map_3d_selects_plane():
+    mesh = Mesh((4, 4, 4))
+    schedule = DeterministicBroadcast(mesh).schedule((1, 1, 2))
+    text = receive_step_map(schedule, mesh)
+    assert "plane z=2" in text
+    other = receive_step_map(schedule, mesh, plane=0)
+    assert "plane z=0" in other
+    assert "S" not in other.splitlines()[1]  # source not on plane 0
+
+
+def test_step_map_plane_validation():
+    mesh = Mesh((4, 4, 4))
+    schedule = DeterministicBroadcast(mesh).schedule((0, 0, 0))
+    with pytest.raises(ValueError):
+        receive_step_map(schedule, mesh, plane=9)
+
+
+def test_step_map_rejects_high_dims():
+    mesh = Mesh((2, 2, 2, 2))
+    schedule = RecursiveDoubling(mesh).schedule((0, 0, 0, 0))
+    with pytest.raises(ValueError):
+        receive_step_map(schedule, mesh)
+
+
+def test_heatmap_levels_normalised():
+    mesh = Mesh((4, 4))
+    outcome = broadcast("DB", mesh, (0, 0), 32)
+    text = arrival_heatmap(outcome, mesh)
+    body = "".join(text.splitlines()[1:])
+    assert "S" in body
+    assert "9" in body  # someone is last
+    assert "0" in body or "1" in body  # someone is early
+
+
+def test_heatmap_requires_arrivals():
+    from repro.core import BroadcastOutcome
+
+    empty = BroadcastOutcome("X", (0, 0), 0.0, {}, 0)
+    with pytest.raises(ValueError):
+        arrival_heatmap(empty, Mesh((4, 4)))
+
+
+def test_heatmap_3d_default_plane_is_source():
+    mesh = Mesh((4, 4, 4))
+    outcome = broadcast("AB", mesh, (2, 2, 1), 32)
+    assert "plane z=1" in arrival_heatmap(outcome, mesh)
+
+
+def test_doctest_example_renders():
+    mesh = Mesh((4, 4))
+    schedule = DeterministicBroadcast(mesh).schedule((0, 0))
+    text = receive_step_map(schedule, mesh)
+    assert text.splitlines()[-1] == "S 2 2 2"

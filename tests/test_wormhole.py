@@ -1,0 +1,260 @@
+"""Unit tests for wormhole transmission mechanics (`repro.network.wormhole`)."""
+
+import pytest
+
+from repro.network import (
+    ChannelTiming,
+    FaultModel,
+    FaultyChannelError,
+    Mesh,
+    Message,
+    MessageKind,
+    NetworkConfig,
+    NetworkSimulator,
+    PathTransmission,
+)
+from repro.routing import DimensionOrdered, Path
+
+
+def make_net(dims=(4, 4), ports=2, ts=1.5, beta=0.003):
+    return NetworkSimulator(
+        Mesh(dims),
+        NetworkConfig(startup_latency=ts, flit_time=beta, ports_per_node=ports),
+    )
+
+
+def unicast(src, dst, L=32):
+    return Message(source=src, destinations={dst}, length_flits=L)
+
+
+# ----------------------------------------------------------- basic timing
+def test_uncontended_latency_formula():
+    """latency = Ts + hops*beta + (L-1)*beta for a lone worm."""
+    net = make_net()
+    dor = DimensionOrdered(net.topology)
+    msg = unicast((0, 0), (3, 3), L=100)
+    tx = PathTransmission(net, msg, path=Path(dor.path((0, 0), (3, 3))))
+    proc = tx.start()
+    result = net.run(until=proc)
+    expected = 1.5 + 6 * 0.003 + 99 * 0.003
+    assert result.network_latency == pytest.approx(expected)
+    assert result.injected_at == pytest.approx(1.5)
+
+
+def test_single_flit_message_has_no_body_time():
+    net = make_net(ts=0.0)
+    msg = unicast((0, 0), (1, 0), L=1)
+    tx = PathTransmission(net, msg, path=Path([(0, 0), (1, 0)]))
+    proc = tx.start()
+    result = net.run(until=proc)
+    assert result.network_latency == pytest.approx(0.003)
+
+
+def test_multidestination_arrival_ordering():
+    """CPR deliveries arrive in path order, one hop time apart."""
+    net = make_net(ts=0.0)
+    nodes = [(0, 0), (1, 0), (2, 0), (3, 0)]
+    msg = Message(source=(0, 0), destinations=set(nodes[1:]), length_flits=10)
+    tx = PathTransmission(net, msg, path=Path(nodes, deliveries=nodes[1:]))
+    proc = tx.start()
+    result = net.run(until=proc)
+    times = [result.arrivals[n] for n in nodes[1:]]
+    assert times == sorted(times)
+    assert times[1] - times[0] == pytest.approx(0.003)
+    assert result.arrivals[(1, 0)] == pytest.approx(0.003 + 9 * 0.003)
+
+
+def test_transmission_records_deliveries_on_nodes():
+    net = make_net()
+    msg = unicast((0, 0), (2, 0))
+    tx = PathTransmission(net, msg, path=Path([(0, 0), (1, 0), (2, 0)]))
+    proc = tx.start()
+    net.run(until=proc)
+    assert net.node((2, 0)).has_received(msg.uid)
+    assert not net.node((1, 0)).has_received(msg.uid)
+    assert net.node((0, 0)).sent_count == 1
+
+
+# ----------------------------------------------------------- contention
+def test_channel_contention_serialises_worms():
+    """Two worms over the same channel: the second waits for the first."""
+    net = make_net(ts=0.0, ports=2)
+    path = Path([(0, 0), (1, 0)])
+    m1 = unicast((0, 0), (1, 0), L=100)
+    m2 = unicast((0, 0), (1, 0), L=100)
+    p1 = PathTransmission(net, m1, path=path).start()
+    p2 = PathTransmission(net, m2, path=path).start()
+    net.run()
+    r1, r2 = p1.value, p2.value
+    lone = 0.003 + 99 * 0.003
+    assert r1.completed_at == pytest.approx(lone)
+    # Worm 2's header waits for worm 1 to release the channel.
+    assert r2.completed_at == pytest.approx(2 * lone)
+
+
+def test_wormhole_blocking_holds_upstream_channels():
+    """A worm blocked mid-path keeps its acquired channels busy."""
+    net = make_net(dims=(5, 1), ts=0.0, ports=2)
+    blocker = unicast((2, 0), (3, 0), L=1000)
+    pb = PathTransmission(net, blocker, path=Path([(2, 0), (3, 0)])).start()
+    # Long worm from 0 wants to cross 2->3; it will block holding 0->1, 1->2.
+    crosser = unicast((0, 0), (4, 0), L=1000)
+    path = Path([(0, 0), (1, 0), (2, 0), (3, 0), (4, 0)])
+    pc = PathTransmission(net, crosser, path=path).start()
+    net.run(until=1.0)  # mid-flight: blocker still transmitting
+    assert net.channel((0, 0), (1, 0)).busy
+    assert net.channel((1, 0), (2, 0)).busy
+    net.run()
+    assert pc.value.completed_at > pb.value.completed_at
+
+
+def test_port_budget_serialises_injections():
+    """A 1-port node sends two worms back to back, not concurrently."""
+    net = make_net(ts=1.0, ports=1)
+    m1 = unicast((0, 0), (1, 0), L=100)
+    m2 = unicast((0, 0), (0, 1), L=100)
+    p1 = PathTransmission(net, m1, path=Path([(0, 0), (1, 0)])).start()
+    p2 = PathTransmission(net, m2, path=Path([(0, 0), (0, 1)])).start()
+    net.run()
+    lone = 1.0 + 0.003 + 99 * 0.003
+    assert p1.value.completed_at == pytest.approx(lone)
+    assert p2.value.completed_at == pytest.approx(2 * lone)
+
+
+def test_two_ports_allow_concurrent_injection():
+    net = make_net(ts=1.0, ports=2)
+    m1 = unicast((0, 0), (1, 0), L=100)
+    m2 = unicast((0, 0), (0, 1), L=100)
+    p1 = PathTransmission(net, m1, path=Path([(0, 0), (1, 0)])).start()
+    p2 = PathTransmission(net, m2, path=Path([(0, 0), (0, 1)])).start()
+    net.run()
+    lone = 1.0 + 0.003 + 99 * 0.003
+    assert p1.value.completed_at == pytest.approx(lone)
+    assert p2.value.completed_at == pytest.approx(lone)
+
+
+# ----------------------------------------------------------- adaptive mode
+def test_adaptive_waypoints_route_around_load():
+    """With west-first adaptivity the worm avoids the congested channel."""
+    from repro.routing import WestFirst
+
+    net = make_net(dims=(3, 3), ts=0.0, ports=3)
+    wf = WestFirst(net.topology)
+    # Occupy the east channel out of (0,0) with a long worm.
+    blocker = unicast((0, 0), (1, 0), L=5000)
+    PathTransmission(net, blocker, path=Path([(0, 0), (1, 0)])).start()
+    net.run(until=0.001)
+    probe = unicast((0, 0), (1, 1), L=2)
+    tx = PathTransmission(
+        net, probe, waypoints=[(0, 0), (1, 1)], routing=wf, adaptive=True
+    )
+    proc = tx.start()
+    net.run(until=proc)
+    # Probe must have gone north first: (0,0)->(0,1)->(1,1).
+    assert proc.value.visited == ((0, 0), (0, 1), (1, 1))
+
+
+def test_waypoint_transmission_requires_routing():
+    net = make_net()
+    msg = unicast((0, 0), (1, 1))
+    with pytest.raises(ValueError):
+        PathTransmission(net, msg, waypoints=[(0, 0), (1, 1)])
+
+
+def test_exactly_one_route_spec():
+    net = make_net()
+    dor = DimensionOrdered(net.topology)
+    msg = unicast((0, 0), (1, 0))
+    with pytest.raises(ValueError):
+        PathTransmission(net, msg)
+    with pytest.raises(ValueError):
+        PathTransmission(
+            net,
+            msg,
+            path=Path([(0, 0), (1, 0)]),
+            waypoints=[(0, 0), (1, 0)],
+            routing=dor,
+        )
+
+
+def test_path_must_contain_destinations():
+    net = make_net()
+    msg = unicast((0, 0), (3, 3))
+    with pytest.raises(ValueError):
+        PathTransmission(net, msg, path=Path([(0, 0), (1, 0)]))
+
+
+# ----------------------------------------------------------- faults
+def test_faulty_channel_aborts_deterministic_worm():
+    net = make_net(ts=0.0)
+    faults = FaultModel(net)
+    faults.fail_channel((1, 0), (2, 0))
+    msg = unicast((0, 0), (3, 0))
+    tx = PathTransmission(
+        net, msg, path=Path([(0, 0), (1, 0), (2, 0), (3, 0)])
+    )
+    proc = tx.start()
+    with pytest.raises(FaultyChannelError):
+        net.run()
+    assert not proc.ok
+
+
+def test_fault_release_frees_channels():
+    net = make_net(ts=0.0)
+    FaultModel(net).fail_channel((1, 0), (2, 0))
+    msg = unicast((0, 0), (3, 0))
+    tx = PathTransmission(net, msg, path=Path([(0, 0), (1, 0), (2, 0), (3, 0)]))
+    tx.start()
+    try:
+        net.run()
+    except FaultyChannelError:
+        pass
+    assert not net.channel((0, 0), (1, 0)).busy
+    assert net.node((0, 0)).ports.count == 0
+
+
+def test_fault_model_symmetric_and_repair():
+    net = make_net()
+    fm = FaultModel(net)
+    fm.fail_channel((0, 0), (1, 0))
+    assert net.channel((1, 0), (0, 0)).faulty
+    fm.repair_channel((0, 0), (1, 0))
+    assert not net.channel((0, 0), (1, 0)).faulty
+    assert not fm.faulted_channels
+
+
+def test_fail_random_links_reproducible():
+    net1, net2 = make_net(), make_net()
+    f1 = FaultModel(net1).fail_random_links(3)
+    f2 = FaultModel(net2).fail_random_links(3)
+    assert f1 == f2
+    assert len(FaultModel(net1).faulted_channels) == 0  # fresh model, fresh set
+
+
+# ----------------------------------------------------------- timing helpers
+def test_channel_timing_validation():
+    with pytest.raises(ValueError):
+        ChannelTiming(flit_time=0.0)
+    with pytest.raises(ValueError):
+        ChannelTiming(router_delay=-1.0)
+    t = ChannelTiming(flit_time=0.01, router_delay=0.002)
+    assert t.header_hop_time == pytest.approx(0.012)
+    assert t.body_time(11) == pytest.approx(0.1)
+    with pytest.raises(ValueError):
+        t.body_time(0)
+
+
+def test_message_validation():
+    with pytest.raises(ValueError):
+        Message(source=(0, 0), destinations=set(), length_flits=8)
+    with pytest.raises(ValueError):
+        Message(source=(0, 0), destinations={(0, 0)}, length_flits=8)
+    with pytest.raises(ValueError):
+        Message(source=(0, 0), destinations={(1, 0)}, length_flits=0)
+    m = Message(source=(0, 0), destinations={(1, 0), (2, 0)}, length_flits=8)
+    assert m.is_multidestination
+    with pytest.raises(ValueError):
+        m.single_destination()
+    u = Message(source=(0, 0), destinations={(1, 0)}, length_flits=8)
+    assert u.single_destination() == (1, 0)
+    assert u.kind is MessageKind.UNICAST

@@ -1,0 +1,178 @@
+"""Property-based tests of the wormhole layer's conservation invariants.
+
+Whatever worms do — contend, block, pipeline, multicast — the network
+must conserve its resources: every channel released, every port freed,
+every delivery recorded exactly once, and time must respect the
+analytic lower bounds.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import message_latency
+from repro.core import EventDrivenExecutor, get_algorithm
+from repro.core.adaptive_broadcast import AdaptiveBroadcast
+from repro.network import (
+    Mesh,
+    Message,
+    NetworkConfig,
+    NetworkSimulator,
+    PathTransmission,
+)
+from repro.routing import DimensionOrdered, Path
+
+dims2d = st.tuples(st.integers(2, 6), st.integers(2, 6))
+
+
+def coords_in(dims):
+    return st.tuples(*[st.integers(0, d - 1) for d in dims])
+
+
+@given(
+    dims2d.flatmap(
+        lambda d: st.tuples(
+            st.just(d),
+            st.lists(
+                st.tuples(coords_in(d), coords_in(d)),
+                min_size=1,
+                max_size=12,
+            ),
+            st.integers(1, 200),
+        )
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_unicast_storm_conserves_resources(args):
+    """Random unicast batches always drain and free everything."""
+    dims, pairs, length = args
+    mesh = Mesh(dims)
+    net = NetworkSimulator(mesh, NetworkConfig(ports_per_node=2))
+    dor = DimensionOrdered(mesh)
+    processes = []
+    sent = 0
+    for src, dst in pairs:
+        if src == dst:
+            continue
+        msg = Message(source=src, destinations={dst}, length_flits=length)
+        nodes = dor.path(src, dst)
+        processes.append(
+            PathTransmission(
+                net, msg, path=Path(nodes, deliveries=[dst])
+            ).start()
+        )
+        sent += 1
+    net.run()
+    # Every transmission finished successfully.
+    assert all(p.processed and p.ok for p in processes)
+    # Conservation: channels idle, ports free, queues empty.
+    for channel in net.channels.values():
+        assert not channel.busy
+        assert channel.queue_length == 0
+    for node in net.nodes.values():
+        assert node.ports.count == 0
+    # Exactly one delivery per sent message.
+    deliveries = sum(len(n.deliveries) for n in net.nodes.values())
+    assert deliveries == sent
+
+
+@given(
+    dims2d.flatmap(
+        lambda d: st.tuples(st.just(d), coords_in(d), coords_in(d), st.integers(1, 500))
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_lone_unicast_matches_analytic_model(args):
+    """An uncontended worm's latency equals the closed form exactly."""
+    dims, src, dst, length = args
+    if src == dst:
+        return
+    mesh = Mesh(dims)
+    config = NetworkConfig(ports_per_node=1)
+    net = NetworkSimulator(mesh, config)
+    dor = DimensionOrdered(mesh)
+    nodes = dor.path(src, dst)
+    msg = Message(source=src, destinations={dst}, length_flits=length)
+    proc = PathTransmission(net, msg, path=Path(nodes, deliveries=[dst])).start()
+    result = net.run(until=proc)
+    expected = message_latency(config, hops=len(nodes) - 1, length_flits=length)
+    assert result.network_latency == pytest.approx(expected)
+
+
+@given(
+    name=st.sampled_from(["RD", "EDN", "DB", "AB"]),
+    dims=st.tuples(st.integers(2, 4), st.integers(2, 4), st.integers(1, 4)),
+    data=st.data(),
+)
+@settings(max_examples=25, deadline=None)
+def test_broadcast_conserves_resources(name, dims, data):
+    """After any broadcast drains, the network is pristine."""
+    source = data.draw(st.tuples(*[st.integers(0, d - 1) for d in dims]))
+    mesh = Mesh(dims)
+    algo = get_algorithm(name)(mesh)
+    net = NetworkSimulator(mesh, NetworkConfig(ports_per_node=algo.ports_required))
+    routing = AdaptiveBroadcast.make_routing(mesh) if algo.adaptive else None
+    outcome = EventDrivenExecutor(net, adaptive_routing=routing).execute(
+        algo.schedule(source), 16
+    )
+    net.run()  # drain any trailing bookkeeping
+    assert outcome.delivered_count == mesh.num_nodes - 1
+    for channel in net.channels.values():
+        assert not channel.busy
+        assert channel.queue_length == 0
+    for node in net.nodes.values():
+        assert node.ports.count == 0
+    # Each non-source node got exactly one copy.
+    for node in net.nodes.values():
+        expected = 0 if node.coord == source else 1
+        assert len(node.deliveries) == expected, node.coord
+
+
+@given(
+    dims=st.tuples(st.integers(2, 4), st.integers(2, 4), st.integers(2, 4)),
+    data=st.data(),
+    length=st.integers(1, 200),
+)
+@settings(max_examples=25, deadline=None)
+def test_broadcast_latency_bounded_below_by_floor(dims, data, length):
+    from repro.analysis import broadcast_latency_lower_bound, distance_lower_bound
+    from repro.core import BarrierStepExecutor
+
+    name = data.draw(st.sampled_from(["RD", "EDN", "DB", "AB"]))
+    source = data.draw(st.tuples(*[st.integers(0, d - 1) for d in dims]))
+    mesh = Mesh(dims)
+    algo = get_algorithm(name)(mesh)
+    config = NetworkConfig(ports_per_node=algo.ports_required)
+    net = NetworkSimulator(mesh, config)
+    routing = AdaptiveBroadcast.make_routing(mesh) if algo.adaptive else None
+    schedule = algo.schedule(source)
+    event = EventDrivenExecutor(net, adaptive_routing=routing).execute(
+        schedule, length
+    )
+    # Semantics-independent floor bounds the event-driven execution...
+    causal_floor = distance_lower_bound(mesh, source, config, length)
+    assert event.network_latency >= causal_floor - 1e-9
+    # ...while the steps floor bounds step-synchronised execution.
+    barrier = BarrierStepExecutor(mesh, config).execute(schedule, length)
+    steps_floor = broadcast_latency_lower_bound(name, dims, config, length)
+    assert barrier.network_latency >= steps_floor - 1e-9
+
+
+@given(st.integers(1, 64), st.integers(1, 6))
+@settings(max_examples=30, deadline=None)
+def test_multidestination_delivery_times_monotone(length, span):
+    """CPR deliveries along one worm arrive in path order."""
+    mesh = Mesh((8, 8))
+    net = NetworkSimulator(mesh, NetworkConfig(ports_per_node=1))
+    nodes = [(x, 0) for x in range(min(span + 1, 8))]
+    if len(nodes) < 2:
+        return
+    msg = Message(
+        source=nodes[0], destinations=set(nodes[1:]), length_flits=length
+    )
+    proc = PathTransmission(
+        net, msg, path=Path(nodes, deliveries=nodes[1:])
+    ).start()
+    result = net.run(until=proc)
+    times = [result.arrivals[n] for n in nodes[1:]]
+    assert times == sorted(times)
+    assert len(times) == len(set(times))
