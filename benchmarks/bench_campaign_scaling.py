@@ -1,0 +1,46 @@
+"""Campaign engine — wall-clock speedup at 1/2/4 workers.
+
+Runs a fixed broadcast campaign (the Fig. 2 grid at smoke scale, whose
+barrier twins make units meaty enough to amortise process start-up)
+through the worker pool at increasing worker counts, printing the
+measured speedups and asserting the determinism contract: every worker
+count produces byte-identical records.
+
+Speedup itself is hardware-dependent and is printed, not asserted —
+except that the parallel runs must not collapse (finish at all).
+"""
+
+import time
+
+from repro.campaigns.pool import run_campaign
+from repro.experiments.fig2 import fig2_campaign
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _timed_run(spec, workers):
+    started = time.perf_counter()
+    records = run_campaign(spec, workers=workers)
+    return records, time.perf_counter() - started
+
+
+def test_campaign_scaling(once):
+    spec = fig2_campaign(scale="smoke", seed=0)
+
+    def sweep():
+        return {w: _timed_run(spec, w) for w in WORKER_COUNTS}
+
+    results = once(sweep)
+
+    baseline_records, baseline_s = results[1]
+    print()
+    print(f"campaign {spec.name}: {len(spec)} units")
+    for workers in WORKER_COUNTS:
+        records, elapsed = results[workers]
+        speedup = baseline_s / elapsed if elapsed else float("inf")
+        print(
+            f"  workers={workers}: {elapsed:6.2f}s"
+            f"  speedup x{speedup:4.2f}"
+        )
+        # Determinism: sharding may only change wall-clock time.
+        assert records == baseline_records

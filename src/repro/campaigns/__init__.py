@@ -1,0 +1,44 @@
+"""Campaign engine: parallel, resumable experiment orchestration.
+
+An experiment campaign is a declarative grid of independent simulation
+*units* — one (algorithm, dims, message length, load, seed, replication)
+point each — executed by a multiprocessing worker pool and merged back
+into the row shapes the reporting/export layers consume.
+
+Core pieces:
+
+* :mod:`repro.campaigns.spec` — :class:`UnitSpec` / :class:`CampaignSpec`,
+  declarative unit grids with stable content hashing;
+* :mod:`repro.campaigns.pool` — serial or ``ProcessPoolExecutor``-based
+  dispatch (``run_campaign``), byte-identical across worker counts;
+* :mod:`repro.campaigns.store` — append-only JSONL result store keyed by
+  unit hash, giving crash-resumable campaigns;
+* :mod:`repro.campaigns.units` — the unit runners ("broadcast",
+  "traffic") that turn one :class:`UnitSpec` into a result record;
+* :mod:`repro.campaigns.aggregate` — merges unit records back into the
+  per-experiment row dataclasses.
+
+Determinism contract: a unit derives every random draw it needs from
+the campaign's master seed via the :class:`repro.sim.rng.RandomStreams`
+spawn-key scheme (never from process-local state), so running a
+campaign with ``--workers 4`` produces rows identical to the serial
+run, and a crashed campaign resumes exactly where it stopped.
+"""
+
+from repro.campaigns.aggregate import aggregate, register_aggregator
+from repro.campaigns.pool import execute_unit, register_unit_runner, run_campaign
+from repro.campaigns.spec import CampaignSpec, UnitSpec, freeze_params
+from repro.campaigns.store import ResultStore, UnitRecord
+
+__all__ = [
+    "CampaignSpec",
+    "ResultStore",
+    "UnitRecord",
+    "UnitSpec",
+    "aggregate",
+    "execute_unit",
+    "freeze_params",
+    "register_aggregator",
+    "register_unit_runner",
+    "run_campaign",
+]

@@ -1,0 +1,143 @@
+"""Campaign dispatch: serial loop or multiprocessing worker pool.
+
+``run_campaign`` shards a campaign's pending units across ``workers``
+processes with :class:`concurrent.futures.ProcessPoolExecutor`.  Units
+are pure functions of their spec (every random draw derives from the
+master seed via named streams), so sharding changes only wall-clock
+time: the returned records — and any rows aggregated from them — are
+byte-identical to a serial run.
+
+Unit runners register under a *kind* key ("broadcast", "traffic");
+:mod:`repro.campaigns.units` provides the built-ins and is imported
+lazily so the campaigns layer never drags the experiments package into
+its import cycle.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.campaigns.spec import CampaignSpec, UnitSpec
+from repro.campaigns.store import ResultStore, UnitRecord
+
+__all__ = ["ProgressFn", "register_unit_runner", "execute_unit", "run_campaign"]
+
+#: kind → runner(spec) -> result dict.
+_UNIT_RUNNERS: Dict[str, Callable[[UnitSpec], Dict[str, Any]]] = {}
+
+ProgressFn = Callable[[str], None]
+
+
+def register_unit_runner(
+    kind: str,
+) -> Callable[[Callable[[UnitSpec], Dict[str, Any]]], Callable]:
+    """Decorator registering a unit runner for ``kind``."""
+
+    def decorate(fn: Callable[[UnitSpec], Dict[str, Any]]) -> Callable:
+        _UNIT_RUNNERS[kind] = fn
+        return fn
+
+    return decorate
+
+
+def _runner_for(kind: str) -> Callable[[UnitSpec], Dict[str, Any]]:
+    if kind not in _UNIT_RUNNERS:
+        # Built-in runners live one import away; registering them here
+        # (rather than at module import) keeps campaigns importable
+        # from inside repro.experiments without a cycle.
+        import repro.campaigns.units  # noqa: F401
+
+    try:
+        return _UNIT_RUNNERS[kind]
+    except KeyError:
+        raise ValueError(
+            f"no unit runner registered for kind {kind!r};"
+            f" known kinds: {sorted(_UNIT_RUNNERS)}"
+        ) from None
+
+
+def execute_unit(spec: UnitSpec) -> UnitRecord:
+    """Run one unit and wrap its result as a :class:`UnitRecord`."""
+    runner = _runner_for(spec.kind)
+    started = time.perf_counter()
+    result = runner(spec)
+    return UnitRecord(
+        unit_hash=spec.unit_hash,
+        experiment=spec.experiment,
+        spec=spec.as_dict(),
+        result=result,
+        elapsed_s=time.perf_counter() - started,
+    )
+
+
+def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker-process entry point (module-level so it pickles)."""
+    return execute_unit(UnitSpec.from_dict(payload)).to_dict()
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    workers: int = 1,
+    store: Optional[ResultStore] = None,
+    progress: Optional[ProgressFn] = None,
+) -> List[UnitRecord]:
+    """Execute a campaign and return its records in declaration order.
+
+    Parameters
+    ----------
+    spec:
+        The campaign to run.
+    workers:
+        Process count; ``1`` runs in-process (no pool, no pickling).
+    store:
+        Optional JSONL store.  Units already present are *not*
+        re-executed (their stored record is reused), and every fresh
+        record is appended as soon as it completes — interrupting the
+        run loses at most the units in flight.
+    progress:
+        Optional callback for human-readable progress lines.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    records: Dict[str, UnitRecord] = {}
+    if store is not None:
+        wanted = set(spec.unit_hashes())
+        records = {
+            h: rec for h, rec in store.records().items() if h in wanted
+        }
+    pending = spec.pending(records)
+    if progress:
+        progress(
+            f"campaign {spec.name}: {len(spec)} units"
+            f" ({len(records)} cached, {len(pending)} to run,"
+            f" workers={min(workers, max(len(pending), 1))})"
+        )
+
+    def finish(record: UnitRecord) -> None:
+        records[record.unit_hash] = record
+        if store is not None:
+            store.append(record)
+
+    if pending:
+        if workers == 1 or len(pending) == 1:
+            for unit in pending:
+                finish(execute_unit(unit))
+        else:
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(pending))
+            ) as pool:
+                futures = {
+                    pool.submit(_execute_payload, unit.as_dict()): unit
+                    for unit in pending
+                }
+                for future in as_completed(futures):
+                    finish(UnitRecord.from_dict(future.result()))
+    if progress:
+        total = sum(r.elapsed_s for r in records.values())
+        progress(
+            f"campaign {spec.name}: complete"
+            f" ({len(records)}/{len(spec)} units, {total:.2f}s simulated work)"
+        )
+    return [records[unit.unit_hash] for unit in spec.units]

@@ -1,0 +1,116 @@
+"""Append-only JSONL result store keyed by unit hash.
+
+Each completed unit appends one JSON line; a campaign re-run loads the
+store, skips every unit whose hash is already present, and only
+dispatches the remainder — so an interrupted ``repro campaign run``
+resumes where it stopped.  A truncated final line (the signature of a
+crash mid-write) is tolerated and simply re-executed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Set
+
+from repro.campaigns.spec import CampaignSpec, UnitSpec
+
+__all__ = ["UnitRecord", "ResultStore"]
+
+_REQUIRED_KEYS = ("unit_hash", "experiment", "spec", "result")
+
+
+@dataclass(frozen=True)
+class UnitRecord:
+    """The persisted outcome of one executed unit."""
+
+    unit_hash: str
+    experiment: str
+    spec: Dict[str, Any]
+    result: Dict[str, Any]
+    #: wall-clock metadata; excluded from equality so serial, parallel
+    #: and store-resumed records with identical results compare equal.
+    elapsed_s: float = field(default=0.0, compare=False)
+
+    @property
+    def unit_spec(self) -> UnitSpec:
+        """The record's spec, reconstructed as a :class:`UnitSpec`."""
+        return UnitSpec.from_dict(self.spec)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "unit_hash": self.unit_hash,
+            "experiment": self.experiment,
+            "spec": self.spec,
+            "result": self.result,
+            "elapsed_s": self.elapsed_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "UnitRecord":
+        return cls(
+            unit_hash=data["unit_hash"],
+            experiment=data["experiment"],
+            spec=dict(data["spec"]),
+            result=dict(data["result"]),
+            elapsed_s=float(data.get("elapsed_s", 0.0)),
+        )
+
+
+class ResultStore:
+    """A JSONL file of :class:`UnitRecord` lines.
+
+    The store is append-only; if a unit somehow appears twice the last
+    record wins.  Reads tolerate a corrupt/truncated tail so a crashed
+    writer never poisons the campaign.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ResultStore {self.path}>"
+
+    def records(self) -> Dict[str, UnitRecord]:
+        """All stored records, keyed by unit hash (last record wins)."""
+        records: Dict[str, UnitRecord] = {}
+        if not self.path.exists():
+            return records
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    data = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # crash-truncated tail; the unit re-runs
+                if not all(key in data for key in _REQUIRED_KEYS):
+                    continue
+                record = UnitRecord.from_dict(data)
+                records[record.unit_hash] = record
+        return records
+
+    def completed_hashes(self) -> Set[str]:
+        """Hashes of every unit with a stored result."""
+        return set(self.records())
+
+    def append(self, record: UnitRecord) -> None:
+        """Durably append one record (creating parent dirs on demand)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+
+    def extend(self, records: Iterable[UnitRecord]) -> None:
+        """Append many records."""
+        for record in records:
+            self.append(record)
+
+    def records_for(
+        self, spec: CampaignSpec
+    ) -> List[Optional[UnitRecord]]:
+        """Stored records for a campaign's units, in declaration order
+        (``None`` where a unit has not completed yet)."""
+        stored = self.records()
+        return [stored.get(unit.unit_hash) for unit in spec.units]

@@ -1,0 +1,102 @@
+"""Built-in unit runners.
+
+A unit runner maps one :class:`~repro.campaigns.spec.UnitSpec` to a
+plain JSON-serialisable result dict.  Runners must be *deterministic
+functions of the spec*: any randomness is re-derived from the spec's
+master seed (named ``RandomStreams``), never taken from process-local
+state, so a unit computes the same record no matter which worker — or
+which resumed run — executes it.
+
+Two kinds cover all of the paper's experiments:
+
+* ``"broadcast"`` — one single-source broadcast on an idle network
+  (the §3.1/§3.2 protocol).  The replication index selects which of
+  the cell's shared random sources this unit measures; with
+  ``barrier=True`` the same source is also run under step-barrier
+  semantics (the tables' second CV column).
+* ``"traffic"`` — one mixed unicast/broadcast load point (the §3.3
+  protocol, batch means and all).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.campaigns.pool import register_unit_runner
+from repro.campaigns.spec import UnitSpec
+
+__all__ = ["run_broadcast_unit", "run_traffic_unit"]
+
+
+@register_unit_runner("broadcast")
+def run_broadcast_unit(spec: UnitSpec) -> Dict[str, Any]:
+    """One event-driven broadcast (plus optional barrier twin)."""
+    from repro.experiments.common import (
+        random_sources,
+        run_barrier_broadcasts,
+        run_single_broadcasts,
+    )
+
+    count = int(spec.param("sources_count", spec.replication + 1))
+    if not 0 <= spec.replication < count:
+        raise ValueError(
+            f"replication {spec.replication} outside sources_count={count}"
+        )
+    # Every replication of a cell re-derives the *same* source list from
+    # (dims, master seed), so all algorithms see identical sources — the
+    # paper's fairness protocol — and any worker computes the same unit.
+    source = random_sources(spec.dims, count, spec.seed)[spec.replication]
+    startup_latency = float(spec.param("startup_latency", 1.5))
+    outcome = run_single_broadcasts(
+        spec.algorithm,
+        spec.dims,
+        [source],
+        spec.length_flits,
+        startup_latency,
+        max_destinations_per_path=spec.param("max_destinations_per_path"),
+        ports_override=spec.param("ports_override"),
+    )[0]
+    result: Dict[str, Any] = {
+        "source": list(source),
+        "network_latency": outcome.network_latency,
+        "mean_latency": outcome.mean_latency,
+        "cv": outcome.coefficient_of_variation,
+        "delivered": outcome.delivered_count,
+    }
+    if spec.param("barrier", False):
+        barrier = run_barrier_broadcasts(
+            spec.algorithm, spec.dims, [source], spec.length_flits,
+            startup_latency,
+        )[0]
+        result["barrier_cv"] = barrier.coefficient_of_variation
+        result["barrier_network_latency"] = barrier.network_latency
+    return result
+
+
+@register_unit_runner("traffic")
+def run_traffic_unit(spec: UnitSpec) -> Dict[str, Any]:
+    """One mixed-traffic load point (Figs. 3-4 protocol)."""
+    from repro.network.topology import Mesh
+    from repro.traffic.workload import MixedTrafficConfig, MixedTrafficSimulation
+
+    if spec.load is None:
+        raise ValueError(f"traffic unit {spec.unit_hash} has no load")
+    config = MixedTrafficConfig(
+        load_messages_per_ms=spec.load,
+        broadcast_fraction=float(spec.param("broadcast_fraction", 0.1)),
+        message_length_flits=spec.length_flits,
+        batch_size=int(spec.param("batch_size", 25)),
+        num_batches=int(spec.param("num_batches", 21)),
+        discard=int(spec.param("discard", 1)),
+        max_sim_time_us=float(spec.param("max_sim_time_us", 2_000_000.0)),
+        seed=spec.seed,
+    )
+    stats = MixedTrafficSimulation(Mesh(spec.dims), spec.algorithm, config).run()
+    return {
+        "mean_latency_us": stats.mean_latency_us,
+        "unicast_mean_latency_us": stats.unicast_mean_latency_us,
+        "broadcast_mean_latency_us": stats.broadcast_mean_latency_us,
+        "throughput_msgs_per_us": stats.throughput_msgs_per_us,
+        "operations": stats.operations_completed,
+        "saturated": stats.saturated,
+    }

@@ -3,8 +3,15 @@
 Regenerate any of the paper's tables/figures::
 
     repro fig1 --scale quick
-    repro table2 --scale full --seed 7
+    repro table2 --scale full --seed 7 --workers 8
     repro list
+
+run a parallel, resumable campaign (results land in a JSONL store,
+and a re-run skips every already-completed unit)::
+
+    repro campaign run fig4 --scale full --workers 8
+    repro campaign status fig4 --scale full
+    repro campaign aggregate fig4 --scale full --out fig4.csv
 
 or run a one-off broadcast and print its profile::
 
@@ -15,18 +22,24 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis.comparison import compare_algorithms
+from repro.campaigns.aggregate import aggregate
+from repro.campaigns.pool import run_campaign
+from repro.campaigns.store import ResultStore
 from repro.core.adaptive_broadcast import AdaptiveBroadcast
 from repro.core.executors import EventDrivenExecutor
 from repro.core.registry import algorithm_names, get_algorithm
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import EXPERIMENTS, run_experiment
+from repro.experiments.runner import EXPERIMENTS, campaign_for, run_experiment
 from repro.network.network import NetworkConfig, NetworkSimulator
 from repro.network.topology import Mesh
 
 __all__ = ["main"]
+
+CAMPAIGN_HELP = "run experiment campaigns (parallel, resumable)"
 
 
 def _parse_dims(text: str):
@@ -43,6 +56,33 @@ def _parse_coord(text: str):
         raise argparse.ArgumentTypeError(f"bad coordinate {text!r}; use e.g. 3,4,5")
 
 
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        value = 0
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"expected a positive count, got {text!r}")
+    return value
+
+
+def _add_experiment_options(
+    parser: argparse.ArgumentParser, workers: bool = True
+) -> None:
+    parser.add_argument(
+        "--scale", default="quick", choices=["smoke", "quick", "full"]
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    if workers:
+        parser.add_argument(
+            "--workers",
+            type=_positive_int,
+            default=1,
+            metavar="N",
+            help="shard simulation units over N worker processes",
+        )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -55,16 +95,42 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list available experiments")
 
-    for experiment_id in EXPERIMENTS:
-        p = sub.add_parser(experiment_id, help=f"regenerate {experiment_id}")
-        p.add_argument("--scale", default="quick", choices=["smoke", "quick", "full"])
-        p.add_argument("--seed", type=int, default=0)
+    for experiment_id, help_text in EXPERIMENTS.items():
+        p = sub.add_parser(experiment_id, help=help_text)
+        _add_experiment_options(p)
         p.add_argument(
             "--out",
             default=None,
             metavar="FILE",
             help="also save the rows to FILE (.json or .csv)",
         )
+
+    camp = sub.add_parser("campaign", help=CAMPAIGN_HELP)
+    camp_sub = camp.add_subparsers(dest="campaign_command", required=True)
+    for action, help_text in (
+        ("run", "execute a campaign's pending units (resumes from --store)"),
+        ("status", "show completed/pending unit counts"),
+        ("aggregate", "rebuild result rows from a (complete) store"),
+    ):
+        cp = camp_sub.add_parser(action, help=help_text)
+        cp.add_argument("experiment", choices=sorted(EXPERIMENTS))
+        _add_experiment_options(cp, workers=(action == "run"))
+        cp.add_argument(
+            "--store",
+            default=None,
+            metavar="FILE",
+            help=(
+                "JSONL unit-result store"
+                " (default: campaigns/<name>.jsonl)"
+            ),
+        )
+        if action in ("run", "aggregate"):
+            cp.add_argument(
+                "--out",
+                default=None,
+                metavar="FILE",
+                help="also save the aggregated rows to FILE (.json or .csv)",
+            )
 
     b = sub.add_parser("broadcast", help="run one broadcast and print stats")
     b.add_argument("--algo", default="DB", choices=algorithm_names())
@@ -76,6 +142,14 @@ def _build_parser() -> argparse.ArgumentParser:
     c.add_argument("--dims", type=_parse_dims, default=(8, 8, 8))
     c.add_argument("--flits", type=int, default=100)
     return parser
+
+
+def _cmd_list() -> int:
+    print("experiments:")
+    for experiment_id in sorted(EXPERIMENTS):
+        print(f"  {experiment_id:<18s} {EXPERIMENTS[experiment_id]}")
+    print(f"  {'campaign':<18s} {CAMPAIGN_HELP}")
+    return 0
 
 
 def _cmd_broadcast(args) -> int:
@@ -112,24 +186,80 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _save(rows, out: Optional[str]) -> None:
+    if out:
+        from repro.experiments.export import save_rows
+
+        path = save_rows(rows, out)
+        print(f"\nrows saved to {path}")
+
+
+def _campaign_store(args, spec) -> ResultStore:
+    path = args.store or Path("campaigns") / f"{spec.name}.jsonl"
+    return ResultStore(path)
+
+
+def _cmd_campaign(args) -> int:
+    spec = campaign_for(args.experiment, args.scale, args.seed)
+    store = _campaign_store(args, spec)
+    if args.campaign_command == "run":
+        records = run_campaign(
+            spec, workers=args.workers, store=store, progress=print
+        )
+    else:
+        stored = store.records_for(spec)  # one parse serves both commands
+        records = [r for r in stored if r is not None]
+        pending = len(spec) - len(records)
+        if args.campaign_command == "status":
+            state = "complete" if pending == 0 else f"{pending} pending"
+            print(
+                f"campaign {spec.name}: {len(records)}/{len(spec)} units"
+                f" complete ({state}) — store: {store.path}"
+            )
+            return 0
+        if pending:  # aggregate needs every unit
+            resume = (
+                f"repro campaign run {args.experiment}"
+                f" --scale {args.scale} --seed {args.seed}"
+            )
+            if args.store:
+                resume += f" --store {args.store}"
+            print(
+                f"campaign {spec.name}: only {len(records)}/{len(spec)}"
+                f" units in {store.path}; run `{resume}` to finish it first"
+            )
+            return 1
+    rows = aggregate(args.experiment, records)
+    from repro.experiments.runner import FORMATTERS
+
+    print(FORMATTERS[args.experiment](rows))
+    _save(rows, getattr(args, "out", None))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point (also exposed as the ``repro`` console script)."""
     args = _build_parser().parse_args(argv)
-    if args.command == "list":
-        print("experiments:", " ".join(sorted(EXPERIMENTS)))
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "broadcast":
+            return _cmd_broadcast(args)
+        if args.command == "compare":
+            return _cmd_compare(args)
+        if args.command == "campaign":
+            return _cmd_campaign(args)
+        rows, text = run_experiment(
+            args.command, args.scale, args.seed, workers=args.workers
+        )
+        print(text)
+        _save(rows, getattr(args, "out", None))
         return 0
-    if args.command == "broadcast":
-        return _cmd_broadcast(args)
-    if args.command == "compare":
-        return _cmd_compare(args)
-    rows, text = run_experiment(args.command, args.scale, args.seed)
-    print(text)
-    if getattr(args, "out", None):
-        from repro.experiments.export import save_rows
+    except BrokenPipeError:  # e.g. `repro fig1 | head`
+        import os
 
-        path = save_rows(rows, args.out)
-        print(f"\nrows saved to {path}")
-    return 0
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

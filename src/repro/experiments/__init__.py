@@ -18,20 +18,34 @@ from repro.experiments.config import (
     PAPER_TABLE2,
     scale_by_name,
 )
-from repro.experiments.fig1 import Fig1Row, run_fig1
-from repro.experiments.fig2 import Fig2Row, run_fig2
-from repro.experiments.tables_cv import CVTableRow, run_cv_table
-from repro.experiments.traffic_sweep import TrafficSweepRow, run_traffic_sweep
+from repro.experiments.fig1 import Fig1Row, fig1_campaign, run_fig1
+from repro.experiments.fig2 import Fig2Row, fig2_campaign, run_fig2
+from repro.experiments.tables_cv import (
+    CVTableRow,
+    cv_table_campaign,
+    run_cv_table,
+)
+from repro.experiments.traffic_sweep import (
+    TrafficSweepRow,
+    run_traffic_sweep,
+    traffic_campaign,
+)
 from repro.experiments.ablations import (
     run_message_length_ablation,
     run_max_destinations_ablation,
     run_port_count_ablation,
     run_startup_latency_ablation,
 )
-from repro.experiments.runner import EXPERIMENTS, run_experiment
+from repro.experiments.runner import (
+    CAMPAIGNS,
+    EXPERIMENTS,
+    campaign_for,
+    run_experiment,
+)
 from repro.experiments.reporting import format_table
 
 __all__ = [
+    "CAMPAIGNS",
     "CVTableRow",
     "EXPERIMENTS",
     "ExperimentScale",
@@ -42,6 +56,10 @@ __all__ = [
     "PAPER_TABLE1",
     "PAPER_TABLE2",
     "TrafficSweepRow",
+    "campaign_for",
+    "cv_table_campaign",
+    "fig1_campaign",
+    "fig2_campaign",
     "format_table",
     "run_cv_table",
     "run_experiment",
@@ -53,4 +71,5 @@ __all__ = [
     "run_startup_latency_ablation",
     "run_traffic_sweep",
     "scale_by_name",
+    "traffic_campaign",
 ]

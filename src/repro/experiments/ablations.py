@@ -11,6 +11,10 @@ The design choices the paper mentions but does not isolate:
   parallelism against path length;
 * **port count** — EDN is designed for multiport routers; giving every
   algorithm the same port budget isolates the benefit.
+
+Each ablation declares a value × algorithm × source unit grid and runs
+through the campaign engine (``workers``/``store`` parallelise and
+resume it like any other campaign).
 """
 
 from __future__ import annotations
@@ -18,14 +22,20 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-import numpy as np
-
+from repro.campaigns.aggregate import aggregate
+from repro.campaigns.pool import run_campaign
+from repro.campaigns.spec import CampaignSpec, UnitSpec
+from repro.campaigns.store import ResultStore
 from repro.core.registry import algorithm_names
-from repro.experiments.common import random_sources, run_single_broadcasts
-from repro.experiments.config import ExperimentScale, scale_by_name
+from repro.experiments.common import broadcast_units, campaign
+from repro.experiments.config import ExperimentScale
 
 __all__ = [
     "AblationRow",
+    "startup_ablation_campaign",
+    "length_ablation_campaign",
+    "maxdest_ablation_campaign",
+    "ports_ablation_campaign",
     "run_startup_latency_ablation",
     "run_message_length_ablation",
     "run_max_destinations_ablation",
@@ -47,28 +57,35 @@ class AblationRow:
     samples: int
 
 
-def _measure(
-    name: str,
-    dims: Tuple[int, int, int],
-    sources,
-    length_flits: int,
-    startup_latency: float = 1.5,
-    max_destinations_per_path: Optional[int] = None,
-    ports_override: Optional[int] = None,
-) -> Tuple[float, float]:
-    outcomes = run_single_broadcasts(
-        name,
-        dims,
-        sources,
-        length_flits,
-        startup_latency,
-        max_destinations_per_path=max_destinations_per_path,
-        ports_override=ports_override,
-    )
-    return (
-        float(np.mean([o.network_latency for o in outcomes])),
-        float(np.mean([o.coefficient_of_variation for o in outcomes])),
-    )
+def _run(
+    spec: CampaignSpec,
+    experiment: str,
+    workers: int,
+    store: Optional[ResultStore],
+) -> List[AblationRow]:
+    records = run_campaign(spec, workers=workers, store=store)
+    return aggregate(experiment, records)
+
+
+def startup_ablation_campaign(
+    scale: str | ExperimentScale = "quick",
+    seed: int = 0,
+    startup_values: Tuple[float, ...] = (0.15, 1.5),
+    length_flits: int = 100,
+) -> CampaignSpec:
+    """All four algorithms at each paper Ts value."""
+    units: List[UnitSpec] = []
+    for ts in startup_values:
+        units += broadcast_units(
+            "ablation-startup",
+            [DIMS],
+            algorithm_names(),
+            length_flits,
+            scale,
+            seed,
+            startup_latency=ts,
+        )
+    return campaign("ablation-startup", units, scale, seed)
 
 
 def run_startup_latency_ablation(
@@ -76,52 +93,61 @@ def run_startup_latency_ablation(
     seed: int = 0,
     startup_values: Tuple[float, ...] = (0.15, 1.5),
     length_flits: int = 100,
+    *,
+    workers: int = 1,
+    store: Optional[ResultStore] = None,
 ) -> List[AblationRow]:
     """Latency/CV of all four algorithms at both paper Ts values."""
-    if isinstance(scale, str):
-        scale = scale_by_name(scale)
-    sources = random_sources(DIMS, scale.sources_per_point, seed)
-    rows: List[AblationRow] = []
-    for ts in startup_values:
-        for name in algorithm_names():
-            latency, cv = _measure(name, DIMS, sources, length_flits, ts)
-            rows.append(
-                AblationRow(
-                    algorithm=name,
-                    parameter="startup_latency_us",
-                    value=ts,
-                    mean_latency_us=latency,
-                    mean_cv=cv,
-                    samples=len(sources),
-                )
-            )
-    return rows
+    spec = startup_ablation_campaign(scale, seed, startup_values, length_flits)
+    return _run(spec, "ablation-startup", workers, store)
+
+
+def length_ablation_campaign(
+    scale: str | ExperimentScale = "quick",
+    seed: int = 0,
+    lengths: Tuple[int, ...] = (32, 128, 512, 2048),
+) -> CampaignSpec:
+    """All four algorithms at each message length."""
+    units: List[UnitSpec] = []
+    for length in lengths:
+        units += broadcast_units(
+            "ablation-length", [DIMS], algorithm_names(), length, scale, seed
+        )
+    return campaign("ablation-length", units, scale, seed)
 
 
 def run_message_length_ablation(
     scale: str | ExperimentScale = "quick",
     seed: int = 0,
     lengths: Tuple[int, ...] = (32, 128, 512, 2048),
+    *,
+    workers: int = 1,
+    store: Optional[ResultStore] = None,
 ) -> List[AblationRow]:
     """The paper's stated 32–2048-flit message-length range."""
-    if isinstance(scale, str):
-        scale = scale_by_name(scale)
-    sources = random_sources(DIMS, scale.sources_per_point, seed)
-    rows: List[AblationRow] = []
-    for length in lengths:
-        for name in algorithm_names():
-            latency, cv = _measure(name, DIMS, sources, length)
-            rows.append(
-                AblationRow(
-                    algorithm=name,
-                    parameter="message_length_flits",
-                    value=float(length),
-                    mean_latency_us=latency,
-                    mean_cv=cv,
-                    samples=len(sources),
-                )
-            )
-    return rows
+    spec = length_ablation_campaign(scale, seed, lengths)
+    return _run(spec, "ablation-length", workers, store)
+
+
+def maxdest_ablation_campaign(
+    scale: str | ExperimentScale = "quick",
+    seed: int = 0,
+    limits: Tuple[Optional[int], ...] = (None, 32, 16, 8),
+    length_flits: int = 100,
+) -> CampaignSpec:
+    """AB at each per-path destination bound."""
+    units: List[UnitSpec] = []
+    for limit in limits:
+        units += broadcast_units(
+            "ablation-maxdest",
+            [DIMS],
+            ["AB"],
+            length_flits,
+            scale,
+            seed,
+            max_destinations_per_path=limit,
+        )
+    return campaign("ablation-maxdest", units, scale, seed)
 
 
 def run_max_destinations_ablation(
@@ -129,27 +155,34 @@ def run_max_destinations_ablation(
     seed: int = 0,
     limits: Tuple[Optional[int], ...] = (None, 32, 16, 8),
     length_flits: int = 100,
+    *,
+    workers: int = 1,
+    store: Optional[ResultStore] = None,
 ) -> List[AblationRow]:
     """AB's per-path destination bound: long worms vs many worms."""
-    if isinstance(scale, str):
-        scale = scale_by_name(scale)
-    sources = random_sources(DIMS, scale.sources_per_point, seed)
-    rows: List[AblationRow] = []
-    for limit in limits:
-        latency, cv = _measure(
-            "AB", DIMS, sources, length_flits, max_destinations_per_path=limit
+    spec = maxdest_ablation_campaign(scale, seed, limits, length_flits)
+    return _run(spec, "ablation-maxdest", workers, store)
+
+
+def ports_ablation_campaign(
+    scale: str | ExperimentScale = "quick",
+    seed: int = 0,
+    ports: Tuple[int, ...] = (1, 2, 3),
+    length_flits: int = 100,
+) -> CampaignSpec:
+    """Every algorithm at every port budget."""
+    units: List[UnitSpec] = []
+    for port_count in ports:
+        units += broadcast_units(
+            "ablation-ports",
+            [DIMS],
+            algorithm_names(),
+            length_flits,
+            scale,
+            seed,
+            ports_override=port_count,
         )
-        rows.append(
-            AblationRow(
-                algorithm="AB",
-                parameter="max_destinations_per_path",
-                value=float(limit) if limit is not None else float("inf"),
-                mean_latency_us=latency,
-                mean_cv=cv,
-                samples=len(sources),
-            )
-        )
-    return rows
+    return campaign("ablation-ports", units, scale, seed)
 
 
 def run_port_count_ablation(
@@ -157,25 +190,10 @@ def run_port_count_ablation(
     seed: int = 0,
     ports: Tuple[int, ...] = (1, 2, 3),
     length_flits: int = 100,
+    *,
+    workers: int = 1,
+    store: Optional[ResultStore] = None,
 ) -> List[AblationRow]:
     """Every algorithm at every port budget (EDN's multiport advantage)."""
-    if isinstance(scale, str):
-        scale = scale_by_name(scale)
-    sources = random_sources(DIMS, scale.sources_per_point, seed)
-    rows: List[AblationRow] = []
-    for port_count in ports:
-        for name in algorithm_names():
-            latency, cv = _measure(
-                name, DIMS, sources, length_flits, ports_override=port_count
-            )
-            rows.append(
-                AblationRow(
-                    algorithm=name,
-                    parameter="ports_per_node",
-                    value=float(port_count),
-                    mean_latency_us=latency,
-                    mean_cv=cv,
-                    samples=len(sources),
-                )
-            )
-    return rows
+    spec = ports_ablation_campaign(scale, seed, ports, length_flits)
+    return _run(spec, "ablation-ports", workers, store)

@@ -1,11 +1,18 @@
-"""Shared experiment helpers."""
+"""Shared experiment helpers: broadcast runners and unit-grid builders.
+
+Besides the single-broadcast runners the experiment modules have always
+shared, this module hosts the *grid declaration* helpers of the
+campaign engine: each experiment declares its unit grid through
+:func:`broadcast_units` / :func:`traffic_units` and hands the resulting
+:class:`~repro.campaigns.spec.CampaignSpec` to
+:func:`repro.campaigns.run_campaign`.
+"""
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
-import numpy as np
-
+from repro.campaigns.spec import CampaignSpec, UnitSpec, freeze_params
 from repro.core.adaptive_broadcast import AdaptiveBroadcast
 from repro.core.executors import (
     BarrierStepExecutor,
@@ -13,14 +20,20 @@ from repro.core.executors import (
     EventDrivenExecutor,
 )
 from repro.core.registry import get_algorithm
+from repro.experiments.config import ExperimentScale, scale_by_name
 from repro.network.network import NetworkConfig, NetworkSimulator
 from repro.network.topology import Mesh
+from repro.sim.rng import RandomStreams
 
 __all__ = [
     "random_sources",
     "run_single_broadcasts",
     "run_barrier_broadcasts",
     "paper_config",
+    "resolve_scale",
+    "broadcast_units",
+    "traffic_units",
+    "campaign",
 ]
 
 
@@ -34,8 +47,13 @@ def paper_config(ports: int, startup_latency: float = 1.5) -> NetworkConfig:
 def random_sources(
     dims: Tuple[int, ...], count: int, seed: int
 ) -> List[Tuple[int, ...]]:
-    """``count`` uniformly random source nodes (the paper's protocol)."""
-    rng = np.random.default_rng(seed)
+    """``count`` uniformly random source nodes (the paper's protocol).
+
+    Drawn from the named ``"sources"`` stream of the master seed, so
+    source selection is stable and independent of any other draw an
+    experiment (or campaign unit) makes from the same seed.
+    """
+    rng = RandomStreams(seed)["sources"]
     return [tuple(int(rng.integers(0, d)) for d in dims) for _ in range(count)]
 
 
@@ -95,3 +113,118 @@ def run_barrier_broadcasts(
         executor.execute(algorithm.schedule(source), length_flits)
         for source in sources
     ]
+
+
+# ------------------------------------------------------------ unit grids
+def resolve_scale(scale: str | ExperimentScale) -> ExperimentScale:
+    """Accept a scale name or an :class:`ExperimentScale` instance."""
+    return scale_by_name(scale) if isinstance(scale, str) else scale
+
+
+def broadcast_units(
+    experiment: str,
+    dims_list: Sequence[Tuple[int, ...]],
+    algorithms: Sequence[str],
+    length_flits: int,
+    scale: str | ExperimentScale,
+    seed: int,
+    *,
+    barrier: bool = False,
+    startup_latency: float = 1.5,
+    max_destinations_per_path: Optional[int] = None,
+    ports_override: Optional[int] = None,
+) -> List[UnitSpec]:
+    """Declare a dims × algorithm × replication grid of broadcast units.
+
+    One unit per random source (replication), so a campaign can shard
+    even a single (algorithm, size) point across workers.  All
+    algorithms of a cell share the same sources — the paper's fairness
+    protocol — because every replication re-derives the source list
+    from (dims, seed).
+    """
+    scale = resolve_scale(scale)
+    units: List[UnitSpec] = []
+    for dims in dims_list:
+        for algorithm in algorithms:
+            for replication in range(scale.sources_per_point):
+                units.append(
+                    UnitSpec(
+                        experiment=experiment,
+                        kind="broadcast",
+                        algorithm=algorithm,
+                        dims=tuple(dims),
+                        length_flits=length_flits,
+                        seed=seed,
+                        replication=replication,
+                        params=freeze_params(
+                            sources_count=scale.sources_per_point,
+                            barrier=barrier or None,
+                            startup_latency=startup_latency,
+                            max_destinations_per_path=max_destinations_per_path,
+                            ports_override=ports_override,
+                        ),
+                    )
+                )
+    return units
+
+
+def traffic_units(
+    experiment: str,
+    dims: Tuple[int, ...],
+    algorithms: Sequence[str],
+    loads: Iterable[float],
+    length_flits: int,
+    scale: str | ExperimentScale,
+    seed: int,
+    *,
+    broadcast_fraction: float = 0.1,
+) -> List[UnitSpec]:
+    """Declare an algorithm × load grid of mixed-traffic units."""
+    scale = resolve_scale(scale)
+    loads = list(loads)
+    units: List[UnitSpec] = []
+    for algorithm in algorithms:
+        for load in loads:
+            units.append(
+                UnitSpec(
+                    experiment=experiment,
+                    kind="traffic",
+                    algorithm=algorithm,
+                    dims=tuple(dims),
+                    length_flits=length_flits,
+                    seed=seed,
+                    load=float(load),
+                    params=freeze_params(
+                        broadcast_fraction=broadcast_fraction,
+                        batch_size=scale.batch_size,
+                        num_batches=scale.num_batches,
+                        discard=scale.discard,
+                        max_sim_time_us=scale.max_sim_time_us,
+                    ),
+                )
+            )
+    return units
+
+
+def campaign(
+    experiment: str,
+    units: Sequence[UnitSpec],
+    scale: str | ExperimentScale,
+    seed: int,
+) -> CampaignSpec:
+    """Wrap a unit grid as a named campaign (``fig1-quick-s0`` style).
+
+    Duplicate units are dropped (first occurrence wins): a caller-side
+    repeat — e.g. ``loads=[2.0, 2.0]`` — describes the same
+    computation twice, and the legacy serial loops would simply have
+    measured it twice for identical numbers.
+    """
+    scale = resolve_scale(scale)
+    seen = set()
+    unique = []
+    for unit in units:
+        if unit.unit_hash not in seen:
+            seen.add(unit.unit_hash)
+            unique.append(unit)
+    name = f"{experiment}-{scale.name}-s{seed}"
+    return CampaignSpec(name=name, seed=seed, units=tuple(unique))

@@ -17,7 +17,13 @@ from typing import Any, List, Sequence
 
 from repro.experiments.reporting import rows_to_dicts
 
-__all__ = ["rows_to_json", "rows_to_csv", "save_rows", "load_json_rows"]
+__all__ = [
+    "rows_to_json",
+    "rows_to_csv",
+    "save_rows",
+    "load_json_rows",
+    "load_csv_rows",
+]
 
 _INF = "__inf__"
 _NINF = "__-inf__"
@@ -77,6 +83,42 @@ def rows_to_csv(rows: Sequence[Any]) -> str:
     for row in dicts:
         writer.writerow({key: _encode(val) for key, val in row.items()})
     return buffer.getvalue()
+
+
+def _decode_csv(value: str) -> Any:
+    """Undo CSV stringification: sentinels, None/bool, int, float."""
+    decoded = _decode(value)
+    if not isinstance(decoded, str):
+        return decoded
+    if decoded == "":
+        return None
+    if decoded in ("True", "False"):
+        return decoded == "True"
+    try:
+        return int(decoded)
+    except ValueError:
+        pass
+    try:
+        return float(decoded)
+    except ValueError:
+        return decoded
+
+
+def load_csv_rows(text: str) -> List[dict]:
+    """Inverse of :func:`rows_to_csv`.
+
+    Cell types are recovered to mirror :func:`load_json_rows`:
+    numerics come back as ``int``/``float`` (including the
+    ``__inf__``/``__nan__`` sentinels), ``True``/``False`` as bools
+    and empty cells as ``None``; everything else — e.g. the flattened
+    ``AxBxC`` dims — stays a string.
+    """
+    import io
+
+    reader = csv.DictReader(io.StringIO(text))
+    return [
+        {key: _decode_csv(val) for key, val in row.items()} for row in reader
+    ]
 
 
 def save_rows(rows: Sequence[Any], path: str | Path) -> Path:

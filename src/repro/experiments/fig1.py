@@ -13,15 +13,17 @@ same number of steps there, as the paper notes).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
-import numpy as np
-
+from repro.campaigns.aggregate import aggregate
+from repro.campaigns.pool import run_campaign
+from repro.campaigns.spec import CampaignSpec
+from repro.campaigns.store import ResultStore
 from repro.core.registry import algorithm_names
-from repro.experiments.common import random_sources, run_single_broadcasts
-from repro.experiments.config import FIG1_SIZES, ExperimentScale, scale_by_name
+from repro.experiments.common import broadcast_units, campaign
+from repro.experiments.config import FIG1_SIZES, ExperimentScale
 
-__all__ = ["Fig1Row", "run_fig1", "format_fig1"]
+__all__ = ["Fig1Row", "fig1_campaign", "run_fig1", "format_fig1"]
 
 MESSAGE_LENGTH = 100  # flits, per the figure caption
 STARTUP_LATENCY = 1.5  # µs
@@ -39,31 +41,34 @@ class Fig1Row:
     samples: int
 
 
-def run_fig1(
+def fig1_campaign(
     scale: str | ExperimentScale = "quick", seed: int = 0
+) -> CampaignSpec:
+    """Declare the Fig. 1 unit grid (dims × algorithm × source)."""
+    units = broadcast_units(
+        "fig1",
+        FIG1_SIZES,
+        algorithm_names(),
+        MESSAGE_LENGTH,
+        scale,
+        seed,
+        startup_latency=STARTUP_LATENCY,
+    )
+    return campaign("fig1", units, scale, seed)
+
+
+def run_fig1(
+    scale: str | ExperimentScale = "quick",
+    seed: int = 0,
+    *,
+    workers: int = 1,
+    store: Optional[ResultStore] = None,
 ) -> List[Fig1Row]:
-    """Regenerate the Fig. 1 series."""
-    if isinstance(scale, str):
-        scale = scale_by_name(scale)
-    rows: List[Fig1Row] = []
-    for dims in FIG1_SIZES:
-        sources = random_sources(dims, scale.sources_per_point, seed)
-        for name in algorithm_names():
-            outcomes = run_single_broadcasts(
-                name, dims, sources, MESSAGE_LENGTH, STARTUP_LATENCY
-            )
-            latencies = [o.network_latency for o in outcomes]
-            rows.append(
-                Fig1Row(
-                    algorithm=name,
-                    dims=dims,
-                    num_nodes=int(np.prod(dims)),
-                    mean_latency_us=float(np.mean(latencies)),
-                    std_latency_us=float(np.std(latencies)),
-                    samples=len(latencies),
-                )
-            )
-    return rows
+    """Regenerate the Fig. 1 series (via the campaign engine)."""
+    records = run_campaign(
+        fig1_campaign(scale, seed), workers=workers, store=store
+    )
+    return aggregate("fig1", records)
 
 
 def format_fig1(rows: List[Fig1Row]) -> str:

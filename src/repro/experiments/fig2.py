@@ -14,19 +14,17 @@ improvements).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
-import numpy as np
-
+from repro.campaigns.aggregate import aggregate
+from repro.campaigns.pool import run_campaign
+from repro.campaigns.spec import CampaignSpec
+from repro.campaigns.store import ResultStore
 from repro.core.registry import algorithm_names
-from repro.experiments.common import (
-    random_sources,
-    run_barrier_broadcasts,
-    run_single_broadcasts,
-)
-from repro.experiments.config import FIG2_SIZES, ExperimentScale, scale_by_name
+from repro.experiments.common import broadcast_units, campaign
+from repro.experiments.config import FIG2_SIZES, ExperimentScale
 
-__all__ = ["Fig2Row", "run_fig2", "format_fig2"]
+__all__ = ["Fig2Row", "fig2_campaign", "run_fig2", "format_fig2"]
 
 MESSAGE_LENGTH = 100  # flits, per the figure caption
 STARTUP_LATENCY = 1.5  # µs
@@ -45,38 +43,39 @@ class Fig2Row:
     samples: int
 
 
+def fig2_campaign(
+    scale: str | ExperimentScale = "quick",
+    seed: int = 0,
+    length_flits: int = MESSAGE_LENGTH,
+) -> CampaignSpec:
+    """Declare the Fig. 2 unit grid (each unit measures both the
+    event-driven and the barrier CV of one broadcast)."""
+    units = broadcast_units(
+        "fig2",
+        FIG2_SIZES,
+        algorithm_names(),
+        length_flits,
+        scale,
+        seed,
+        barrier=True,
+        startup_latency=STARTUP_LATENCY,
+    )
+    return campaign("fig2", units, scale, seed)
+
+
 def run_fig2(
     scale: str | ExperimentScale = "quick",
     seed: int = 0,
     length_flits: int = MESSAGE_LENGTH,
+    *,
+    workers: int = 1,
+    store: Optional[ResultStore] = None,
 ) -> List[Fig2Row]:
-    """Regenerate the Fig. 2 series."""
-    if isinstance(scale, str):
-        scale = scale_by_name(scale)
-    rows: List[Fig2Row] = []
-    for dims in FIG2_SIZES:
-        sources = random_sources(dims, scale.sources_per_point, seed)
-        for name in algorithm_names():
-            outcomes = run_single_broadcasts(
-                name, dims, sources, length_flits, STARTUP_LATENCY
-            )
-            cvs = [o.coefficient_of_variation for o in outcomes]
-            barrier = run_barrier_broadcasts(
-                name, dims, sources, length_flits, STARTUP_LATENCY
-            )
-            barrier_cvs = [o.coefficient_of_variation for o in barrier]
-            rows.append(
-                Fig2Row(
-                    algorithm=name,
-                    dims=dims,
-                    num_nodes=int(np.prod(dims)),
-                    mean_cv=float(np.mean(cvs)),
-                    std_cv=float(np.std(cvs)),
-                    mean_cv_barrier=float(np.mean(barrier_cvs)),
-                    samples=len(cvs),
-                )
-            )
-    return rows
+    """Regenerate the Fig. 2 series (via the campaign engine)."""
+    records = run_campaign(
+        fig2_campaign(scale, seed, length_flits), workers=workers, store=store
+    )
+    return aggregate("fig2", records)
 
 
 def format_fig2(rows: List[Fig2Row]) -> str:

@@ -2,89 +2,111 @@
 
 ``run_experiment(id, scale)`` regenerates any of the paper's tables or
 figures (or one of our ablations) and returns ``(rows, rendered_text)``.
+Every experiment is a *campaign* — a declarative grid of independent
+simulation units — so all of them accept ``workers`` (process pool) and
+``store`` (resumable JSONL results); see :mod:`repro.campaigns`.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.campaigns.aggregate import aggregate
+from repro.campaigns.pool import ProgressFn, run_campaign
+from repro.campaigns.spec import CampaignSpec
+from repro.campaigns.store import ResultStore
 from repro.experiments.ablations import (
-    run_max_destinations_ablation,
-    run_message_length_ablation,
-    run_port_count_ablation,
-    run_startup_latency_ablation,
+    length_ablation_campaign,
+    maxdest_ablation_campaign,
+    ports_ablation_campaign,
+    startup_ablation_campaign,
 )
-from repro.experiments.fig1 import format_fig1, run_fig1
-from repro.experiments.fig2 import format_fig2, run_fig2
+from repro.experiments.fig1 import fig1_campaign, format_fig1
+from repro.experiments.fig2 import fig2_campaign, format_fig2
 from repro.experiments.reporting import format_table
-from repro.experiments.tables_cv import format_cv_table, run_cv_table
-from repro.experiments.traffic_sweep import format_traffic_sweep, run_traffic_sweep
+from repro.experiments.tables_cv import cv_table_campaign, format_cv_table
+from repro.experiments.traffic_sweep import format_traffic_sweep, traffic_campaign
 
-__all__ = ["EXPERIMENTS", "run_experiment"]
+__all__ = [
+    "CAMPAIGNS",
+    "EXPERIMENTS",
+    "FORMATTERS",
+    "campaign_for",
+    "run_experiment",
+]
 
+CampaignBuilder = Callable[[str, int], CampaignSpec]
 
-def _fig1(scale: str, seed: int):
-    rows = run_fig1(scale, seed)
-    return rows, format_fig1(rows)
+#: Experiment id → campaign builder (scale, seed) -> CampaignSpec.
+CAMPAIGNS: Dict[str, CampaignBuilder] = {
+    "fig1": fig1_campaign,
+    "fig2": fig2_campaign,
+    "table1": lambda scale, seed: cv_table_campaign("DB", scale, seed),
+    "table2": lambda scale, seed: cv_table_campaign("AB", scale, seed),
+    "fig3": lambda scale, seed: traffic_campaign("fig3", scale, seed),
+    "fig4": lambda scale, seed: traffic_campaign("fig4", scale, seed),
+    "ablation-startup": startup_ablation_campaign,
+    "ablation-length": length_ablation_campaign,
+    "ablation-maxdest": maxdest_ablation_campaign,
+    "ablation-ports": ports_ablation_campaign,
+}
 
+#: Experiment id → row formatter.
+FORMATTERS: Dict[str, Callable[[List[Any]], str]] = {
+    "fig1": format_fig1,
+    "fig2": format_fig2,
+    "table1": format_cv_table,
+    "table2": format_cv_table,
+    "fig3": format_traffic_sweep,
+    "fig4": format_traffic_sweep,
+    "ablation-startup": format_table,
+    "ablation-length": format_table,
+    "ablation-maxdest": format_table,
+    "ablation-ports": format_table,
+}
 
-def _fig2(scale: str, seed: int):
-    rows = run_fig2(scale, seed)
-    return rows, format_fig2(rows)
-
-
-def _table1(scale: str, seed: int):
-    rows = run_cv_table("DB", scale, seed)
-    return rows, format_cv_table(rows)
-
-
-def _table2(scale: str, seed: int):
-    rows = run_cv_table("AB", scale, seed)
-    return rows, format_cv_table(rows)
-
-
-def _fig3(scale: str, seed: int):
-    rows = run_traffic_sweep("fig3", scale, seed)
-    return rows, format_traffic_sweep(rows)
-
-
-def _fig4(scale: str, seed: int):
-    rows = run_traffic_sweep("fig4", scale, seed)
-    return rows, format_traffic_sweep(rows)
-
-
-def _ablation(runner) -> Callable:
-    def run(scale: str, seed: int):
-        rows = runner(scale, seed)
-        return rows, format_table(rows)
-
-    return run
-
-
-#: Experiment id → runner.  Ids match DESIGN.md's experiment index.
-EXPERIMENTS: Dict[str, Callable[[str, int], Tuple[List[Any], str]]] = {
-    "fig1": _fig1,
-    "fig2": _fig2,
-    "table1": _table1,
-    "table2": _table2,
-    "fig3": _fig3,
-    "fig4": _fig4,
-    "ablation-startup": _ablation(run_startup_latency_ablation),
-    "ablation-length": _ablation(run_message_length_ablation),
-    "ablation-maxdest": _ablation(run_max_destinations_ablation),
-    "ablation-ports": _ablation(run_port_count_ablation),
+#: Experiment id → one-line description.  Ids match DESIGN.md's
+#: experiment index; ``repro list`` prints this table.
+EXPERIMENTS: Dict[str, str] = {
+    "fig1": "broadcast latency vs network size (Fig. 1)",
+    "fig2": "CV of arrival times vs network size (Fig. 2)",
+    "table1": "DB improvement over RD/EDN (Table 1)",
+    "table2": "AB improvement over RD/EDN (Table 2)",
+    "fig3": "latency vs load, 8x8x8 mixed traffic (Fig. 3)",
+    "fig4": "latency vs load, 16x16x8 mixed traffic (Fig. 4)",
+    "ablation-startup": "start-up latency ablation (Ts = 0.15 vs 1.5 us)",
+    "ablation-length": "message-length ablation (32-2048 flits)",
+    "ablation-maxdest": "AB per-path destination-limit ablation",
+    "ablation-ports": "port-count ablation (1-3 ports per node)",
 }
 
 
-def run_experiment(
+def campaign_for(
     experiment_id: str, scale: str = "quick", seed: int = 0
-) -> Tuple[List[Any], str]:
-    """Regenerate one table/figure; returns (rows, rendered text)."""
+) -> CampaignSpec:
+    """Declare (without running) an experiment's campaign."""
+    experiment_id = experiment_id.lower()
     try:
-        runner = EXPERIMENTS[experiment_id.lower()]
+        builder = CAMPAIGNS[experiment_id]
     except KeyError:
         raise KeyError(
             f"unknown experiment {experiment_id!r};"
-            f" choose from {sorted(EXPERIMENTS)}"
+            f" choose from {sorted(CAMPAIGNS)}"
         ) from None
-    return runner(scale, seed)
+    return builder(scale, seed)
+
+
+def run_experiment(
+    experiment_id: str,
+    scale: str = "quick",
+    seed: int = 0,
+    workers: int = 1,
+    store: Optional[ResultStore] = None,
+    progress: Optional[ProgressFn] = None,
+) -> Tuple[List[Any], str]:
+    """Regenerate one table/figure; returns (rows, rendered text)."""
+    experiment_id = experiment_id.lower()
+    spec = campaign_for(experiment_id, scale, seed)
+    records = run_campaign(spec, workers=workers, store=store, progress=progress)
+    rows = aggregate(experiment_id, records)
+    return rows, FORMATTERS[experiment_id](rows)

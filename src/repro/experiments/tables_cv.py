@@ -11,25 +11,16 @@ measured tables are printed side by side with the paper's values.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
-import numpy as np
+from repro.campaigns.aggregate import aggregate
+from repro.campaigns.pool import run_campaign
+from repro.campaigns.spec import CampaignSpec
+from repro.campaigns.store import ResultStore
+from repro.experiments.common import broadcast_units, campaign
+from repro.experiments.config import FIG2_SIZES, ExperimentScale
 
-from repro.experiments.common import (
-    random_sources,
-    run_barrier_broadcasts,
-    run_single_broadcasts,
-)
-from repro.experiments.config import (
-    FIG2_SIZES,
-    PAPER_TABLE1,
-    PAPER_TABLE2,
-    ExperimentScale,
-    scale_by_name,
-)
-from repro.metrics.stats import improvement_percent
-
-__all__ = ["CVTableRow", "run_cv_table", "format_cv_table"]
+__all__ = ["CVTableRow", "cv_table_campaign", "run_cv_table", "format_cv_table"]
 
 MESSAGE_LENGTH = 64  # flits, per §3.2
 STARTUP_LATENCY = 1.5  # µs
@@ -53,61 +44,52 @@ class CVTableRow:
     paper_improvement_percent: Optional[float]
 
 
+def _table_id(proposed: str) -> str:
+    proposed = proposed.upper()
+    if proposed not in ("DB", "AB"):
+        raise ValueError(f"the paper's tables propose DB or AB, not {proposed!r}")
+    return "table1" if proposed == "DB" else "table2"
+
+
+def cv_table_campaign(
+    proposed: str,
+    scale: str | ExperimentScale = "quick",
+    seed: int = 0,
+) -> CampaignSpec:
+    """Declare the unit grid of Table 1 (``"DB"``) or Table 2 (``"AB"``).
+
+    One cell per (algorithm, size) with barrier twins; the aggregator
+    pairs the proposed algorithm against both baselines.
+    """
+    proposed = proposed.upper()
+    experiment = _table_id(proposed)
+    units = broadcast_units(
+        experiment,
+        FIG2_SIZES,
+        ("RD", "EDN", proposed),
+        MESSAGE_LENGTH,
+        scale,
+        seed,
+        barrier=True,
+        startup_latency=STARTUP_LATENCY,
+    )
+    return campaign(experiment, units, scale, seed)
+
+
 def run_cv_table(
     proposed: str,
     scale: str | ExperimentScale = "quick",
     seed: int = 0,
+    *,
+    workers: int = 1,
+    store: Optional[ResultStore] = None,
 ) -> List[CVTableRow]:
     """Regenerate Table 1 (``proposed="DB"``) or Table 2 (``"AB"``)."""
-    proposed = proposed.upper()
-    if proposed not in ("DB", "AB"):
-        raise ValueError(f"the paper's tables propose DB or AB, not {proposed!r}")
-    if isinstance(scale, str):
-        scale = scale_by_name(scale)
-    paper = PAPER_TABLE1 if proposed == "DB" else PAPER_TABLE2
-
-    rows: List[CVTableRow] = []
-    for dims in FIG2_SIZES:
-        nodes = int(np.prod(dims))
-        sources = random_sources(dims, scale.sources_per_point, seed)
-        cvs: Dict[str, float] = {}
-        barrier_cvs: Dict[str, float] = {}
-        for name in ("RD", "EDN", proposed):
-            outcomes = run_single_broadcasts(
-                name, dims, sources, MESSAGE_LENGTH, STARTUP_LATENCY
-            )
-            cvs[name] = float(
-                np.mean([o.coefficient_of_variation for o in outcomes])
-            )
-            barrier = run_barrier_broadcasts(
-                name, dims, sources, MESSAGE_LENGTH, STARTUP_LATENCY
-            )
-            barrier_cvs[name] = float(
-                np.mean([o.coefficient_of_variation for o in barrier])
-            )
-        for baseline in ("RD", "EDN"):
-            paper_cv, paper_imr = paper.get(baseline, {}).get(nodes, (None, None))
-            rows.append(
-                CVTableRow(
-                    baseline=baseline,
-                    proposed=proposed,
-                    dims=dims,
-                    num_nodes=nodes,
-                    baseline_cv=cvs[baseline],
-                    proposed_cv=cvs[proposed],
-                    improvement_percent=improvement_percent(
-                        cvs[baseline], cvs[proposed]
-                    ),
-                    barrier_baseline_cv=barrier_cvs[baseline],
-                    barrier_proposed_cv=barrier_cvs[proposed],
-                    barrier_improvement_percent=improvement_percent(
-                        barrier_cvs[baseline], barrier_cvs[proposed]
-                    ),
-                    paper_baseline_cv=paper_cv,
-                    paper_improvement_percent=paper_imr,
-                )
-            )
-    return rows
+    experiment = _table_id(proposed)
+    records = run_campaign(
+        cv_table_campaign(proposed, scale, seed), workers=workers, store=store
+    )
+    return aggregate(experiment, records)
 
 
 def format_cv_table(rows: List[CVTableRow]) -> str:

@@ -18,19 +18,26 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.campaigns.aggregate import aggregate
+from repro.campaigns.pool import run_campaign
+from repro.campaigns.spec import CampaignSpec
+from repro.campaigns.store import ResultStore
 from repro.core.registry import algorithm_names
+from repro.experiments.common import campaign, traffic_units
 from repro.experiments.config import (
     FIG3_DIMS,
     FIG3_LOADS,
     FIG4_DIMS,
     FIG4_LOADS,
     ExperimentScale,
-    scale_by_name,
 )
-from repro.network.topology import Mesh
-from repro.traffic.workload import MixedTrafficConfig, MixedTrafficSimulation
 
-__all__ = ["TrafficSweepRow", "run_traffic_sweep", "format_traffic_sweep"]
+__all__ = [
+    "TrafficSweepRow",
+    "traffic_campaign",
+    "run_traffic_sweep",
+    "format_traffic_sweep",
+]
 
 MESSAGE_LENGTH = 32  # flits, per the figure captions
 BROADCAST_FRACTION = 0.1
@@ -51,14 +58,14 @@ class TrafficSweepRow:
     saturated: bool
 
 
-def run_traffic_sweep(
+def traffic_campaign(
     figure: str = "fig3",
     scale: str | ExperimentScale = "quick",
     seed: int = 0,
     loads: Optional[List[float]] = None,
     algorithms: Optional[List[str]] = None,
-) -> List[TrafficSweepRow]:
-    """Regenerate the Fig. 3 (8×8×8) or Fig. 4 (16×16×8) curves."""
+) -> CampaignSpec:
+    """Declare the algorithm × load unit grid of Fig. 3 or Fig. 4."""
     figure = figure.lower()
     if figure == "fig3":
         dims, default_loads = FIG3_DIMS, FIG3_LOADS
@@ -66,40 +73,35 @@ def run_traffic_sweep(
         dims, default_loads = FIG4_DIMS, FIG4_LOADS
     else:
         raise ValueError(f"figure must be 'fig3' or 'fig4', got {figure!r}")
-    if isinstance(scale, str):
-        scale = scale_by_name(scale)
     loads = loads if loads is not None else default_loads
     algorithms = algorithms if algorithms is not None else algorithm_names()
+    units = traffic_units(
+        figure,
+        dims,
+        algorithms,
+        loads,
+        MESSAGE_LENGTH,
+        scale,
+        seed,
+        broadcast_fraction=BROADCAST_FRACTION,
+    )
+    return campaign(figure, units, scale, seed)
 
-    mesh = Mesh(dims)
-    rows: List[TrafficSweepRow] = []
-    for name in algorithms:
-        for load in loads:
-            config = MixedTrafficConfig(
-                load_messages_per_ms=load,
-                broadcast_fraction=BROADCAST_FRACTION,
-                message_length_flits=MESSAGE_LENGTH,
-                batch_size=scale.batch_size,
-                num_batches=scale.num_batches,
-                discard=scale.discard,
-                max_sim_time_us=scale.max_sim_time_us,
-                seed=seed,
-            )
-            stats = MixedTrafficSimulation(mesh, name, config).run()
-            rows.append(
-                TrafficSweepRow(
-                    algorithm=name,
-                    dims=dims,
-                    load_messages_per_ms=load,
-                    mean_latency_us=stats.mean_latency_us,
-                    unicast_mean_latency_us=stats.unicast_mean_latency_us,
-                    broadcast_mean_latency_us=stats.broadcast_mean_latency_us,
-                    throughput_msgs_per_us=stats.throughput_msgs_per_us,
-                    operations=stats.operations_completed,
-                    saturated=stats.saturated,
-                )
-            )
-    return rows
+
+def run_traffic_sweep(
+    figure: str = "fig3",
+    scale: str | ExperimentScale = "quick",
+    seed: int = 0,
+    loads: Optional[List[float]] = None,
+    algorithms: Optional[List[str]] = None,
+    *,
+    workers: int = 1,
+    store: Optional[ResultStore] = None,
+) -> List[TrafficSweepRow]:
+    """Regenerate the Fig. 3 (8×8×8) or Fig. 4 (16×16×8) curves."""
+    spec = traffic_campaign(figure, scale, seed, loads, algorithms)
+    records = run_campaign(spec, workers=workers, store=store)
+    return aggregate(figure.lower(), records)
 
 
 def format_traffic_sweep(rows: List[TrafficSweepRow]) -> str:

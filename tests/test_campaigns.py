@@ -1,0 +1,320 @@
+"""Tests for the campaign engine (`repro.campaigns`).
+
+Covers spec hashing, the JSONL store (including crash-resume), the
+worker pool's serial/parallel determinism contract, aggregation back
+into experiment rows, and the CLI `campaign` subcommands.
+"""
+
+import json
+
+import pytest
+
+from repro.campaigns import (
+    CampaignSpec,
+    ResultStore,
+    UnitRecord,
+    UnitSpec,
+    aggregate,
+    execute_unit,
+    freeze_params,
+    run_campaign,
+)
+from repro.cli import main
+from repro.experiments import campaign_for, run_fig1, run_fig2, run_traffic_sweep
+from repro.experiments.ablations import run_port_count_ablation
+from repro.experiments.common import broadcast_units, random_sources
+from repro.sim.rng import RandomStreams
+
+
+def unit(**overrides) -> UnitSpec:
+    fields = dict(
+        experiment="fig1",
+        kind="broadcast",
+        algorithm="DB",
+        dims=(4, 4, 4),
+        length_flits=100,
+        seed=0,
+        replication=0,
+        params=freeze_params(sources_count=2, startup_latency=1.5),
+    )
+    fields.update(overrides)
+    return UnitSpec(**fields)
+
+
+# ----------------------------------------------------------------- spec
+def test_unit_hash_is_stable_and_content_addressed():
+    assert unit().unit_hash == unit().unit_hash
+    assert unit().unit_hash != unit(algorithm="AB").unit_hash
+    assert unit().unit_hash != unit(replication=1).unit_hash
+    assert unit().unit_hash != unit(seed=7).unit_hash
+
+
+def test_unit_params_canonicalised():
+    a = freeze_params(b=2, a=1, c=None)
+    b = freeze_params(a=1, b=2)
+    assert a == b
+    assert unit(params=a).unit_hash == unit(params=b).unit_hash
+
+
+def test_unit_dict_round_trip():
+    u = unit(load=None)
+    assert UnitSpec.from_dict(u.as_dict()) == u
+    t = unit(kind="traffic", load=2.0, params=freeze_params(batch_size=8))
+    assert UnitSpec.from_dict(json.loads(json.dumps(t.as_dict()))) == t
+
+
+def test_cell_key_ignores_replication():
+    assert unit().cell_key == unit(replication=1).cell_key
+    assert unit().cell_key != unit(algorithm="AB").cell_key
+
+
+def test_campaign_rejects_duplicate_units():
+    with pytest.raises(ValueError):
+        CampaignSpec(name="dup", seed=0, units=(unit(), unit()))
+
+
+def test_campaign_pending_and_hash():
+    spec = CampaignSpec(
+        name="c", seed=0, units=(unit(), unit(replication=1))
+    )
+    assert len(spec) == 2
+    done = [spec.units[0].unit_hash]
+    assert spec.pending(done) == [spec.units[1]]
+    assert spec.campaign_hash == spec.campaign_hash
+    assert spec.with_seed(9).units[0].seed == 9
+
+
+def test_with_seed_renames_seed_suffix():
+    spec = campaign_for("fig1", "smoke", 0)
+    reseeded = spec.with_seed(9)
+    assert reseeded.name == "fig1-smoke-s9"
+    assert all(u.seed == 9 for u in reseeded.units)
+
+
+def test_duplicate_grid_points_are_collapsed():
+    from repro.experiments import traffic_campaign
+
+    spec = traffic_campaign(
+        "fig3", "smoke", 0, loads=[2.0, 2, 4.0], algorithms=["DB"]
+    )
+    assert [u.load for u in spec.units] == [2.0, 4.0]
+
+
+# ---------------------------------------------------------------- store
+def test_store_append_and_resume(tmp_path):
+    store = ResultStore(tmp_path / "c.jsonl")
+    assert store.completed_hashes() == set()
+    record = UnitRecord(
+        unit_hash=unit().unit_hash,
+        experiment="fig1",
+        spec=unit().as_dict(),
+        result={"network_latency": 1.0},
+        elapsed_s=0.1,
+    )
+    store.append(record)
+    assert store.completed_hashes() == {unit().unit_hash}
+    loaded = store.records()[unit().unit_hash]
+    assert loaded.result == {"network_latency": 1.0}
+    assert loaded.unit_spec == unit()
+
+
+def test_store_tolerates_truncated_tail(tmp_path):
+    store = ResultStore(tmp_path / "c.jsonl")
+    record = UnitRecord(
+        unit_hash="abc", experiment="fig1", spec=unit().as_dict(), result={}
+    )
+    store.append(record)
+    with store.path.open("a") as handle:
+        handle.write('{"unit_hash": "def", "experiment"')  # crash mid-write
+    assert store.completed_hashes() == {"abc"}
+
+
+def test_store_records_for_orders_by_spec(tmp_path):
+    spec = CampaignSpec(
+        name="c", seed=0, units=(unit(), unit(replication=1))
+    )
+    store = ResultStore(tmp_path / "c.jsonl")
+    run_campaign(spec, store=store)
+    records = store.records_for(spec)
+    assert [r.unit_hash for r in records] == spec.unit_hashes()
+
+
+# ----------------------------------------------------------------- pool
+def test_execute_unit_records_result():
+    record = execute_unit(unit())
+    assert record.unit_hash == unit().unit_hash
+    assert record.result["network_latency"] > 0
+    assert record.result["delivered"] == 63
+    assert record.elapsed_s > 0
+
+
+def test_execute_unit_unknown_kind():
+    with pytest.raises(ValueError):
+        execute_unit(unit(kind="nope"))
+
+
+def test_execute_unit_rejects_bad_replication():
+    with pytest.raises(ValueError):
+        execute_unit(unit(replication=5, params=freeze_params(sources_count=2)))
+
+
+def test_run_campaign_rejects_bad_workers():
+    spec = CampaignSpec(name="c", seed=0, units=(unit(),))
+    with pytest.raises(ValueError):
+        run_campaign(spec, workers=0)
+
+
+def test_parallel_records_identical_to_serial():
+    units = broadcast_units(
+        "fig1", [(4, 4, 4)], ["RD", "DB"], 64, "smoke", seed=3
+    )
+    spec = CampaignSpec(name="par", seed=3, units=tuple(units))
+    serial = run_campaign(spec, workers=1)
+    parallel = run_campaign(spec, workers=2)
+    assert serial == parallel
+
+
+def test_run_campaign_skips_completed_units(tmp_path):
+    units = broadcast_units(
+        "fig1", [(4, 4, 4)], ["DB"], 64, "smoke", seed=0
+    )
+    spec = CampaignSpec(name="resume", seed=0, units=tuple(units))
+    store = ResultStore(tmp_path / "resume.jsonl")
+    first = run_campaign(spec, store=store)
+
+    # Drop the last stored line to simulate an interrupted run; the
+    # re-run must recompute only the missing unit and reproduce the
+    # original records exactly.
+    lines = store.path.read_text().strip().splitlines()
+    store.path.write_text("\n".join(lines[:-1]) + "\n")
+    assert len(store.completed_hashes()) == len(spec) - 1
+
+    progress_lines = []
+    second = run_campaign(spec, store=store, progress=progress_lines.append)
+    assert second == first
+    assert f"({len(spec) - 1} cached, 1 to run" in progress_lines[0]
+
+
+def test_campaign_store_keyed_by_content(tmp_path):
+    """A store populated at one seed contributes nothing to another."""
+    units0 = broadcast_units("fig1", [(4, 4, 4)], ["DB"], 64, "smoke", seed=0)
+    units1 = broadcast_units("fig1", [(4, 4, 4)], ["DB"], 64, "smoke", seed=1)
+    store = ResultStore(tmp_path / "c.jsonl")
+    run_campaign(
+        CampaignSpec(name="s0", seed=0, units=tuple(units0)), store=store
+    )
+    lines = []
+    run_campaign(
+        CampaignSpec(name="s1", seed=1, units=tuple(units1)),
+        store=store,
+        progress=lines.append,
+    )
+    assert "(0 cached" in lines[0]
+
+
+# ------------------------------------------------------------ aggregate
+def test_aggregate_unknown_experiment():
+    with pytest.raises(KeyError):
+        aggregate("nope", [])
+
+
+def test_experiment_rows_identical_across_worker_counts():
+    serial = run_fig1(scale="smoke", seed=1)
+    assert serial == run_fig1(scale="smoke", seed=1, workers=4)
+    fig2 = run_fig2(scale="smoke", seed=1)
+    assert fig2 == run_fig2(scale="smoke", seed=1, workers=2)
+
+
+def test_traffic_sweep_through_campaign_engine():
+    rows = run_traffic_sweep(
+        "fig3", scale="smoke", seed=1, loads=[2.0], algorithms=["DB", "AB"]
+    )
+    parallel = run_traffic_sweep(
+        "fig3",
+        scale="smoke",
+        seed=1,
+        loads=[2.0],
+        algorithms=["DB", "AB"],
+        workers=2,
+    )
+    assert rows == parallel
+
+
+def test_ablation_through_campaign_engine():
+    rows = run_port_count_ablation(scale="smoke", seed=0, ports=(1, 2))
+    assert len(rows) == 2 * 4
+    assert [r.value for r in rows[:4]] == [1.0] * 4
+    assert all(r.parameter == "ports_per_node" for r in rows)
+
+
+def test_run_from_store_matches_fresh_run(tmp_path):
+    """Aggregating JSON-round-tripped records gives identical rows."""
+    store = ResultStore(tmp_path / "fig1.jsonl")
+    fresh = run_fig1(scale="smoke", seed=2)
+    stored = run_fig1(scale="smoke", seed=2, store=store)
+    resumed = run_fig1(scale="smoke", seed=2, store=store)  # all cached
+    assert fresh == stored == resumed
+
+
+def test_campaign_for_matches_experiment_grid():
+    spec = campaign_for("fig1", "smoke", 0)
+    assert spec.name == "fig1-smoke-s0"
+    # 4 sizes x 4 algorithms x 2 smoke sources
+    assert len(spec) == 4 * 4 * 2
+    with pytest.raises(KeyError):
+        campaign_for("nope")
+
+
+# -------------------------------------------------------- random sources
+def test_random_sources_use_named_stream():
+    expected_rng = RandomStreams(5)["sources"]
+    expected = [
+        tuple(int(expected_rng.integers(0, d)) for d in (4, 4, 4))
+        for _ in range(3)
+    ]
+    assert random_sources((4, 4, 4), 3, 5) == expected
+
+
+def test_random_sources_reproducible_and_in_range():
+    a = random_sources((4, 8), 10, seed=7)
+    assert a == random_sources((4, 8), 10, seed=7)
+    assert a != random_sources((4, 8), 10, seed=8)
+    assert all(0 <= x < 4 and 0 <= y < 8 for x, y in a)
+
+
+# ------------------------------------------------------------------- CLI
+def test_cli_experiment_workers_flag(capsys):
+    assert main(["fig1", "--scale", "smoke", "--workers", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig. 1" in out
+
+
+def test_cli_campaign_run_status_aggregate(tmp_path, capsys):
+    store = str(tmp_path / "fig1.jsonl")
+    args = ["fig1", "--scale", "smoke", "--store", store]
+
+    assert main(["campaign", "status"] + args) == 0
+    assert "0/32" in capsys.readouterr().out
+
+    assert main(["campaign", "aggregate"] + args) == 1  # incomplete store
+    assert "0/32" in capsys.readouterr().out
+
+    assert main(["campaign", "run", "--workers", "2"] + args) == 0
+    out = capsys.readouterr().out
+    assert "32 to run" in out and "Fig. 1" in out
+
+    assert main(["campaign", "status"] + args) == 0
+    assert "32/32" in capsys.readouterr().out
+
+    assert main(["campaign", "run"] + args) == 0
+    assert "(32 cached, 0 to run" in capsys.readouterr().out
+
+    out_file = tmp_path / "fig1.csv"
+    assert main(["campaign", "aggregate", "--out", str(out_file)] + args) == 0
+    assert "Fig. 1" in capsys.readouterr().out
+    assert out_file.read_text().startswith("algorithm,")
+
+
+def test_cli_campaign_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        main(["campaign", "run", "nope"])

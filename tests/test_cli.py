@@ -28,6 +28,19 @@ def test_cli_list(capsys):
     assert "fig1" in out and "table2" in out
 
 
+def test_cli_list_one_experiment_per_line(capsys):
+    from repro.experiments.runner import EXPERIMENTS
+
+    main(["list"])
+    lines = capsys.readouterr().out.strip().splitlines()
+    # header + one line per experiment + the campaign subcommand
+    assert len(lines) == 1 + len(EXPERIMENTS) + 1
+    assert any(
+        line.split()[0] == "fig1" and "latency" in line for line in lines
+    )
+    assert any(line.split()[0] == "campaign" for line in lines)
+
+
 def test_cli_broadcast(capsys):
     assert main(["broadcast", "--algo", "AB", "--dims", "4x4x4"]) == 0
     out = capsys.readouterr().out

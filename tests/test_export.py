@@ -5,6 +5,7 @@ import math
 import pytest
 
 from repro.experiments.export import (
+    load_csv_rows,
     load_json_rows,
     rows_to_csv,
     rows_to_json,
@@ -64,8 +65,51 @@ def test_csv_output():
     assert len(lines) == 3
 
 
+def test_csv_round_trip():
+    rows = load_csv_rows(rows_to_csv(sample_rows()))
+    assert len(rows) == 2
+    assert rows[0]["algorithm"] == "DB"
+    assert rows[0]["dims"] == "4x4x4"
+    assert rows[0]["num_nodes"] == 64
+    assert rows[0]["mean_latency_us"] == pytest.approx(7.23)
+
+
+def test_csv_round_trip_matches_json_round_trip():
+    rows = sample_rows()
+    assert load_csv_rows(rows_to_csv(rows)) == load_json_rows(rows_to_json(rows))
+
+
+def test_csv_round_trip_bool_and_none_match_json():
+    rows = [{"saturated": False, "note": None, "x": 1.5, "ok": True}]
+    loaded = load_csv_rows(rows_to_csv(rows))
+    assert loaded[0]["saturated"] is False
+    assert loaded[0]["note"] is None
+    assert loaded[0]["ok"] is True
+    assert loaded == load_json_rows(rows_to_json(rows))
+
+
+def test_csv_round_trip_real_traffic_rows():
+    from repro.experiments import run_traffic_sweep
+
+    rows = run_traffic_sweep(
+        "fig3", scale="smoke", seed=0, loads=[2.0], algorithms=["AB"]
+    )
+    loaded = load_csv_rows(rows_to_csv(rows))
+    assert loaded == load_json_rows(rows_to_json(rows))
+    assert loaded[0]["saturated"] in (True, False)
+
+
+def test_csv_handles_inf_and_nan():
+    text = rows_to_csv([{"a": math.inf, "b": math.nan, "c": -math.inf}])
+    row = load_csv_rows(text)[0]
+    assert row["a"] == math.inf
+    assert math.isnan(row["b"])
+    assert row["c"] == -math.inf
+
+
 def test_csv_empty():
     assert rows_to_csv([]) == ""
+    assert load_csv_rows("") == []
 
 
 def test_save_rows_json_and_csv(tmp_path):
