@@ -1,4 +1,4 @@
-"""Campaign engine: parallel, resumable experiment orchestration.
+"""Campaign engine: parallel, resumable, multi-host experiment orchestration.
 
 An experiment campaign is a declarative grid of independent simulation
 *units* — one (algorithm, dims, message length, load, seed, replication)
@@ -10,9 +10,13 @@ Core pieces:
 * :mod:`repro.campaigns.spec` — :class:`UnitSpec` / :class:`CampaignSpec`,
   declarative unit grids with stable content hashing;
 * :mod:`repro.campaigns.pool` — serial or ``ProcessPoolExecutor``-based
-  dispatch (``run_campaign``), byte-identical across worker counts;
-* :mod:`repro.campaigns.store` — append-only JSONL result store keyed by
-  unit hash, giving crash-resumable campaigns;
+  dispatch (``run_campaign``) with pluggable scheduling policies
+  (``fifo`` / ``adaptive`` largest-cost-first), byte-identical across
+  worker counts and schedules;
+* :mod:`repro.campaigns.store` — the :class:`CampaignStore` contract and
+  its three backends (append-only JSONL, SQLite in WAL mode, and a
+  lease-arbitrated shared directory for multi-host fleets), giving
+  crash-resumable and shareable campaigns;
 * :mod:`repro.campaigns.units` — the unit runners ("broadcast",
   "traffic") that turn one :class:`UnitSpec` into a result record;
 * :mod:`repro.campaigns.aggregate` — merges unit records back into the
@@ -21,23 +25,56 @@ Core pieces:
 Determinism contract: a unit derives every random draw it needs from
 the campaign's master seed via the :class:`repro.sim.rng.RandomStreams`
 spawn-key scheme (never from process-local state), so running a
-campaign with ``--workers 4`` produces rows identical to the serial
-run, and a crashed campaign resumes exactly where it stopped.
+campaign with ``--workers 4``, under any scheduling policy, on any
+store backend — or split across several cooperating pools — produces
+rows identical to the serial run, and a crashed campaign resumes
+exactly where it stopped.
+
+See ``docs/campaigns.md`` for the store-backend contract, the lease
+protocol and a multi-host walkthrough, and ``docs/architecture.md``
+for how the campaigns layer sits atop the rest of the stack.
 """
 
 from repro.campaigns.aggregate import aggregate, register_aggregator
-from repro.campaigns.pool import execute_unit, register_unit_runner, run_campaign
+from repro.campaigns.pool import (
+    SCHEDULES,
+    estimate_unit_cost,
+    execute_unit,
+    order_units,
+    register_unit_runner,
+    run_campaign,
+)
 from repro.campaigns.spec import CampaignSpec, UnitSpec, freeze_params
-from repro.campaigns.store import ResultStore, UnitRecord
+from repro.campaigns.store import (
+    BACKENDS,
+    CampaignStore,
+    JsonlStore,
+    ResultStore,
+    SharedDirStore,
+    SqliteStore,
+    UnitRecord,
+    default_store_path,
+    open_store,
+)
 
 __all__ = [
+    "BACKENDS",
     "CampaignSpec",
+    "CampaignStore",
+    "JsonlStore",
     "ResultStore",
+    "SCHEDULES",
+    "SharedDirStore",
+    "SqliteStore",
     "UnitRecord",
     "UnitSpec",
     "aggregate",
+    "default_store_path",
+    "estimate_unit_cost",
     "execute_unit",
     "freeze_params",
+    "open_store",
+    "order_units",
     "register_aggregator",
     "register_unit_runner",
     "run_campaign",

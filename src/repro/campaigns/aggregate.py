@@ -10,6 +10,19 @@ a resumed JSONL store.
 
 Experiment row classes are imported lazily inside each aggregator —
 the experiments package imports the campaign engine, not vice versa.
+
+Usage::
+
+    records = run_campaign(spec, workers=8, store=store)
+    rows = aggregate("fig1", records)      # → List[Fig1Row]
+
+    @register_aggregator("my-experiment")
+    def _my_rows(records):
+        return [MyRow(...) for spec, members in cells(records)]
+
+Because records are keyed by content hash, the records may come from
+any store backend, any worker count, or a mix of cached and fresh
+executions — the rows are identical in every case.
 """
 
 from __future__ import annotations

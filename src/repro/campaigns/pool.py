@@ -1,33 +1,81 @@
-"""Campaign dispatch: serial loop or multiprocessing worker pool.
+"""Campaign dispatch: scheduling policies + serial/pooled execution.
 
-``run_campaign`` shards a campaign's pending units across ``workers``
-processes with :class:`concurrent.futures.ProcessPoolExecutor`.  Units
-are pure functions of their spec (every random draw derives from the
-master seed via named streams), so sharding changes only wall-clock
-time: the returned records — and any rows aggregated from them — are
-byte-identical to a serial run.
+``run_campaign`` drains a campaign's pending units either in-process
+or across ``workers`` processes (:class:`concurrent.futures.
+ProcessPoolExecutor`).  Units are pure functions of their spec (every
+random draw derives from the master seed via named streams), so *how*
+they are dispatched — worker count, scheduling policy, which pool of a
+multi-pool fleet runs them — changes only wall-clock time: the
+returned records, and any rows aggregated from them, are byte-identical
+to a serial run.
+
+Three orthogonal dispatch concerns live here:
+
+scheduling (``schedule=``)
+    ``"fifo"`` dispatches in declaration order; ``"adaptive"`` orders
+    pending units by :func:`estimate_unit_cost` (mesh size × traffic
+    load × message length), largest first, so the slowest cells start
+    early and the campaign's makespan shrinks (classic longest-
+    processing-time list scheduling).
+leasing (``store=`` with a lease-capable backend)
+    Before executing a unit the pool claims it through the store's
+    lease protocol; units claimed by a concurrent pool are deferred
+    and re-checked, so a fleet of pools sharing one store completes a
+    campaign with no unit executed twice.
+caching (``cache=``)
+    Extra read-only stores consulted before execution.  Any prior
+    record with the same content hash — e.g. a ``quick``-scale store
+    whose grid overlaps this ``full`` campaign — is reused and copied
+    into the primary store.
 
 Unit runners register under a *kind* key ("broadcast", "traffic");
 :mod:`repro.campaigns.units` provides the built-ins and is imported
 lazily so the campaigns layer never drags the experiments package into
 its import cycle.
+
+Example::
+
+    from repro.campaigns import open_store, run_campaign
+
+    store = open_store("campaigns/fig4-full-s0.sqlite")
+    cache = [open_store("campaigns/fig4-quick-s0.sqlite")]
+    records = run_campaign(spec, workers=8, store=store,
+                           schedule="adaptive", cache=cache)
 """
 
 from __future__ import annotations
 
+import math
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from typing import Any, Callable, Dict, List, Optional
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.campaigns.spec import CampaignSpec, UnitSpec
-from repro.campaigns.store import ResultStore, UnitRecord
+from repro.campaigns.store import (
+    DEFAULT_LEASE_TTL_S,
+    CampaignStore,
+    UnitRecord,
+    make_owner_id,
+)
 
-__all__ = ["ProgressFn", "register_unit_runner", "execute_unit", "run_campaign"]
+__all__ = [
+    "ProgressFn",
+    "SCHEDULES",
+    "estimate_unit_cost",
+    "order_units",
+    "register_unit_runner",
+    "execute_unit",
+    "run_campaign",
+]
 
 #: kind → runner(spec) -> result dict.
 _UNIT_RUNNERS: Dict[str, Callable[[UnitSpec], Dict[str, Any]]] = {}
 
 ProgressFn = Callable[[str], None]
+
+#: scheduling policies accepted by :func:`run_campaign`.
+SCHEDULES = ("fifo", "adaptive")
 
 
 def register_unit_runner(
@@ -58,6 +106,53 @@ def _runner_for(kind: str) -> Callable[[UnitSpec], Dict[str, Any]]:
         ) from None
 
 
+# ---------------------------------------------------------------- schedule
+def estimate_unit_cost(spec: UnitSpec) -> float:
+    """Relative wall-clock cost estimate for one unit.
+
+    Pure function of the spec (no timing, no state): mesh size ×
+    traffic load × message length, with traffic units further scaled
+    by their batch budget and barrier twins counted twice.  Only the
+    *ordering* of estimates matters — the adaptive scheduler sorts by
+    it — so crude is fine as long as 16×16×8 at high load reliably
+    outranks 4×4×4 at idle.
+    """
+    nodes = float(math.prod(spec.dims))
+    cost = nodes * float(max(spec.length_flits, 1))
+    if spec.load is not None:
+        cost *= max(float(spec.load), 1.0)
+    if spec.kind == "traffic":
+        cost *= float(spec.param("batch_size", 25)) * float(
+            spec.param("num_batches", 21)
+        )
+    if spec.param("barrier", False):
+        cost *= 2.0  # the unit also runs its barrier twin
+    return cost
+
+
+def order_units(
+    units: Sequence[UnitSpec], schedule: str = "fifo"
+) -> List[UnitSpec]:
+    """Dispatch order for ``units`` under a scheduling policy.
+
+    ``"fifo"`` keeps declaration order; ``"adaptive"`` sorts by
+    descending :func:`estimate_unit_cost` with declaration order as
+    the tie-break, so the ordering is deterministic for a given grid.
+    """
+    if schedule == "fifo":
+        return list(units)
+    if schedule == "adaptive":
+        indexed = sorted(
+            enumerate(units),
+            key=lambda pair: (-estimate_unit_cost(pair[1]), pair[0]),
+        )
+        return [unit for _, unit in indexed]
+    raise ValueError(
+        f"unknown schedule {schedule!r}; choose from {SCHEDULES}"
+    )
+
+
+# --------------------------------------------------------------- execution
 def execute_unit(spec: UnitSpec) -> UnitRecord:
     """Run one unit and wrap its result as a :class:`UnitRecord`."""
     runner = _runner_for(spec.kind)
@@ -77,11 +172,37 @@ def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     return execute_unit(UnitSpec.from_dict(payload)).to_dict()
 
 
+def _warm_from_caches(
+    wanted: Sequence[str],
+    records: Dict[str, UnitRecord],
+    store: Optional[CampaignStore],
+    cache: Sequence[CampaignStore],
+) -> int:
+    """Copy cache hits into ``records`` (and the primary store)."""
+    hits = 0
+    for cache_store in cache:
+        cached = cache_store.records()
+        for unit_hash in wanted:
+            if unit_hash in records or unit_hash not in cached:
+                continue
+            record = cached[unit_hash]
+            records[unit_hash] = record
+            if store is not None:
+                store.append(record)
+            hits += 1
+    return hits
+
+
 def run_campaign(
     spec: CampaignSpec,
     workers: int = 1,
-    store: Optional[ResultStore] = None,
+    store: Optional[CampaignStore] = None,
     progress: Optional[ProgressFn] = None,
+    *,
+    schedule: str = "fifo",
+    cache: Sequence[CampaignStore] = (),
+    lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+    poll_interval_s: float = 0.5,
 ) -> List[UnitRecord]:
     """Execute a campaign and return its records in declaration order.
 
@@ -92,48 +213,173 @@ def run_campaign(
     workers:
         Process count; ``1`` runs in-process (no pool, no pickling).
     store:
-        Optional JSONL store.  Units already present are *not*
-        re-executed (their stored record is reused), and every fresh
-        record is appended as soon as it completes — interrupting the
-        run loses at most the units in flight.
+        Optional :class:`~repro.campaigns.store.CampaignStore`.  Units
+        already present are *not* re-executed (their stored record is
+        reused), and every fresh record is appended as soon as it
+        completes — interrupting the run loses at most the units in
+        flight.  On a lease-capable backend (sqlite/shared) the pool
+        claims each unit before executing it, so concurrent pools
+        sharing the store divide the campaign between them.
     progress:
         Optional callback for human-readable progress lines.
+    schedule:
+        ``"fifo"`` (declaration order) or ``"adaptive"``
+        (largest-estimated-cost first); see :func:`order_units`.
+        Scheduling affects dispatch order only — results and row
+        order are identical under every policy.
+    cache:
+        Read-only stores consulted for prior records with the same
+        content hash (e.g. the overlapping ``quick``-scale store of a
+        ``full`` campaign).  Hits are copied into ``store``.
+    lease_ttl_s:
+        How long a claimed unit stays reserved; a pool that crashes
+        mid-unit blocks that unit from peers for at most this long
+        (same-host crashes are detected immediately).  Worker-pool
+        runs refresh their active leases every TTL/3, so the TTL only
+        needs to exceed a unit's duration for serial (``workers=1``)
+        runs, which cannot refresh mid-unit.
+    poll_interval_s:
+        Sleep between re-checks while waiting on units leased by a
+        concurrent pool.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    if schedule not in SCHEDULES:
+        raise ValueError(
+            f"unknown schedule {schedule!r}; choose from {SCHEDULES}"
+        )
+
+    wanted = spec.unit_hashes()
     records: Dict[str, UnitRecord] = {}
     if store is not None:
-        wanted = set(spec.unit_hashes())
+        wanted_set = set(wanted)
         records = {
-            h: rec for h, rec in store.records().items() if h in wanted
+            h: rec for h, rec in store.records().items() if h in wanted_set
         }
+    cache_hits = _warm_from_caches(wanted, records, store, cache)
+
     pending = spec.pending(records)
     if progress:
+        cached_note = (
+            f"{len(records)} cached"
+            + (f" ({cache_hits} from cache stores)" if cache_hits else "")
+        )
         progress(
             f"campaign {spec.name}: {len(spec)} units"
-            f" ({len(records)} cached, {len(pending)} to run,"
-            f" workers={min(workers, max(len(pending), 1))})"
+            f" ({cached_note}, {len(pending)} to run,"
+            f" workers={min(workers, max(len(pending), 1))},"
+            f" schedule={schedule})"
         )
+
+    owner = make_owner_id()
+    claiming = store is not None and store.supports_leases
 
     def finish(record: UnitRecord) -> None:
         records[record.unit_hash] = record
         if store is not None:
             store.append(record)
+            if claiming:
+                store.release(record.unit_hash, owner)
 
-    if pending:
-        if workers == 1 or len(pending) == 1:
-            for unit in pending:
-                finish(execute_unit(unit))
-        else:
-            with ProcessPoolExecutor(
-                max_workers=min(workers, len(pending))
-            ) as pool:
-                futures = {
-                    pool.submit(_execute_payload, unit.as_dict()): unit
-                    for unit in pending
-                }
-                for future in as_completed(futures):
-                    finish(UnitRecord.from_dict(future.result()))
+    queue = deque(order_units(pending, schedule))
+    deferred: List[UnitSpec] = []  # leased by a concurrent pool
+    last_wait_note = -1  # dedupe "waiting on N" progress lines
+    last_refresh = time.monotonic()
+    max_active = min(workers, max(len(queue), 1))
+    pool = (
+        ProcessPoolExecutor(max_workers=max_active)
+        if workers > 1 and len(queue) > 1
+        else None
+    )
+    active: Dict[Any, UnitSpec] = {}
+    try:
+        while queue or active or deferred:
+            while queue and len(active) < max_active:
+                unit = queue.popleft()
+                if unit.unit_hash in records:
+                    continue
+                if claiming:
+                    if not store.try_claim(
+                        unit.unit_hash, owner, ttl_s=lease_ttl_s
+                    ):
+                        deferred.append(unit)
+                        continue
+                    # A peer may have completed-and-released this unit
+                    # after our snapshot of the store; peers append
+                    # before releasing, so a fresh claim with a stored
+                    # record means the work is already done.
+                    existing = store.get(unit.unit_hash)
+                    if existing is not None:
+                        records[unit.unit_hash] = existing
+                        store.release(unit.unit_hash, owner)
+                        continue
+                if pool is None:
+                    try:
+                        finish(execute_unit(unit))
+                    except BaseException:
+                        if claiming:  # don't strand the lease
+                            store.release(unit.unit_hash, owner)
+                        raise
+                else:
+                    active[pool.submit(_execute_payload, unit.as_dict())] = unit
+            if active:
+                done, _ = wait(
+                    active,
+                    timeout=max(lease_ttl_s / 6.0, poll_interval_s),
+                    return_when=FIRST_COMPLETED,
+                )
+                if claiming and (
+                    time.monotonic() - last_refresh > lease_ttl_s / 3.0
+                ):
+                    # Refresh the leases of still-executing units on a
+                    # TTL/3 cadence — independent of completion traffic,
+                    # so a steady stream of short units can't starve a
+                    # long unit's refresh and let a peer steal it.
+                    last_refresh = time.monotonic()
+                    for unit in active.values():
+                        store.try_claim(
+                            unit.unit_hash, owner, ttl_s=lease_ttl_s
+                        )
+                for future in done:
+                    # Take the result while the unit is still in
+                    # `active`: a runner exception propagates with the
+                    # lease release covered by the finally block below.
+                    record = UnitRecord.from_dict(future.result())
+                    active.pop(future)
+                    finish(record)
+                continue
+            if deferred:
+                # Every remaining unit is leased elsewhere: wait for
+                # peer results to land (or their leases to expire) and
+                # retry whatever is still missing.  Point lookups, not
+                # a full store scan — this loop runs on every poll.
+                missing = []
+                for unit in deferred:
+                    if unit.unit_hash in records:
+                        continue
+                    peer_record = store.get(unit.unit_hash)
+                    if peer_record is not None:
+                        records[unit.unit_hash] = peer_record
+                    else:
+                        missing.append(unit)
+                deferred = []
+                if missing:
+                    if progress and len(missing) != last_wait_note:
+                        last_wait_note = len(missing)
+                        progress(
+                            f"campaign {spec.name}: waiting on"
+                            f" {len(missing)} unit(s) leased by a"
+                            f" concurrent pool"
+                        )
+                    time.sleep(poll_interval_s)
+                    queue.extend(order_units(missing, schedule))
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+        if claiming:
+            for unit in active.values():
+                store.release(unit.unit_hash, owner)
+
     if progress:
         total = sum(r.elapsed_s for r in records.values())
         progress(

@@ -11,6 +11,23 @@ byte-identical to serial.
 A :class:`CampaignSpec` is an ordered collection of units; aggregation
 and the final row order follow the declaration order, never the
 completion order.
+
+Usage::
+
+    unit = UnitSpec(
+        experiment="fig1", kind="broadcast", algorithm="DB",
+        dims=(8, 8, 8), length_flits=100, seed=0, replication=3,
+        params=freeze_params(startup_latency=1.5),
+    )
+    unit.unit_hash        # '9f3b...' — stable content address
+    spec = CampaignSpec(name="fig1-quick-s0", seed=0, units=(unit,))
+    spec.pending(["9f3b..."])   # units not yet completed, in order
+
+The hash deliberately covers only what changes the unit's *result*:
+scale bookkeeping like the total replication count stays out, so the
+same grid point computed for a ``quick`` campaign is byte-identical —
+hash included — when a ``full`` campaign needs it (the basis of
+cross-scale caching).
 """
 
 from __future__ import annotations

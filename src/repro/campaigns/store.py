@@ -1,29 +1,85 @@
-"""Append-only JSONL result store keyed by unit hash.
+"""Campaign result stores: one contract, three backends.
 
-Each completed unit appends one JSON line; a campaign re-run loads the
-store, skips every unit whose hash is already present, and only
-dispatches the remainder — so an interrupted ``repro campaign run``
-resumes where it stopped.  A truncated final line (the signature of a
-crash mid-write) is tolerated and simply re-executed.
+A store persists :class:`UnitRecord` objects keyed by unit content
+hash and, optionally, arbitrates *leases* so several worker pools can
+share one store without executing a unit twice.  The contract is
+:class:`CampaignStore`; the backends are:
+
+``jsonl``  (:class:`JsonlStore`)
+    The original append-only JSONL file.  Single writer, zero setup,
+    crash-resumable (a truncated tail line is tolerated and re-run).
+``sqlite`` (:class:`SqliteStore`)
+    One SQLite database in WAL mode.  Safe for many concurrent worker
+    pools on one host; leases live in a second table.
+``shared`` (:class:`SharedDirStore`)
+    A plain directory (one JSON file per record) that any shared
+    filesystem (NFS, …) can host.  Processes on *different hosts*
+    claim units by atomically creating per-unit lease files
+    (``O_CREAT | O_EXCL``), so a fleet can drain one campaign together.
+
+Usage::
+
+    from repro.campaigns.store import open_store
+
+    store = open_store("campaigns/fig4-full-s0.sqlite")   # inferred
+    store = open_store("campaigns/fig4", backend="shared")  # explicit
+    run_campaign(spec, workers=8, store=store)
+
+Every backend reads and writes the same :class:`UnitRecord` payloads,
+so aggregating a campaign from any backend yields byte-identical rows
+(see ``docs/campaigns.md`` for the full contract and lease protocol).
 """
 
 from __future__ import annotations
 
+import abc
 import json
+import os
+import sqlite3
+import time
+import uuid
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Optional, Set
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Set
 
 from repro.campaigns.spec import CampaignSpec, UnitSpec
 
-__all__ = ["UnitRecord", "ResultStore"]
+__all__ = [
+    "UnitRecord",
+    "CampaignStore",
+    "JsonlStore",
+    "ResultStore",
+    "SqliteStore",
+    "SharedDirStore",
+    "BACKENDS",
+    "DEFAULT_LEASE_TTL_S",
+    "open_store",
+    "default_store_path",
+    "make_owner_id",
+]
 
 _REQUIRED_KEYS = ("unit_hash", "experiment", "spec", "result")
+
+#: How long a claimed-but-unfinished unit stays reserved before other
+#: pools may steal it (i.e. how long a crashed worker can block a unit).
+DEFAULT_LEASE_TTL_S = 600.0
 
 
 @dataclass(frozen=True)
 class UnitRecord:
-    """The persisted outcome of one executed unit."""
+    """The persisted outcome of one executed unit.
+
+    Example::
+
+        record = UnitRecord(
+            unit_hash=spec.unit_hash,
+            experiment=spec.experiment,
+            spec=spec.as_dict(),
+            result={"network_latency": 12.5},
+        )
+        store.append(record)
+    """
 
     unit_hash: str
     experiment: str
@@ -58,22 +114,165 @@ class UnitRecord:
         )
 
 
-class ResultStore:
-    """A JSONL file of :class:`UnitRecord` lines.
+def make_owner_id() -> str:
+    """A lease owner token unique across hosts, processes and runs.
+
+    The ``host:pid:nonce`` shape is load-bearing: a claimant on the
+    same host can recognise a lease whose owner process has died (see
+    :func:`owner_is_dead_local`) and steal it without waiting out the
+    TTL — the common "killed the run, restarted it" case resumes
+    immediately.
+    """
+    import socket
+
+    return f"{socket.gethostname()}:{os.getpid()}:{uuid.uuid4().hex[:8]}"
+
+
+def owner_is_dead_local(owner: str) -> bool:
+    """True iff ``owner`` names a process on *this* host that no
+    longer exists.
+
+    Standard pidfile semantics (with the standard pid-recycling
+    caveat, which only re-opens the harmless double-execution window).
+    Unknown token shapes and other hosts are conservatively presumed
+    alive — they must wait out the lease TTL.
+    """
+    import socket
+
+    host, _, rest = owner.partition(":")
+    pid_text, _, _ = rest.partition(":")
+    if host != socket.gethostname():
+        return False
+    try:
+        pid = int(pid_text)
+    except ValueError:
+        return False
+    if pid <= 0 or pid == os.getpid():
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return True
+    except PermissionError:  # pragma: no cover - exists, not ours
+        return False
+    return False
+
+
+class CampaignStore(abc.ABC):
+    """Storage contract for campaign unit records.
+
+    A backend must persist records durably-enough that a crashed run
+    loses at most the units in flight, and must key everything by the
+    unit's content hash — the hash *is* the identity, which is what
+    makes resume, cross-scale caching and multi-pool sharing work.
+
+    Lease protocol (optional — backends with
+    ``supports_leases = False`` run the single-pool fast path):
+
+    1. a pool calls :meth:`try_claim` with its owner token before
+       executing a unit; ``False`` means another live pool holds it;
+    2. the executing pool calls :meth:`append` and then
+       :meth:`release` when the unit completes;
+    3. a lease older than its TTL is *stale* (the claimant crashed)
+       and :meth:`try_claim` may steal it.
+
+    Claiming is advisory for correctness of results (units are pure,
+    so a double execution wastes time but cannot change a row) and
+    load-bearing only for efficiency — which is why the default
+    implementation simply always grants the claim.
+    """
+
+    #: short backend id ("jsonl", "sqlite", "shared"); set per subclass.
+    backend: str = "?"
+    #: whether :meth:`try_claim` actually arbitrates between pools.
+    supports_leases: bool = False
+
+    path: Path
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.path}>"
+
+    def describe(self) -> str:
+        """Human-readable identity for progress/status lines."""
+        return f"{self.backend}:{self.path}"
+
+    # ------------------------------------------------------------ records
+    @abc.abstractmethod
+    def records(self) -> Dict[str, UnitRecord]:
+        """All stored records, keyed by unit hash (last record wins)."""
+
+    @abc.abstractmethod
+    def append(self, record: UnitRecord) -> None:
+        """Durably store one record (creating the store on demand)."""
+
+    def extend(self, records: Iterable[UnitRecord]) -> None:
+        """Append many records."""
+        for record in records:
+            self.append(record)
+
+    def get(self, unit_hash: str) -> Optional[UnitRecord]:
+        """The stored record for one unit, or ``None``.
+
+        Backends override this with a point lookup where they can; the
+        pool calls it after every successful claim to close the
+        finished-and-released race (a completing pool appends *before*
+        releasing, so a freshly claimable unit either has a record or
+        truly never ran).
+        """
+        return self.records().get(unit_hash)
+
+    def completed_hashes(self) -> Set[str]:
+        """Hashes of every unit with a stored result."""
+        return set(self.records())
+
+    def records_for(self, spec: CampaignSpec) -> List[Optional[UnitRecord]]:
+        """Stored records for a campaign's units, in declaration order
+        (``None`` where a unit has not completed yet)."""
+        stored = self.records()
+        return [stored.get(unit.unit_hash) for unit in spec.units]
+
+    # ------------------------------------------------------------- leases
+    def try_claim(
+        self, unit_hash: str, owner: str, ttl_s: float = DEFAULT_LEASE_TTL_S
+    ) -> bool:
+        """Reserve a unit for ``owner``; ``True`` iff the claim holds.
+
+        Re-claiming a unit you already own refreshes the lease.  The
+        base implementation has no peers to arbitrate against and
+        always grants the claim.
+        """
+        return True
+
+    def release(self, unit_hash: str, owner: str) -> None:
+        """Drop ``owner``'s lease on a unit (no-op if not held)."""
+
+    def leased_hashes(self) -> Set[str]:
+        """Hashes currently under a live (unexpired) lease."""
+        return set()
+
+
+class JsonlStore(CampaignStore):
+    """Append-only JSONL file of :class:`UnitRecord` lines.
 
     The store is append-only; if a unit somehow appears twice the last
     record wins.  Reads tolerate a corrupt/truncated tail so a crashed
-    writer never poisons the campaign.
+    writer never poisons the campaign.  Single-writer: it grants every
+    claim, so two pools sharing one JSONL file would duplicate work
+    (use ``sqlite`` or ``shared`` for that).
+
+    Example::
+
+        store = JsonlStore("campaigns/fig1-quick-s0.jsonl")
+        run_campaign(spec, store=store)      # first run: executes
+        run_campaign(spec, store=store)      # re-run: all cached
     """
+
+    backend = "jsonl"
 
     def __init__(self, path: str | Path):
         self.path = Path(path)
 
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<ResultStore {self.path}>"
-
     def records(self) -> Dict[str, UnitRecord]:
-        """All stored records, keyed by unit hash (last record wins)."""
         records: Dict[str, UnitRecord] = {}
         if not self.path.exists():
             return records
@@ -92,25 +291,396 @@ class ResultStore:
                 records[record.unit_hash] = record
         return records
 
-    def completed_hashes(self) -> Set[str]:
-        """Hashes of every unit with a stored result."""
-        return set(self.records())
-
     def append(self, record: UnitRecord) -> None:
-        """Durably append one record (creating parent dirs on demand)."""
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with self.path.open("a", encoding="utf-8") as handle:
             handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
 
-    def extend(self, records: Iterable[UnitRecord]) -> None:
-        """Append many records."""
-        for record in records:
-            self.append(record)
 
-    def records_for(
-        self, spec: CampaignSpec
-    ) -> List[Optional[UnitRecord]]:
-        """Stored records for a campaign's units, in declaration order
-        (``None`` where a unit has not completed yet)."""
-        stored = self.records()
-        return [stored.get(unit.unit_hash) for unit in spec.units]
+#: Backwards-compatible name: the original store class was ``ResultStore``.
+ResultStore = JsonlStore
+
+
+class SqliteStore(CampaignStore):
+    """SQLite-backed store, safe for concurrent pools on one host.
+
+    The database runs in WAL mode so many processes can append records
+    while readers aggregate; leases live in a second table and are
+    arbitrated by SQLite's own locking.  Connections are opened per
+    operation, which keeps the store picklable and fork-safe.
+
+    Example::
+
+        store = SqliteStore("campaigns/fig4-full-s0.sqlite")
+        # terminal 1 and terminal 2, simultaneously:
+        #   repro campaign run fig4 --scale full --workers 4 \\
+        #       --store-backend sqlite
+        # each pool claims disjoint units; no unit runs twice.
+    """
+
+    backend = "sqlite"
+    supports_leases = True
+
+    _SCHEMA = (
+        "CREATE TABLE IF NOT EXISTS records ("
+        " unit_hash TEXT PRIMARY KEY, experiment TEXT NOT NULL,"
+        " spec TEXT NOT NULL, result TEXT NOT NULL,"
+        " elapsed_s REAL NOT NULL DEFAULT 0.0)",
+        "CREATE TABLE IF NOT EXISTS leases ("
+        " unit_hash TEXT PRIMARY KEY, owner TEXT NOT NULL,"
+        " expires_at REAL NOT NULL)",
+    )
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._schema_ready = False
+
+    @contextmanager
+    def _connect(self) -> Iterator[sqlite3.Connection]:
+        """One transaction on a fresh, properly closed connection.
+
+        Connections are per operation (keeps the store picklable and
+        fork-safe); the WAL pragma and schema DDL run only until they
+        have succeeded once per store instance.
+        """
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        con = sqlite3.connect(self.path, timeout=30.0)
+        try:
+            con.execute("PRAGMA busy_timeout=30000")
+            if not self._schema_ready:
+                con.execute("PRAGMA journal_mode=WAL")
+                for statement in self._SCHEMA:
+                    con.execute(statement)
+                self._schema_ready = True
+            with con:
+                yield con
+        finally:
+            con.close()
+
+    def records(self) -> Dict[str, UnitRecord]:
+        if not self.path.exists():
+            return {}
+        with self._connect() as con:
+            rows = con.execute(
+                "SELECT unit_hash, experiment, spec, result, elapsed_s"
+                " FROM records"
+            ).fetchall()
+        return {
+            unit_hash: UnitRecord(
+                unit_hash=unit_hash,
+                experiment=experiment,
+                spec=json.loads(spec),
+                result=json.loads(result),
+                elapsed_s=elapsed_s,
+            )
+            for unit_hash, experiment, spec, result, elapsed_s in rows
+        }
+
+    def get(self, unit_hash: str) -> Optional[UnitRecord]:
+        if not self.path.exists():
+            return None
+        with self._connect() as con:
+            row = con.execute(
+                "SELECT unit_hash, experiment, spec, result, elapsed_s"
+                " FROM records WHERE unit_hash = ?",
+                (unit_hash,),
+            ).fetchone()
+        if row is None:
+            return None
+        return UnitRecord(
+            unit_hash=row[0],
+            experiment=row[1],
+            spec=json.loads(row[2]),
+            result=json.loads(row[3]),
+            elapsed_s=row[4],
+        )
+
+    def append(self, record: UnitRecord) -> None:
+        with self._connect() as con:
+            con.execute(
+                "INSERT OR REPLACE INTO records VALUES (?, ?, ?, ?, ?)",
+                (
+                    record.unit_hash,
+                    record.experiment,
+                    json.dumps(record.spec, sort_keys=True),
+                    json.dumps(record.result, sort_keys=True),
+                    record.elapsed_s,
+                ),
+            )
+
+    def try_claim(
+        self, unit_hash: str, owner: str, ttl_s: float = DEFAULT_LEASE_TTL_S
+    ) -> bool:
+        now = time.time()
+        with self._connect() as con:
+            con.execute("DELETE FROM leases WHERE expires_at <= ?", (now,))
+            con.execute(
+                "INSERT OR IGNORE INTO leases VALUES (?, ?, ?)",
+                (unit_hash, owner, now + ttl_s),
+            )
+            con.execute(
+                "UPDATE leases SET expires_at = ?"
+                " WHERE unit_hash = ? AND owner = ?",
+                (now + ttl_s, unit_hash, owner),
+            )
+            row = con.execute(
+                "SELECT owner FROM leases WHERE unit_hash = ?", (unit_hash,)
+            ).fetchone()
+            if row and row[0] != owner and owner_is_dead_local(row[0]):
+                # The holder is a dead process on this host: take over
+                # without waiting out the TTL.
+                con.execute(
+                    "UPDATE leases SET owner = ?, expires_at = ?"
+                    " WHERE unit_hash = ? AND owner = ?",
+                    (owner, now + ttl_s, unit_hash, row[0]),
+                )
+                row = con.execute(
+                    "SELECT owner FROM leases WHERE unit_hash = ?",
+                    (unit_hash,),
+                ).fetchone()
+        return bool(row) and row[0] == owner
+
+    def release(self, unit_hash: str, owner: str) -> None:
+        if not self.path.exists():
+            return
+        with self._connect() as con:
+            con.execute(
+                "DELETE FROM leases WHERE unit_hash = ? AND owner = ?",
+                (unit_hash, owner),
+            )
+
+    def leased_hashes(self) -> Set[str]:
+        if not self.path.exists():
+            return set()
+        with self._connect() as con:
+            rows = con.execute(
+                "SELECT unit_hash FROM leases WHERE expires_at > ?",
+                (time.time(),),
+            ).fetchall()
+        return {unit_hash for (unit_hash,) in rows}
+
+
+class SharedDirStore(CampaignStore):
+    """Shared-directory store for multi-host campaigns.
+
+    Layout (everything under one directory, so the whole store moves
+    with a single ``rsync``/bind-mount)::
+
+        <dir>/records/<unit_hash>.json   one file per completed unit
+        <dir>/leases/<unit_hash>.lease   {"owner": ..., "expires_at": ...}
+
+    Records are written atomically (temp file + ``os.replace``) so a
+    reader never sees a half-written result.  Claims rely only on
+    ``open(O_CREAT | O_EXCL)`` — atomic on POSIX filesystems including
+    NFS — and stale leases are stolen by first renaming the expired
+    lease file away (exactly one stealer wins the rename) and then
+    re-attempting the exclusive create.
+
+    Example (two hosts, one NFS mount)::
+
+        # host A and host B, simultaneously:
+        #   repro campaign run fig4 --scale full --workers 8 \\
+        #       --store-backend shared --store /mnt/shared/fig4-full-s0
+        # whichever host claims a unit first runs it; the other skips.
+    """
+
+    backend = "shared"
+    supports_leases = True
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+
+    @property
+    def _records_dir(self) -> Path:
+        return self.path / "records"
+
+    @property
+    def _leases_dir(self) -> Path:
+        return self.path / "leases"
+
+    def records(self) -> Dict[str, UnitRecord]:
+        records: Dict[str, UnitRecord] = {}
+        if not self._records_dir.is_dir():
+            return records
+        for entry in sorted(self._records_dir.glob("*.json")):
+            try:
+                data = json.loads(entry.read_text(encoding="utf-8"))
+            except (json.JSONDecodeError, OSError):
+                continue  # partially copied / corrupt record; re-runs
+            if not all(key in data for key in _REQUIRED_KEYS):
+                continue
+            record = UnitRecord.from_dict(data)
+            records[record.unit_hash] = record
+        return records
+
+    def get(self, unit_hash: str) -> Optional[UnitRecord]:
+        entry = self._records_dir / f"{unit_hash}.json"
+        try:
+            data = json.loads(entry.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not all(key in data for key in _REQUIRED_KEYS):
+            return None
+        return UnitRecord.from_dict(data)
+
+    def append(self, record: UnitRecord) -> None:
+        self._records_dir.mkdir(parents=True, exist_ok=True)
+        final = self._records_dir / f"{record.unit_hash}.json"
+        tmp = self._records_dir / f".{record.unit_hash}.{uuid.uuid4().hex}.tmp"
+        tmp.write_text(
+            json.dumps(record.to_dict(), sort_keys=True), encoding="utf-8"
+        )
+        os.replace(tmp, final)
+
+    # ------------------------------------------------------------- leases
+    def _lease_path(self, unit_hash: str) -> Path:
+        return self._leases_dir / f"{unit_hash}.lease"
+
+    def _read_lease(self, path: Path) -> Optional[Dict[str, Any]]:
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+        if "owner" not in data or "expires_at" not in data:
+            return None
+        return data
+
+    def _create_lease(self, path: Path, owner: str, ttl_s: float) -> bool:
+        # Write the payload to a private temp file, then hard-link it
+        # to the lease name: link() is atomic and fails if the name
+        # exists, and — unlike open(O_EXCL) followed by write() — the
+        # lease can never be observed empty, so a peer cannot misread
+        # a half-created lease as corrupt and steal it.
+        payload = json.dumps(
+            {"owner": owner, "expires_at": time.time() + ttl_s}
+        )
+        tmp = path.with_name(path.name + f".{uuid.uuid4().hex}.new")
+        tmp.write_text(payload, encoding="utf-8")
+        try:
+            os.link(tmp, path)
+        except FileExistsError:
+            return False
+        finally:
+            try:
+                os.unlink(tmp)
+            except FileNotFoundError:  # pragma: no cover - best effort
+                pass
+        return True
+
+    def try_claim(
+        self, unit_hash: str, owner: str, ttl_s: float = DEFAULT_LEASE_TTL_S
+    ) -> bool:
+        self._leases_dir.mkdir(parents=True, exist_ok=True)
+        lease = self._lease_path(unit_hash)
+        if self._create_lease(lease, owner, ttl_s):
+            return True
+        data = self._read_lease(lease)
+        if data is not None and data["owner"] == owner:
+            # Refresh our own lease (atomic replace; we already own it).
+            tmp = lease.with_name(lease.name + f".{uuid.uuid4().hex}.tmp")
+            tmp.write_text(
+                json.dumps({"owner": owner, "expires_at": time.time() + ttl_s}),
+                encoding="utf-8",
+            )
+            os.replace(tmp, lease)
+            return True
+        if (
+            data is not None
+            and data["expires_at"] > time.time()
+            and not owner_is_dead_local(str(data["owner"]))
+        ):
+            return False  # live lease held by another pool
+        # Stale (or unreadable) lease: steal it.  Renaming the old file
+        # away is the arbitration point — os.rename fails for everyone
+        # but the first stealer — after which exactly one contender can
+        # win the O_EXCL create.
+        tomb = lease.with_name(lease.name + f".stale.{uuid.uuid4().hex}")
+        try:
+            os.rename(lease, tomb)
+        except FileNotFoundError:
+            pass  # someone else already removed/stole it
+        else:
+            try:
+                os.unlink(tomb)
+            except FileNotFoundError:  # pragma: no cover - best effort
+                pass
+        return self._create_lease(lease, owner, ttl_s)
+
+    def release(self, unit_hash: str, owner: str) -> None:
+        lease = self._lease_path(unit_hash)
+        data = self._read_lease(lease)
+        if data is not None and data["owner"] == owner:
+            try:
+                os.unlink(lease)
+            except FileNotFoundError:  # pragma: no cover - racing release
+                pass
+
+    def leased_hashes(self) -> Set[str]:
+        if not self._leases_dir.is_dir():
+            return set()
+        now = time.time()
+        live: Set[str] = set()
+        for entry in self._leases_dir.glob("*.lease"):
+            data = self._read_lease(entry)
+            if data is not None and data["expires_at"] > now:
+                live.add(entry.name[: -len(".lease")])
+        return live
+
+
+#: backend id → store class (the ``--store-backend`` choices).
+BACKENDS: Dict[str, type] = {
+    "jsonl": JsonlStore,
+    "sqlite": SqliteStore,
+    "shared": SharedDirStore,
+}
+
+_SUFFIX_BACKENDS = {
+    ".jsonl": "jsonl",
+    ".json": "jsonl",
+    ".sqlite": "sqlite",
+    ".sqlite3": "sqlite",
+    ".db": "sqlite",
+}
+
+
+def default_store_path(
+    name: str, backend: str = "jsonl", root: str | Path = "campaigns"
+) -> Path:
+    """The conventional store location for a campaign ``name``.
+
+    ``campaigns/<name>.jsonl`` / ``campaigns/<name>.sqlite`` /
+    ``campaigns/<name>`` (a directory) depending on the backend.
+    """
+    root = Path(root)
+    if backend == "jsonl":
+        return root / f"{name}.jsonl"
+    if backend == "sqlite":
+        return root / f"{name}.sqlite"
+    if backend == "shared":
+        return root / name
+    raise ValueError(f"unknown backend {backend!r}; choose from {sorted(BACKENDS)}")
+
+
+def open_store(path: str | Path, backend: Optional[str] = None) -> CampaignStore:
+    """Open a campaign store, inferring the backend when not given.
+
+    Inference: a known file suffix (``.jsonl``/``.json`` → jsonl,
+    ``.sqlite``/``.sqlite3``/``.db`` → sqlite) wins; an existing
+    directory or a suffix-less path means ``shared``; anything else
+    falls back to ``jsonl``.
+    """
+    if backend is not None:
+        try:
+            cls = BACKENDS[backend]
+        except KeyError:
+            raise ValueError(
+                f"unknown backend {backend!r}; choose from {sorted(BACKENDS)}"
+            ) from None
+        return cls(path)
+    p = Path(path)
+    inferred = _SUFFIX_BACKENDS.get(p.suffix.lower())
+    if inferred is not None:
+        return BACKENDS[inferred](p)
+    if p.is_dir() or not p.suffix:
+        return SharedDirStore(p)
+    return JsonlStore(p)

@@ -16,6 +16,18 @@ Two kinds cover all of the paper's experiments:
   semantics (the tables' second CV column).
 * ``"traffic"`` — one mixed unicast/broadcast load point (the §3.3
   protocol, batch means and all).
+
+Usage — registering a custom runner::
+
+    from repro.campaigns import register_unit_runner
+
+    @register_unit_runner("my-kind")
+    def run_my_unit(spec):
+        value = simulate(spec.dims, spec.seed, spec.param("knob", 1.0))
+        return {"value": value}          # plain JSON-serialisable dict
+
+Runners execute inside worker processes, so they must be importable at
+module level and return picklable plain data.
 """
 
 from __future__ import annotations
@@ -42,9 +54,12 @@ def run_broadcast_unit(spec: UnitSpec) -> Dict[str, Any]:
         raise ValueError(
             f"replication {spec.replication} outside sources_count={count}"
         )
-    # Every replication of a cell re-derives the *same* source list from
-    # (dims, master seed), so all algorithms see identical sources — the
-    # paper's fairness protocol — and any worker computes the same unit.
+    # Every replication of a cell re-derives the *same* source sequence
+    # from (dims, master seed), so all algorithms see identical sources —
+    # the paper's fairness protocol — and any worker computes the same
+    # unit.  The sequence is prefix-stable (draw r never depends on how
+    # many draws follow), which is why the unit hash can omit the
+    # scale's total source count and stay valid across scales.
     source = random_sources(spec.dims, count, spec.seed)[spec.replication]
     startup_latency = float(spec.param("startup_latency", 1.5))
     outcome = run_single_broadcasts(

@@ -6,16 +6,21 @@ Regenerate any of the paper's tables/figures::
     repro table2 --scale full --seed 7 --workers 8
     repro list
 
-run a parallel, resumable campaign (results land in a JSONL store,
-and a re-run skips every already-completed unit)::
+run a parallel, resumable campaign (results land in a pluggable store
+— JSONL, SQLite or a lease-arbitrated shared directory — and a re-run
+skips every already-completed unit)::
 
-    repro campaign run fig4 --scale full --workers 8
+    repro campaign run fig4 --scale full --workers 8 --schedule adaptive
+    repro campaign run fig4 --scale full --store-backend sqlite
     repro campaign status fig4 --scale full
     repro campaign aggregate fig4 --scale full --out fig4.csv
 
 or run a one-off broadcast and print its profile::
 
     repro broadcast --algo AB --dims 8x8x8 --source 3,4,5
+
+See ``docs/campaigns.md`` for store backends, scheduling policies and
+the multi-host lease protocol.
 """
 
 from __future__ import annotations
@@ -27,8 +32,13 @@ from typing import List, Optional
 
 from repro.analysis.comparison import compare_algorithms
 from repro.campaigns.aggregate import aggregate
-from repro.campaigns.pool import run_campaign
-from repro.campaigns.store import ResultStore
+from repro.campaigns.pool import SCHEDULES, run_campaign
+from repro.campaigns.store import (
+    BACKENDS,
+    CampaignStore,
+    default_store_path,
+    open_store,
+)
 from repro.core.adaptive_broadcast import AdaptiveBroadcast
 from repro.core.executors import EventDrivenExecutor
 from repro.core.registry import algorithm_names, get_algorithm
@@ -73,6 +83,15 @@ def _add_experiment_options(
         "--scale", default="quick", choices=["smoke", "quick", "full"]
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--store-backend",
+        default=None,
+        choices=sorted(BACKENDS),
+        help=(
+            "campaign store backend (default: inferred from --store's"
+            " suffix, else jsonl)"
+        ),
+    )
     if workers:
         parser.add_argument(
             "--workers",
@@ -80,6 +99,15 @@ def _add_experiment_options(
             default=1,
             metavar="N",
             help="shard simulation units over N worker processes",
+        )
+        parser.add_argument(
+            "--schedule",
+            default="fifo",
+            choices=SCHEDULES,
+            help=(
+                "unit dispatch order: declaration order (fifo) or"
+                " largest-estimated-cost first (adaptive)"
+            ),
         )
 
 
@@ -98,6 +126,15 @@ def _build_parser() -> argparse.ArgumentParser:
     for experiment_id, help_text in EXPERIMENTS.items():
         p = sub.add_parser(experiment_id, help=help_text)
         _add_experiment_options(p)
+        p.add_argument(
+            "--store",
+            default=None,
+            metavar="PATH",
+            help=(
+                "also persist/reuse unit results in a campaign store"
+                " (resumable; see --store-backend)"
+            ),
+        )
         p.add_argument(
             "--out",
             default=None,
@@ -118,12 +155,25 @@ def _build_parser() -> argparse.ArgumentParser:
         cp.add_argument(
             "--store",
             default=None,
-            metavar="FILE",
+            metavar="PATH",
             help=(
-                "JSONL unit-result store"
-                " (default: campaigns/<name>.jsonl)"
+                "unit-result store: a .jsonl/.sqlite file or a shared"
+                " directory (default: campaigns/<name>.<backend>)"
             ),
         )
+        if action == "run":
+            cp.add_argument(
+                "--cache",
+                action="append",
+                default=None,
+                metavar="PATH",
+                help=(
+                    "extra read-only store(s) to reuse matching unit"
+                    " results from (repeatable); sibling-scale stores"
+                    " in the campaigns/ directory are found"
+                    " automatically"
+                ),
+            )
         if action in ("run", "aggregate"):
             cp.add_argument(
                 "--out",
@@ -194,29 +244,91 @@ def _save(rows, out: Optional[str]) -> None:
         print(f"\nrows saved to {path}")
 
 
-def _campaign_store(args, spec) -> ResultStore:
-    path = args.store or Path("campaigns") / f"{spec.name}.jsonl"
-    return ResultStore(path)
+def _campaign_store(args, spec) -> CampaignStore:
+    """Resolve --store/--store-backend to a concrete store.
+
+    An explicit path wins (backend inferred from its suffix unless
+    --store-backend pins it); otherwise the backend's conventional
+    ``campaigns/<name>.<ext>`` location is used (jsonl by default).
+    """
+    if args.store:
+        return open_store(args.store, args.store_backend)
+    backend = args.store_backend or "jsonl"
+    return open_store(default_store_path(spec.name, backend), backend)
+
+
+def _campaign_caches(args, spec) -> List[CampaignStore]:
+    """Cache stores for ``campaign run``: explicit --cache paths plus
+    any sibling-scale store of the same experiment/seed/backend found
+    in the default campaigns/ layout (so a ``full`` run reuses every
+    overlapping unit a ``quick`` or ``smoke`` run already computed)."""
+    caches = [open_store(path) for path in (getattr(args, "cache", None) or [])]
+    if not args.store:  # sibling discovery needs the default layout
+        backend = args.store_backend or "jsonl"
+        for other_scale in ("smoke", "quick", "full"):
+            if other_scale == args.scale:
+                continue
+            sibling = campaign_for(
+                args.experiment, other_scale, args.seed
+            ).name
+            path = default_store_path(sibling, backend)
+            if path.exists():
+                caches.append(open_store(path, backend))
+    return caches
+
+
+def _campaign_status(spec, store: CampaignStore) -> str:
+    """One status line for ``spec`` in ``store``.
+
+    Leased-but-unfinished units (claimed by a live worker pool but not
+    yet completed) are reported separately — they are in flight, not
+    done — and excluded from the pending count.
+    """
+    wanted = set(spec.unit_hashes())
+    completed = wanted & store.completed_hashes()
+    leased = (store.leased_hashes() & wanted) - completed
+    pending = len(spec) - len(completed) - len(leased)
+    state = "complete" if pending == 0 and not leased else f"{pending} pending"
+    return (
+        f"campaign {spec.name} [{store.backend}]:"
+        f" {len(completed)}/{len(spec)} units complete,"
+        f" {len(leased)} leased (in flight) ({state})"
+        f" — store: {store.path}"
+    )
 
 
 def _cmd_campaign(args) -> int:
     spec = campaign_for(args.experiment, args.scale, args.seed)
+    if args.campaign_command == "status":
+        # No explicit store: report every backend found in the default
+        # layout (per-backend totals), not just the jsonl one.
+        if args.store or args.store_backend:
+            stores = [_campaign_store(args, spec)]
+        else:
+            stores = [
+                open_store(path, backend)
+                for backend in sorted(BACKENDS)
+                for path in [default_store_path(spec.name, backend)]
+                if path.exists()
+            ] or [_campaign_store(args, spec)]
+        for store in stores:
+            print(_campaign_status(spec, store))
+        return 0
+
     store = _campaign_store(args, spec)
     if args.campaign_command == "run":
         records = run_campaign(
-            spec, workers=args.workers, store=store, progress=print
+            spec,
+            workers=args.workers,
+            store=store,
+            progress=print,
+            schedule=args.schedule,
+            cache=_campaign_caches(args, spec),
         )
-    else:
-        stored = store.records_for(spec)  # one parse serves both commands
+    else:  # aggregate
+        stored = store.records_for(spec)
         records = [r for r in stored if r is not None]
         pending = len(spec) - len(records)
-        if args.campaign_command == "status":
-            state = "complete" if pending == 0 else f"{pending} pending"
-            print(
-                f"campaign {spec.name}: {len(records)}/{len(spec)} units"
-                f" complete ({state}) — store: {store.path}"
-            )
-            return 0
         if pending:  # aggregate needs every unit
             resume = (
                 f"repro campaign run {args.experiment}"
@@ -224,6 +336,8 @@ def _cmd_campaign(args) -> int:
             )
             if args.store:
                 resume += f" --store {args.store}"
+            if args.store_backend:
+                resume += f" --store-backend {args.store_backend}"
             print(
                 f"campaign {spec.name}: only {len(records)}/{len(spec)}"
                 f" units in {store.path}; run `{resume}` to finish it first"
@@ -249,8 +363,23 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_compare(args)
         if args.command == "campaign":
             return _cmd_campaign(args)
+        store = None
+        if args.store or args.store_backend:
+            backend = args.store_backend
+            if args.store:
+                store = open_store(args.store, backend)
+            else:
+                name = campaign_for(args.command, args.scale, args.seed).name
+                store = open_store(
+                    default_store_path(name, backend), backend
+                )
         rows, text = run_experiment(
-            args.command, args.scale, args.seed, workers=args.workers
+            args.command,
+            args.scale,
+            args.seed,
+            workers=args.workers,
+            store=store,
+            schedule=args.schedule,
         )
         print(text)
         _save(rows, getattr(args, "out", None))

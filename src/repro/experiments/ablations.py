@@ -13,8 +13,8 @@ The design choices the paper mentions but does not isolate:
   algorithm the same port budget isolates the benefit.
 
 Each ablation declares a value × algorithm × source unit grid and runs
-through the campaign engine (``workers``/``store`` parallelise and
-resume it like any other campaign).
+through the campaign engine (``workers``/``store``/``schedule``
+parallelise, resume and reorder it like any other campaign).
 """
 
 from __future__ import annotations
@@ -22,12 +22,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from repro.campaigns.aggregate import aggregate
-from repro.campaigns.pool import run_campaign
 from repro.campaigns.spec import CampaignSpec, UnitSpec
-from repro.campaigns.store import ResultStore
+from repro.campaigns.store import CampaignStore
 from repro.core.registry import algorithm_names
-from repro.experiments.common import broadcast_units, campaign
+from repro.experiments.common import broadcast_units, campaign, run_units
 from repro.experiments.config import ExperimentScale
 
 __all__ = [
@@ -61,10 +59,12 @@ def _run(
     spec: CampaignSpec,
     experiment: str,
     workers: int,
-    store: Optional[ResultStore],
+    store: Optional[CampaignStore],
+    schedule: str = "fifo",
 ) -> List[AblationRow]:
-    records = run_campaign(spec, workers=workers, store=store)
-    return aggregate(experiment, records)
+    return run_units(
+        experiment, spec, workers=workers, store=store, schedule=schedule
+    )
 
 
 def startup_ablation_campaign(
@@ -95,11 +95,12 @@ def run_startup_latency_ablation(
     length_flits: int = 100,
     *,
     workers: int = 1,
-    store: Optional[ResultStore] = None,
+    store: Optional[CampaignStore] = None,
+    schedule: str = "fifo",
 ) -> List[AblationRow]:
     """Latency/CV of all four algorithms at both paper Ts values."""
     spec = startup_ablation_campaign(scale, seed, startup_values, length_flits)
-    return _run(spec, "ablation-startup", workers, store)
+    return _run(spec, "ablation-startup", workers, store, schedule)
 
 
 def length_ablation_campaign(
@@ -122,11 +123,12 @@ def run_message_length_ablation(
     lengths: Tuple[int, ...] = (32, 128, 512, 2048),
     *,
     workers: int = 1,
-    store: Optional[ResultStore] = None,
+    store: Optional[CampaignStore] = None,
+    schedule: str = "fifo",
 ) -> List[AblationRow]:
     """The paper's stated 32–2048-flit message-length range."""
     spec = length_ablation_campaign(scale, seed, lengths)
-    return _run(spec, "ablation-length", workers, store)
+    return _run(spec, "ablation-length", workers, store, schedule)
 
 
 def maxdest_ablation_campaign(
@@ -157,11 +159,12 @@ def run_max_destinations_ablation(
     length_flits: int = 100,
     *,
     workers: int = 1,
-    store: Optional[ResultStore] = None,
+    store: Optional[CampaignStore] = None,
+    schedule: str = "fifo",
 ) -> List[AblationRow]:
     """AB's per-path destination bound: long worms vs many worms."""
     spec = maxdest_ablation_campaign(scale, seed, limits, length_flits)
-    return _run(spec, "ablation-maxdest", workers, store)
+    return _run(spec, "ablation-maxdest", workers, store, schedule)
 
 
 def ports_ablation_campaign(
@@ -192,8 +195,9 @@ def run_port_count_ablation(
     length_flits: int = 100,
     *,
     workers: int = 1,
-    store: Optional[ResultStore] = None,
+    store: Optional[CampaignStore] = None,
+    schedule: str = "fifo",
 ) -> List[AblationRow]:
     """Every algorithm at every port budget (EDN's multiport advantage)."""
     spec = ports_ablation_campaign(scale, seed, ports, length_flits)
-    return _run(spec, "ablation-ports", workers, store)
+    return _run(spec, "ablation-ports", workers, store, schedule)

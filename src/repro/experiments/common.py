@@ -4,15 +4,20 @@ Besides the single-broadcast runners the experiment modules have always
 shared, this module hosts the *grid declaration* helpers of the
 campaign engine: each experiment declares its unit grid through
 :func:`broadcast_units` / :func:`traffic_units` and hands the resulting
-:class:`~repro.campaigns.spec.CampaignSpec` to
+:class:`~repro.campaigns.spec.CampaignSpec` to :func:`run_units`, the
+shared execute-and-aggregate path that threads workers, store
+backends, scheduling policy and cache stores through
 :func:`repro.campaigns.run_campaign`.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
 
+from repro.campaigns.aggregate import aggregate
+from repro.campaigns.pool import ProgressFn, run_campaign
 from repro.campaigns.spec import CampaignSpec, UnitSpec, freeze_params
+from repro.campaigns.store import CampaignStore
 from repro.core.adaptive_broadcast import AdaptiveBroadcast
 from repro.core.executors import (
     BarrierStepExecutor,
@@ -34,6 +39,7 @@ __all__ = [
     "broadcast_units",
     "traffic_units",
     "campaign",
+    "run_units",
 ]
 
 
@@ -141,6 +147,15 @@ def broadcast_units(
     algorithms of a cell share the same sources — the paper's fairness
     protocol — because every replication re-derives the source list
     from (dims, seed).
+
+    The scale's ``sources_per_point`` fixes only *how many*
+    replications are declared, and is deliberately **not** part of the
+    unit's hashed parameters: replication ``r`` always measures the
+    ``r``-th draw of the named "sources" stream, whatever the total
+    count, so a ``quick`` grid's units are a strict hash-subset of the
+    ``full`` grid's and cross-scale cache lookup
+    (:func:`repro.campaigns.run_campaign`'s ``cache=``) can reuse
+    them.
     """
     scale = resolve_scale(scale)
     units: List[UnitSpec] = []
@@ -157,7 +172,6 @@ def broadcast_units(
                         seed=seed,
                         replication=replication,
                         params=freeze_params(
-                            sources_count=scale.sources_per_point,
                             barrier=barrier or None,
                             startup_latency=startup_latency,
                             max_destinations_per_path=max_destinations_per_path,
@@ -204,6 +218,36 @@ def traffic_units(
                 )
             )
     return units
+
+
+def run_units(
+    experiment: str,
+    spec: CampaignSpec,
+    *,
+    workers: int = 1,
+    store: Optional[CampaignStore] = None,
+    schedule: str = "fifo",
+    cache: Sequence[CampaignStore] = (),
+    progress: Optional[ProgressFn] = None,
+) -> List[Any]:
+    """Execute a declared campaign and aggregate it into result rows.
+
+    The one shared execution path behind every ``run_*`` experiment
+    function: dispatch through :func:`repro.campaigns.run_campaign`
+    (which honours workers, store backend, scheduling policy and
+    cache stores) and fold the records back into the experiment's row
+    dataclasses.  Rows are identical for any combination of the
+    dispatch knobs.
+    """
+    records = run_campaign(
+        spec,
+        workers=workers,
+        store=store,
+        schedule=schedule,
+        cache=cache,
+        progress=progress,
+    )
+    return aggregate(experiment, records)
 
 
 def campaign(

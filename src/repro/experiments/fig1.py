@@ -15,12 +15,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.campaigns.aggregate import aggregate
-from repro.campaigns.pool import run_campaign
 from repro.campaigns.spec import CampaignSpec
-from repro.campaigns.store import ResultStore
+from repro.campaigns.store import CampaignStore
 from repro.core.registry import algorithm_names
-from repro.experiments.common import broadcast_units, campaign
+from repro.experiments.common import broadcast_units, campaign, run_units
 from repro.experiments.config import FIG1_SIZES, ExperimentScale
 
 __all__ = ["Fig1Row", "fig1_campaign", "run_fig1", "format_fig1"]
@@ -62,13 +60,17 @@ def run_fig1(
     seed: int = 0,
     *,
     workers: int = 1,
-    store: Optional[ResultStore] = None,
+    store: Optional[CampaignStore] = None,
+    schedule: str = "fifo",
 ) -> List[Fig1Row]:
     """Regenerate the Fig. 1 series (via the campaign engine)."""
-    records = run_campaign(
-        fig1_campaign(scale, seed), workers=workers, store=store
+    return run_units(
+        "fig1",
+        fig1_campaign(scale, seed),
+        workers=workers,
+        store=store,
+        schedule=schedule,
     )
-    return aggregate("fig1", records)
 
 
 def format_fig1(rows: List[Fig1Row]) -> str:

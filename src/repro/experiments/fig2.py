@@ -16,12 +16,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.campaigns.aggregate import aggregate
-from repro.campaigns.pool import run_campaign
 from repro.campaigns.spec import CampaignSpec
-from repro.campaigns.store import ResultStore
+from repro.campaigns.store import CampaignStore
 from repro.core.registry import algorithm_names
-from repro.experiments.common import broadcast_units, campaign
+from repro.experiments.common import broadcast_units, campaign, run_units
 from repro.experiments.config import FIG2_SIZES, ExperimentScale
 
 __all__ = ["Fig2Row", "fig2_campaign", "run_fig2", "format_fig2"]
@@ -69,13 +67,17 @@ def run_fig2(
     length_flits: int = MESSAGE_LENGTH,
     *,
     workers: int = 1,
-    store: Optional[ResultStore] = None,
+    store: Optional[CampaignStore] = None,
+    schedule: str = "fifo",
 ) -> List[Fig2Row]:
     """Regenerate the Fig. 2 series (via the campaign engine)."""
-    records = run_campaign(
-        fig2_campaign(scale, seed, length_flits), workers=workers, store=store
+    return run_units(
+        "fig2",
+        fig2_campaign(scale, seed, length_flits),
+        workers=workers,
+        store=store,
+        schedule=schedule,
     )
-    return aggregate("fig2", records)
 
 
 def format_fig2(rows: List[Fig2Row]) -> str:

@@ -3,18 +3,21 @@
 ``run_experiment(id, scale)`` regenerates any of the paper's tables or
 figures (or one of our ablations) and returns ``(rows, rendered_text)``.
 Every experiment is a *campaign* — a declarative grid of independent
-simulation units — so all of them accept ``workers`` (process pool) and
-``store`` (resumable JSONL results); see :mod:`repro.campaigns`.
+simulation units — so all of them accept ``workers`` (process pool),
+``store`` (any resumable :class:`~repro.campaigns.store.CampaignStore`
+backend), ``schedule`` (fifo/adaptive dispatch order) and ``cache``
+(prior stores to reuse overlapping results from); see
+:mod:`repro.campaigns`.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.campaigns.aggregate import aggregate
-from repro.campaigns.pool import ProgressFn, run_campaign
+from repro.campaigns.pool import ProgressFn
 from repro.campaigns.spec import CampaignSpec
-from repro.campaigns.store import ResultStore
+from repro.campaigns.store import CampaignStore
+from repro.experiments.common import run_units
 from repro.experiments.ablations import (
     length_ablation_campaign,
     maxdest_ablation_campaign,
@@ -101,12 +104,21 @@ def run_experiment(
     scale: str = "quick",
     seed: int = 0,
     workers: int = 1,
-    store: Optional[ResultStore] = None,
+    store: Optional[CampaignStore] = None,
     progress: Optional[ProgressFn] = None,
+    schedule: str = "fifo",
+    cache: Sequence[CampaignStore] = (),
 ) -> Tuple[List[Any], str]:
     """Regenerate one table/figure; returns (rows, rendered text)."""
     experiment_id = experiment_id.lower()
     spec = campaign_for(experiment_id, scale, seed)
-    records = run_campaign(spec, workers=workers, store=store, progress=progress)
-    rows = aggregate(experiment_id, records)
+    rows = run_units(
+        experiment_id,
+        spec,
+        workers=workers,
+        store=store,
+        schedule=schedule,
+        cache=cache,
+        progress=progress,
+    )
     return rows, FORMATTERS[experiment_id](rows)

@@ -13,11 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from repro.campaigns.aggregate import aggregate
-from repro.campaigns.pool import run_campaign
 from repro.campaigns.spec import CampaignSpec
-from repro.campaigns.store import ResultStore
-from repro.experiments.common import broadcast_units, campaign
+from repro.campaigns.store import CampaignStore
+from repro.experiments.common import broadcast_units, campaign, run_units
 from repro.experiments.config import FIG2_SIZES, ExperimentScale
 
 __all__ = ["CVTableRow", "cv_table_campaign", "run_cv_table", "format_cv_table"]
@@ -82,14 +80,18 @@ def run_cv_table(
     seed: int = 0,
     *,
     workers: int = 1,
-    store: Optional[ResultStore] = None,
+    store: Optional[CampaignStore] = None,
+    schedule: str = "fifo",
 ) -> List[CVTableRow]:
     """Regenerate Table 1 (``proposed="DB"``) or Table 2 (``"AB"``)."""
     experiment = _table_id(proposed)
-    records = run_campaign(
-        cv_table_campaign(proposed, scale, seed), workers=workers, store=store
+    return run_units(
+        experiment,
+        cv_table_campaign(proposed, scale, seed),
+        workers=workers,
+        store=store,
+        schedule=schedule,
     )
-    return aggregate(experiment, records)
 
 
 def format_cv_table(rows: List[CVTableRow]) -> str:

@@ -18,12 +18,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.campaigns.aggregate import aggregate
-from repro.campaigns.pool import run_campaign
 from repro.campaigns.spec import CampaignSpec
-from repro.campaigns.store import ResultStore
+from repro.campaigns.store import CampaignStore
 from repro.core.registry import algorithm_names
-from repro.experiments.common import campaign, traffic_units
+from repro.experiments.common import campaign, run_units, traffic_units
 from repro.experiments.config import (
     FIG3_DIMS,
     FIG3_LOADS,
@@ -96,12 +94,14 @@ def run_traffic_sweep(
     algorithms: Optional[List[str]] = None,
     *,
     workers: int = 1,
-    store: Optional[ResultStore] = None,
+    store: Optional[CampaignStore] = None,
+    schedule: str = "fifo",
 ) -> List[TrafficSweepRow]:
     """Regenerate the Fig. 3 (8×8×8) or Fig. 4 (16×16×8) curves."""
     spec = traffic_campaign(figure, scale, seed, loads, algorithms)
-    records = run_campaign(spec, workers=workers, store=store)
-    return aggregate(figure.lower(), records)
+    return run_units(
+        figure.lower(), spec, workers=workers, store=store, schedule=schedule
+    )
 
 
 def format_traffic_sweep(rows: List[TrafficSweepRow]) -> str:

@@ -1,0 +1,378 @@
+"""Tests for the pluggable store backends and the adaptive scheduler.
+
+Covers the `CampaignStore` contract across jsonl/sqlite/shared-dir
+backends (parity: identical records and aggregates), the lease
+protocol (claim/refresh/steal, and two concurrent pools draining one
+campaign with no unit executed twice), adaptive-order determinism, the
+cross-scale cache, and the backend-aware CLI surface.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.campaigns import (
+    BACKENDS,
+    CampaignSpec,
+    JsonlStore,
+    ResultStore,
+    SharedDirStore,
+    SqliteStore,
+    UnitSpec,
+    aggregate,
+    default_store_path,
+    estimate_unit_cost,
+    freeze_params,
+    open_store,
+    order_units,
+    run_campaign,
+)
+from repro.campaigns.pool import register_unit_runner
+from repro.cli import main
+from repro.experiments.common import broadcast_units
+
+ALL_BACKENDS = sorted(BACKENDS)
+
+
+def small_campaign(seed=0):
+    units = broadcast_units(
+        "fig1", [(4, 4, 4)], ["RD", "DB"], 64, "smoke", seed=seed
+    )
+    return CampaignSpec(name=f"small-s{seed}", seed=seed, units=tuple(units))
+
+
+def make_store(backend, tmp_path, name="c"):
+    return open_store(default_store_path(name, backend, tmp_path), backend)
+
+
+# -------------------------------------------------------------- factory
+def test_open_store_infers_backend_from_path(tmp_path):
+    assert isinstance(open_store(tmp_path / "a.jsonl"), JsonlStore)
+    assert isinstance(open_store(tmp_path / "a.sqlite"), SqliteStore)
+    assert isinstance(open_store(tmp_path / "a.db"), SqliteStore)
+    assert isinstance(open_store(tmp_path / "a-dir"), SharedDirStore)
+    (tmp_path / "existing").mkdir()
+    assert isinstance(open_store(tmp_path / "existing"), SharedDirStore)
+    # explicit backend always wins over the suffix
+    assert isinstance(open_store(tmp_path / "a.jsonl", "sqlite"), SqliteStore)
+
+
+def test_open_store_rejects_unknown_backend(tmp_path):
+    with pytest.raises(ValueError):
+        open_store(tmp_path / "x", "redis")
+    with pytest.raises(ValueError):
+        default_store_path("c", "redis", tmp_path)
+
+
+def test_result_store_alias_is_jsonl():
+    assert ResultStore is JsonlStore
+
+
+# --------------------------------------------------------------- parity
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+def test_backend_round_trip(backend, tmp_path):
+    spec = small_campaign()
+    store = make_store(backend, tmp_path)
+    first = run_campaign(spec, store=store)
+    assert store.completed_hashes() == set(spec.unit_hashes())
+    # records() round-trips every field through the backend's storage
+    assert [store.records()[h] for h in spec.unit_hashes()] == first
+    # a resumed run recomputes nothing
+    lines = []
+    second = run_campaign(spec, store=store, progress=lines.append)
+    assert second == first
+    assert f"({len(spec)} cached, 0 to run" in lines[0]
+
+
+def test_backends_produce_identical_records_and_aggregates(tmp_path):
+    spec = small_campaign()
+    records = {
+        backend: run_campaign(spec, store=make_store(backend, tmp_path))
+        for backend in ALL_BACKENDS
+    }
+    baseline = records[ALL_BACKENDS[0]]
+    for backend in ALL_BACKENDS[1:]:
+        assert records[backend] == baseline
+    rows = {
+        backend: aggregate("fig1", recs) for backend, recs in records.items()
+    }
+    baseline_rows = rows[ALL_BACKENDS[0]]
+    for backend in ALL_BACKENDS[1:]:
+        assert rows[backend] == baseline_rows
+
+
+# --------------------------------------------------------------- leases
+@pytest.mark.parametrize("backend", ["sqlite", "shared"])
+def test_lease_claim_refresh_release(backend, tmp_path):
+    store = make_store(backend, tmp_path)
+    assert store.supports_leases
+    assert store.try_claim("h1", "alice", ttl_s=30)
+    assert not store.try_claim("h1", "bob", ttl_s=30)
+    assert store.try_claim("h1", "alice", ttl_s=30)  # refresh own lease
+    assert store.leased_hashes() == {"h1"}
+    store.release("h1", "bob")  # not the owner: no-op
+    assert store.leased_hashes() == {"h1"}
+    store.release("h1", "alice")
+    assert store.leased_hashes() == set()
+    assert store.try_claim("h1", "bob", ttl_s=30)
+
+
+@pytest.mark.parametrize("backend", ["sqlite", "shared"])
+def test_dead_local_owner_lease_is_stolen_immediately(backend, tmp_path):
+    import socket
+    import subprocess
+
+    proc = subprocess.Popen(["true"])
+    proc.wait()  # a pid that certainly no longer exists
+    dead_owner = f"{socket.gethostname()}:{proc.pid}:deadbeef"
+    store = make_store(backend, tmp_path)
+    assert store.try_claim("h1", dead_owner, ttl_s=3600)
+    # Long TTL, but the owner process is gone: steal without waiting.
+    assert store.try_claim("h1", "successor", ttl_s=30)
+    # A live lease from another *host* is untouchable until the TTL.
+    assert store.try_claim("h2", f"otherhost:{proc.pid}:cafe", ttl_s=3600)
+    assert not store.try_claim("h2", "successor", ttl_s=30)
+
+
+@pytest.mark.parametrize("backend", ["sqlite", "shared"])
+def test_stale_lease_is_stolen(backend, tmp_path):
+    store = make_store(backend, tmp_path)
+    assert store.try_claim("h1", "crashed", ttl_s=0.01)
+    time.sleep(0.05)
+    assert store.leased_hashes() == set()  # expired
+    assert store.try_claim("h1", "successor", ttl_s=30)
+    assert not store.try_claim("h1", "crashed", ttl_s=30)
+
+
+def test_jsonl_grants_every_claim(tmp_path):
+    store = JsonlStore(tmp_path / "c.jsonl")
+    assert not store.supports_leases
+    assert store.try_claim("h1", "alice")
+    assert store.try_claim("h1", "bob")
+    assert store.leased_hashes() == set()
+
+
+# Counting runner for the contention test: records every execution in
+# an append-only log so a double execution is observable.
+@register_unit_runner("counted")
+def _run_counted_unit(spec):
+    with open(spec.param("log"), "a", encoding="utf-8") as handle:
+        handle.write(spec.unit_hash + "\n")
+    time.sleep(0.005)  # widen the contention window
+    return {"replication": spec.replication}
+
+
+def counting_campaign(log_path, n_units=12):
+    units = tuple(
+        UnitSpec(
+            experiment="contention",
+            kind="counted",
+            algorithm="DB",
+            dims=(4, 4, 4),
+            length_flits=8,
+            seed=0,
+            replication=replication,
+            params=freeze_params(log=str(log_path)),
+        )
+        for replication in range(n_units)
+    )
+    return CampaignSpec(name="contention", seed=0, units=units)
+
+
+@pytest.mark.parametrize("backend", ["sqlite", "shared"])
+def test_two_concurrent_pools_execute_each_unit_once(backend, tmp_path):
+    log = tmp_path / "executions.log"
+    spec = counting_campaign(log)
+    results = {}
+
+    def pool(name):
+        store = make_store(backend, tmp_path)  # own handle, same store
+        results[name] = run_campaign(
+            spec, store=store, poll_interval_s=0.01, lease_ttl_s=60.0
+        )
+
+    threads = [
+        threading.Thread(target=pool, args=(name,)) for name in ("a", "b")
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+        assert not thread.is_alive()
+
+    executed = log.read_text().split()
+    assert sorted(executed) == sorted(spec.unit_hashes())  # once each
+    assert results["a"] == results["b"]
+    assert [r.unit_hash for r in results["a"]] == spec.unit_hashes()
+
+
+# ------------------------------------------------------------- schedule
+def test_adaptive_order_is_deterministic_and_largest_first():
+    units = broadcast_units(
+        "fig1", [(4, 4, 4), (16, 16, 16), (8, 8, 8)], ["DB"], 64, "smoke", 0
+    )
+    ordered = order_units(units, "adaptive")
+    assert ordered == order_units(units, "adaptive")  # deterministic
+    assert sorted(ordered, key=lambda u: u.unit_hash) == sorted(
+        units, key=lambda u: u.unit_hash
+    )  # a permutation, nothing dropped
+    costs = [estimate_unit_cost(u) for u in ordered]
+    assert costs == sorted(costs, reverse=True)
+    assert ordered[0].dims == (16, 16, 16)
+    # ties (same cell, different replication) keep declaration order
+    first_cell = [u for u in ordered if u.dims == (16, 16, 16)]
+    assert [u.replication for u in first_cell] == sorted(
+        u.replication for u in first_cell
+    )
+
+
+def test_order_units_fifo_and_unknown():
+    units = broadcast_units("fig1", [(4, 4, 4)], ["DB"], 64, "smoke", 0)
+    assert order_units(units, "fifo") == list(units)
+    with pytest.raises(ValueError):
+        order_units(units, "lifo")
+    with pytest.raises(ValueError):
+        run_campaign(small_campaign(), schedule="lifo")
+
+
+def test_cost_estimate_reflects_load_length_and_barrier():
+    base = UnitSpec(
+        experiment="x", kind="broadcast", algorithm="DB",
+        dims=(8, 8, 8), length_flits=100, seed=0,
+    )
+    assert estimate_unit_cost(base) < estimate_unit_cost(
+        UnitSpec(
+            experiment="x", kind="broadcast", algorithm="DB",
+            dims=(16, 16, 8), length_flits=100, seed=0,
+        )
+    )
+    barrier = UnitSpec(
+        experiment="x", kind="broadcast", algorithm="DB",
+        dims=(8, 8, 8), length_flits=100, seed=0,
+        params=freeze_params(barrier=True),
+    )
+    assert estimate_unit_cost(barrier) == 2 * estimate_unit_cost(base)
+    low = UnitSpec(
+        experiment="x", kind="traffic", algorithm="DB",
+        dims=(8, 8, 8), length_flits=32, seed=0, load=2.0,
+    )
+    high = UnitSpec(
+        experiment="x", kind="traffic", algorithm="DB",
+        dims=(8, 8, 8), length_flits=32, seed=0, load=8.0,
+    )
+    assert estimate_unit_cost(high) == 4 * estimate_unit_cost(low)
+
+
+def test_schedules_produce_identical_records():
+    spec = small_campaign(seed=4)
+    assert run_campaign(spec, schedule="adaptive") == run_campaign(
+        spec, schedule="fifo"
+    )
+
+
+# ---------------------------------------------------------------- cache
+def test_cross_scale_cache_reuses_overlapping_units(tmp_path):
+    smoke = broadcast_units("fig1", [(4, 4, 4)], ["DB"], 64, "smoke", 0)
+    quick = broadcast_units("fig1", [(4, 4, 4)], ["DB"], 64, "quick", 0)
+    smoke_hashes = {u.unit_hash for u in smoke}
+    quick_hashes = {u.unit_hash for u in quick}
+    assert smoke_hashes < quick_hashes  # strict hash-subset across scales
+
+    smoke_store = JsonlStore(tmp_path / "smoke.jsonl")
+    run_campaign(
+        CampaignSpec(name="smoke", seed=0, units=tuple(smoke)),
+        store=smoke_store,
+    )
+    quick_spec = CampaignSpec(name="quick", seed=0, units=tuple(quick))
+    quick_store = SqliteStore(tmp_path / "quick.sqlite")
+    lines = []
+    cached_run = run_campaign(
+        quick_spec,
+        store=quick_store,
+        cache=[smoke_store],
+        progress=lines.append,
+    )
+    assert f"({len(smoke)} from cache stores)" in lines[0]
+    # cache hits were copied into the primary store
+    assert smoke_hashes < quick_store.completed_hashes()
+    assert cached_run == run_campaign(quick_spec)  # identical to fresh
+
+
+# ------------------------------------------------------------------- CLI
+def test_cli_backends_byte_identical_aggregates(tmp_path, capsys):
+    outs = {}
+    for backend in ALL_BACKENDS:
+        store = str(default_store_path(f"fig1-{backend}", backend, tmp_path))
+        out_file = tmp_path / f"fig1-{backend}.csv"
+        assert main(
+            [
+                "campaign", "run", "fig1", "--scale", "smoke",
+                "--workers", "2", "--schedule", "adaptive",
+                "--store", store, "--store-backend", backend,
+                "--out", str(out_file),
+            ]
+        ) == 0
+        capsys.readouterr()
+        outs[backend] = out_file.read_bytes()
+    assert outs["jsonl"] == outs["sqlite"] == outs["shared"]
+
+
+def test_cli_status_reports_leases_and_backend(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    store = SqliteStore(default_store_path("fig1-smoke-s0", "sqlite"))
+    from repro.experiments import campaign_for
+
+    spec = campaign_for("fig1", "smoke", 0)
+    hashes = spec.unit_hashes()
+    store.append(
+        run_campaign(
+            CampaignSpec(name="one", seed=0, units=spec.units[:1])
+        )[0]
+    )
+    assert store.try_claim(hashes[1], "worker-elsewhere", ttl_s=60)
+
+    assert main(["campaign", "status", "fig1", "--scale", "smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "[sqlite]" in out
+    assert f"1/{len(spec)} units complete" in out
+    assert "1 leased (in flight)" in out
+    assert f"({len(spec) - 2} pending)" in out
+
+
+def test_cli_status_per_backend_totals(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    args = ["fig1", "--scale", "smoke"]
+    # default layout, no stores yet: one (empty jsonl) line
+    assert main(["campaign", "status"] + args) == 0
+    assert "[jsonl]: 0/32" in capsys.readouterr().out
+    # populate two backends in the default layout
+    for backend in ("sqlite", "shared"):
+        assert main(
+            ["campaign", "run", "--store-backend", backend] + args
+        ) == 0
+    capsys.readouterr()
+    assert main(["campaign", "status"] + args) == 0
+    out = capsys.readouterr().out
+    assert "[sqlite]: 32/32" in out
+    assert "[shared]: 32/32" in out
+    assert "[jsonl]" not in out  # never created on disk
+
+
+def test_cli_experiment_store_backend_and_schedule(tmp_path, capsys):
+    store = str(tmp_path / "fig1.sqlite")
+    assert main(
+        [
+            "fig1", "--scale", "smoke", "--workers", "2",
+            "--schedule", "adaptive", "--store", store,
+        ]
+    ) == 0
+    assert "Fig. 1" in capsys.readouterr().out
+    # the run persisted its units: a campaign command can aggregate them
+    assert main(
+        [
+            "campaign", "aggregate", "fig1", "--scale", "smoke",
+            "--store", store,
+        ]
+    ) == 0
+    assert "Fig. 1" in capsys.readouterr().out
