@@ -4,6 +4,11 @@ Not a paper figure — these track the cost of the machinery everything
 else stands on: event throughput of the DES kernel, wormhole path
 transmission, and schedule construction, so performance regressions in
 the substrate are visible in CI.
+
+Each workload is a plain module-level function so
+``tools/bench_report.py`` can time them outside pytest and emit
+``BENCH_kernel.json``; the pytest wrappers below keep them runnable
+under pytest-benchmark as well.
 """
 
 from repro.core import DeterministicBroadcast, RecursiveDoubling
@@ -18,77 +23,137 @@ from repro.routing import DimensionOrdered, Path
 from repro.sim import Environment
 
 
-def test_kernel_event_throughput(benchmark):
-    """Schedule and drain 10k timeout events."""
+# ------------------------------------------------------------- workloads
+def run_event_throughput(n: int = 10_000) -> float:
+    """Schedule and drain ``n`` timeout events through one process."""
+    env = Environment()
 
-    def run():
-        env = Environment()
+    def ticker(env, n):
+        for _ in range(n):
+            yield env.timeout(1.0)
 
-        def ticker(env, n):
-            for _ in range(n):
-                yield env.timeout(1.0)
-
-        env.process(ticker(env, 10_000))
-        env.run()
-        return env.now
-
-    assert benchmark(run) == 10_000.0
+    env.process(ticker(env, n))
+    env.run()
+    return env.now
 
 
-def test_kernel_resource_contention(benchmark):
-    """1000 processes contending for a single-slot resource."""
+def run_hold_throughput(n: int = 10_000) -> float:
+    """Schedule and drain ``n`` zero-allocation holds through one process."""
+    env = Environment()
 
-    def run():
-        from repro.sim import Resource
+    def ticker(env, n):
+        hold = getattr(env, "hold", env.timeout)  # seed kernels lack hold()
+        for _ in range(n):
+            yield hold(1.0)
 
-        env = Environment()
-        res = Resource(env, capacity=1)
+    env.process(ticker(env, n))
+    env.run()
+    return env.now
 
-        def user(env, res):
+
+def run_resource_contention(n: int = 1000) -> int:
+    """``n`` processes contending for a single-slot resource."""
+    from repro.sim import Resource
+
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def user(env, res):
+        with res.request() as req:
+            yield req
+            yield env.timeout(0.001)
+
+    for _ in range(n):
+        env.process(user(env, res))
+    env.run()
+    return res.grants
+
+
+def run_uncontended_requests(n: int = 5000) -> int:
+    """One process acquiring and releasing an always-free resource."""
+    from repro.sim import Resource
+
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def user(env, res, n):
+        for _ in range(n):
             with res.request() as req:
                 yield req
                 yield env.timeout(0.001)
 
-        for _ in range(1000):
-            env.process(user(env, res))
-        env.run()
-        return res.grants
+    env.process(user(env, res, n))
+    env.run()
+    return res.grants
 
-    assert benchmark(run) == 1000
+
+def run_wormhole_rate(n: int = 200) -> float:
+    """``n`` sequential unicasts across an 8x8 mesh."""
+    mesh = Mesh((8, 8))
+    dor = DimensionOrdered(mesh)
+    net = NetworkSimulator(mesh, NetworkConfig(ports_per_node=2))
+    for i in range(n):
+        src = (i % 8, (i // 8) % 8)
+        dst = ((i + 3) % 8, (i + 5) % 8)
+        if src == dst:
+            continue
+        msg = Message(source=src, destinations={dst}, length_flits=32)
+        PathTransmission(
+            net, msg, path=Path(dor.path(src, dst), deliveries=[dst])
+        ).start()
+    net.run()
+    return net.now
+
+
+def run_schedule_construction() -> int:
+    """Build RD + DB schedules for a 4096-node mesh."""
+    mesh = Mesh((16, 16, 16))
+    rd = RecursiveDoubling(mesh).schedule((3, 4, 5))
+    db = DeterministicBroadcast(mesh).schedule((3, 4, 5))
+    return rd.total_sends() + db.total_sends()
+
+
+#: Workloads timed by ``tools/bench_report.py``.  ``events`` is the
+#: kernel-event count of one round, used to derive events/second.
+WORKLOADS = {
+    "event_throughput": {"fn": run_event_throughput, "rounds": 5, "events": 10_000},
+    "hold_throughput": {"fn": run_hold_throughput, "rounds": 5, "events": 10_000},
+    "resource_contention": {"fn": run_resource_contention, "rounds": 5, "events": 3000},
+    "uncontended_requests": {"fn": run_uncontended_requests, "rounds": 5, "events": 10_000},
+    "wormhole_8x8": {"fn": run_wormhole_rate, "rounds": 5},
+    "schedule_construction": {"fn": run_schedule_construction, "rounds": 3},
+}
+
+
+# ---------------------------------------------------------- pytest wrappers
+def test_kernel_event_throughput(benchmark):
+    """Schedule and drain 10k timeout events."""
+    assert benchmark(run_event_throughput) == 10_000.0
+
+
+def test_kernel_hold_throughput(benchmark):
+    """Schedule and drain 10k holds (the zero-allocation fast path)."""
+    assert benchmark(run_hold_throughput) == 10_000.0
+
+
+def test_kernel_resource_contention(benchmark):
+    """1000 processes contending for a single-slot resource."""
+    assert benchmark(run_resource_contention) == 1000
+
+
+def test_kernel_uncontended_requests(benchmark):
+    """5000 immediate grants on an always-free resource."""
+    assert benchmark(run_uncontended_requests) == 5000
 
 
 def test_wormhole_transmission_rate(benchmark):
     """200 sequential unicasts across an 8x8 mesh."""
-    mesh = Mesh((8, 8))
-    dor = DimensionOrdered(mesh)
-
-    def run():
-        net = NetworkSimulator(mesh, NetworkConfig(ports_per_node=2))
-        for i in range(200):
-            src = (i % 8, (i // 8) % 8)
-            dst = ((i + 3) % 8, (i + 5) % 8)
-            if src == dst:
-                continue
-            msg = Message(source=src, destinations={dst}, length_flits=32)
-            PathTransmission(
-                net, msg, path=Path(dor.path(src, dst), deliveries=[dst])
-            ).start()
-        net.run()
-        return net.now
-
-    assert benchmark(run) > 0
+    assert benchmark(run_wormhole_rate) > 0
 
 
 def test_schedule_construction_rate(benchmark):
     """Build RD + DB schedules for a 4096-node mesh."""
-    mesh = Mesh((16, 16, 16))
-
-    def run():
-        rd = RecursiveDoubling(mesh).schedule((3, 4, 5))
-        db = DeterministicBroadcast(mesh).schedule((3, 4, 5))
-        return rd.total_sends() + db.total_sends()
-
     # RD sends one unicast per non-source node; DB's worm count is
     # construction-dependent but far smaller.
-    total = benchmark(run)
+    total = benchmark(run_schedule_construction)
     assert 4095 < total < 4095 + 600

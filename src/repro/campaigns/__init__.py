@@ -36,6 +36,12 @@ for how the campaigns layer sits atop the rest of the stack.
 """
 
 from repro.campaigns.aggregate import aggregate, register_aggregator
+from repro.campaigns.costmodel import (
+    CostModel,
+    fit_cost_model,
+    load_cost_model,
+    load_default_cost_model,
+)
 from repro.campaigns.pool import (
     SCHEDULES,
     estimate_unit_cost,
@@ -61,6 +67,7 @@ __all__ = [
     "BACKENDS",
     "CampaignSpec",
     "CampaignStore",
+    "CostModel",
     "JsonlStore",
     "ResultStore",
     "SCHEDULES",
@@ -72,7 +79,10 @@ __all__ = [
     "default_store_path",
     "estimate_unit_cost",
     "execute_unit",
+    "fit_cost_model",
     "freeze_params",
+    "load_cost_model",
+    "load_default_cost_model",
     "open_store",
     "order_units",
     "register_aggregator",

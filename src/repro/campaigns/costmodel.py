@@ -1,0 +1,221 @@
+"""Learned unit-cost models for adaptive campaign scheduling.
+
+The static :func:`repro.campaigns.pool.estimate_unit_cost` formula
+ranks units by a hand-written ``nodes × length × load`` heuristic.
+Once a store holds completed units, their measured ``elapsed_s`` can do
+better: :func:`fit_cost_model` fits a log-linear model
+
+.. math::
+
+    \\log t \\approx w_0 + w_1 \\log N + w_2 \\log L + w_3 \\log(\\max(\\rho, 1))
+              + w_4 \\log B + w_5 \\cdot \\mathrm{barrier}
+
+(N nodes, L flits, ρ load, B the traffic batch budget) by ordinary
+least squares, and the resulting :class:`CostModel` plugs into
+``--schedule adaptive`` dispatch: ``repro campaign fit-cost`` writes
+``campaigns/cost_model.json`` and every later adaptive run picks it up
+automatically.
+
+Only the *ordering* of predictions matters to the scheduler, so modest
+fit quality still shrinks makespans; the model never affects results,
+only dispatch order (see ``docs/campaigns.md``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.campaigns.spec import UnitSpec
+from repro.campaigns.store import UnitRecord
+
+__all__ = [
+    "DEFAULT_COST_MODEL_PATH",
+    "FEATURE_NAMES",
+    "CostModel",
+    "cost_features",
+    "fit_cost_model",
+    "load_cost_model",
+    "load_default_cost_model",
+]
+
+#: Conventional location written by ``repro campaign fit-cost`` and
+#: consulted by adaptive scheduling.
+DEFAULT_COST_MODEL_PATH = Path("campaigns") / "cost_model.json"
+
+FEATURE_NAMES = (
+    "intercept",
+    "log_nodes",
+    "log_length_flits",
+    "log_load",
+    "log_batch_budget",
+    "barrier",
+)
+
+#: Fewer samples than features + 1 cannot produce a meaningful fit.
+MIN_SAMPLES = len(FEATURE_NAMES) + 1
+
+
+def cost_features(spec: UnitSpec) -> List[float]:
+    """Feature vector of one unit (see module docstring for the model)."""
+    nodes = float(math.prod(spec.dims))
+    load = max(float(spec.load), 1.0) if spec.load is not None else 1.0
+    if spec.kind == "traffic":
+        budget = float(spec.param("batch_size", 25)) * float(
+            spec.param("num_batches", 21)
+        )
+    else:
+        budget = 1.0
+    return [
+        1.0,
+        math.log(nodes),
+        math.log(max(float(spec.length_flits), 1.0)),
+        math.log(load),
+        math.log(max(budget, 1.0)),
+        1.0 if spec.param("barrier", False) else 0.0,
+    ]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """A fitted log-linear unit-cost predictor.
+
+    Parameters
+    ----------
+    weights:
+        One coefficient per :data:`FEATURE_NAMES` entry.
+    samples:
+        Number of records the fit used.
+    r_squared:
+        Coefficient of determination on the training records (in log
+        space) — a sanity indicator, not a promise.
+    """
+
+    weights: tuple
+    samples: int
+    r_squared: float
+
+    def predict(self, spec: UnitSpec) -> float:
+        """Predicted wall seconds for one unit (always positive)."""
+        z = 0.0
+        for w, x in zip(self.weights, cost_features(spec)):
+            z += w * x
+        # exp() overflow cannot happen for sane weights, but guard the
+        # scheduler against a degenerate fit anyway.
+        return math.exp(min(z, 700.0))
+
+    def as_dict(self) -> Dict:
+        return {
+            "schema": 1,
+            "features": list(FEATURE_NAMES),
+            "weights": list(self.weights),
+            "samples": self.samples,
+            "r_squared": self.r_squared,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "CostModel":
+        features = data.get("features")
+        if features is not None and tuple(features) != FEATURE_NAMES:
+            raise ValueError(
+                f"cost model was fitted with features {features}, this"
+                f" version expects {list(FEATURE_NAMES)}; re-run"
+                " `repro campaign fit-cost`"
+            )
+        return cls(
+            weights=tuple(float(w) for w in data["weights"]),
+            samples=int(data.get("samples", 0)),
+            r_squared=float(data.get("r_squared", float("nan"))),
+        )
+
+    def save(self, path: Path = DEFAULT_COST_MODEL_PATH) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.as_dict(), indent=2) + "\n")
+        return path
+
+    def describe(self) -> str:
+        """Human-readable coefficient summary."""
+        parts = [
+            f"  {name:<18s} {weight:+.4f}"
+            for name, weight in zip(FEATURE_NAMES, self.weights)
+        ]
+        return (
+            f"cost model: {self.samples} samples,"
+            f" R^2={self.r_squared:.3f} (log space)\n" + "\n".join(parts)
+        )
+
+
+def fit_cost_model(records: Iterable[UnitRecord]) -> CostModel:
+    """Least-squares fit of the log-linear cost model to ``records``.
+
+    Records with non-positive ``elapsed_s`` are skipped; duplicate unit
+    hashes keep their first occurrence.  Raises ``ValueError`` when too
+    few usable samples remain (:data:`MIN_SAMPLES`).
+    """
+    import numpy as np
+
+    seen = set()
+    rows: List[List[float]] = []
+    targets: List[float] = []
+    for record in records:
+        if record.unit_hash in seen or record.elapsed_s <= 0:
+            continue
+        seen.add(record.unit_hash)
+        spec = UnitSpec.from_dict(record.spec)
+        rows.append(cost_features(spec))
+        targets.append(math.log(record.elapsed_s))
+    if len(rows) < MIN_SAMPLES:
+        raise ValueError(
+            f"need at least {MIN_SAMPLES} completed units with timings to"
+            f" fit a cost model, got {len(rows)}"
+        )
+    matrix = np.asarray(rows, dtype=float)
+    y = np.asarray(targets, dtype=float)
+    weights, *_ = np.linalg.lstsq(matrix, y, rcond=None)
+    predicted = matrix @ weights
+    residual = float(((y - predicted) ** 2).sum())
+    total = float(((y - y.mean()) ** 2).sum())
+    r_squared = 1.0 - residual / total if total > 0 else 1.0
+    return CostModel(
+        weights=tuple(float(w) for w in weights),
+        samples=len(rows),
+        r_squared=r_squared,
+    )
+
+
+def load_cost_model(path: Path) -> CostModel:
+    """Read a model written by :meth:`CostModel.save`."""
+    return CostModel.from_dict(json.loads(Path(path).read_text()))
+
+
+def load_default_cost_model(
+    path: Optional[Path] = None,
+) -> Optional[CostModel]:
+    """The conventional fitted model, or ``None`` when absent/unreadable.
+
+    Adaptive scheduling calls this opportunistically — a missing or
+    stale file silently falls back to the static estimate.
+    """
+    path = Path(path) if path is not None else DEFAULT_COST_MODEL_PATH
+    if not path.exists():
+        return None
+    try:
+        return load_cost_model(path)
+    except (ValueError, KeyError, json.JSONDecodeError, OSError):
+        return None
+
+
+def records_from_stores(stores: Sequence) -> List[UnitRecord]:
+    """Concatenate all records of several stores (first occurrence wins)."""
+    out: List[UnitRecord] = []
+    seen = set()
+    for store in stores:
+        for unit_hash, record in store.records().items():
+            if unit_hash not in seen:
+                seen.add(unit_hash)
+                out.append(record)
+    return out

@@ -49,7 +49,7 @@ import math
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence
 
 from repro.campaigns.spec import CampaignSpec, UnitSpec
 from repro.campaigns.store import (
@@ -58,6 +58,9 @@ from repro.campaigns.store import (
     UnitRecord,
     make_owner_id,
 )
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.campaigns.costmodel import CostModel
 
 __all__ = [
     "ProgressFn",
@@ -107,16 +110,23 @@ def _runner_for(kind: str) -> Callable[[UnitSpec], Dict[str, Any]]:
 
 
 # ---------------------------------------------------------------- schedule
-def estimate_unit_cost(spec: UnitSpec) -> float:
+def estimate_unit_cost(
+    spec: UnitSpec, model: Optional["CostModel"] = None
+) -> float:
     """Relative wall-clock cost estimate for one unit.
 
-    Pure function of the spec (no timing, no state): mesh size ×
+    With a fitted :class:`~repro.campaigns.costmodel.CostModel` (from
+    ``repro campaign fit-cost``) the estimate is the model's predicted
+    wall seconds; otherwise it falls back to the static heuristic — a
+    pure function of the spec (no timing, no state): mesh size ×
     traffic load × message length, with traffic units further scaled
     by their batch budget and barrier twins counted twice.  Only the
     *ordering* of estimates matters — the adaptive scheduler sorts by
     it — so crude is fine as long as 16×16×8 at high load reliably
     outranks 4×4×4 at idle.
     """
+    if model is not None:
+        return model.predict(spec)
     nodes = float(math.prod(spec.dims))
     cost = nodes * float(max(spec.length_flits, 1))
     if spec.load is not None:
@@ -131,20 +141,23 @@ def estimate_unit_cost(spec: UnitSpec) -> float:
 
 
 def order_units(
-    units: Sequence[UnitSpec], schedule: str = "fifo"
+    units: Sequence[UnitSpec],
+    schedule: str = "fifo",
+    model: Optional["CostModel"] = None,
 ) -> List[UnitSpec]:
     """Dispatch order for ``units`` under a scheduling policy.
 
     ``"fifo"`` keeps declaration order; ``"adaptive"`` sorts by
-    descending :func:`estimate_unit_cost` with declaration order as
-    the tie-break, so the ordering is deterministic for a given grid.
+    descending :func:`estimate_unit_cost` (optionally under a fitted
+    ``model``) with declaration order as the tie-break, so the
+    ordering is deterministic for a given grid and model file.
     """
     if schedule == "fifo":
         return list(units)
     if schedule == "adaptive":
         indexed = sorted(
             enumerate(units),
-            key=lambda pair: (-estimate_unit_cost(pair[1]), pair[0]),
+            key=lambda pair: (-estimate_unit_cost(pair[1], model), pair[0]),
         )
         return [unit for _, unit in indexed]
     raise ValueError(
@@ -201,6 +214,7 @@ def run_campaign(
     *,
     schedule: str = "fifo",
     cache: Sequence[CampaignStore] = (),
+    cost_model: Optional["CostModel"] = None,
     lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
     poll_interval_s: float = 0.5,
 ) -> List[UnitRecord]:
@@ -231,6 +245,12 @@ def run_campaign(
         Read-only stores consulted for prior records with the same
         content hash (e.g. the overlapping ``quick``-scale store of a
         ``full`` campaign).  Hits are copied into ``store``.
+    cost_model:
+        Optional fitted :class:`~repro.campaigns.costmodel.CostModel`
+        used by ``schedule="adaptive"`` instead of the static
+        heuristic (``repro campaign fit-cost`` produces one; the CLI
+        auto-loads ``campaigns/cost_model.json`` when present).
+        Affects dispatch order only, never results.
     lease_ttl_s:
         How long a claimed unit stays reserved; a pool that crashes
         mid-unit blocks that unit from peers for at most this long
@@ -248,6 +268,18 @@ def run_campaign(
         raise ValueError(
             f"unknown schedule {schedule!r}; choose from {SCHEDULES}"
         )
+    if schedule == "adaptive" and cost_model is None:
+        # Opportunistically use the fitted model from a prior
+        # `repro campaign fit-cost` run; silently absent otherwise.
+        from repro.campaigns.costmodel import load_default_cost_model
+
+        cost_model = load_default_cost_model()
+        if cost_model is not None and progress:
+            progress(
+                f"campaign {spec.name}: adaptive schedule using fitted"
+                f" cost model ({cost_model.samples} samples,"
+                f" R^2={cost_model.r_squared:.2f})"
+            )
 
     wanted = spec.unit_hashes()
     records: Dict[str, UnitRecord] = {}
@@ -281,7 +313,7 @@ def run_campaign(
             if claiming:
                 store.release(record.unit_hash, owner)
 
-    queue = deque(order_units(pending, schedule))
+    queue = deque(order_units(pending, schedule, cost_model))
     deferred: List[UnitSpec] = []  # leased by a concurrent pool
     last_wait_note = -1  # dedupe "waiting on N" progress lines
     last_refresh = time.monotonic()
@@ -372,7 +404,7 @@ def run_campaign(
                             f" concurrent pool"
                         )
                     time.sleep(poll_interval_s)
-                    queue.extend(order_units(missing, schedule))
+                    queue.extend(order_units(missing, schedule, cost_model))
     finally:
         if pool is not None:
             pool.shutdown(wait=False, cancel_futures=True)

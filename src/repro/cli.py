@@ -148,6 +148,10 @@ def _build_parser() -> argparse.ArgumentParser:
         ("run", "execute a campaign's pending units (resumes from --store)"),
         ("status", "show completed/pending unit counts"),
         ("aggregate", "rebuild result rows from a (complete) store"),
+        (
+            "fit-cost",
+            "fit the adaptive scheduler's cost model from stored timings",
+        ),
     ):
         cp = camp_sub.add_parser(action, help=help_text)
         cp.add_argument("experiment", choices=sorted(EXPERIMENTS))
@@ -180,6 +184,17 @@ def _build_parser() -> argparse.ArgumentParser:
                 default=None,
                 metavar="FILE",
                 help="also save the aggregated rows to FILE (.json or .csv)",
+            )
+        if action == "fit-cost":
+            cp.add_argument(
+                "--out",
+                default=None,
+                metavar="FILE",
+                help=(
+                    "where to write the fitted model (default:"
+                    " campaigns/cost_model.json, which --schedule"
+                    " adaptive picks up automatically)"
+                ),
             )
 
     b = sub.add_parser("broadcast", help="run one broadcast and print stats")
@@ -297,8 +312,59 @@ def _campaign_status(spec, store: CampaignStore) -> str:
     )
 
 
+def _fit_cost_stores(args, spec) -> List[CampaignStore]:
+    """Stores to harvest timings from for ``campaign fit-cost``.
+
+    An explicit ``--store`` wins; otherwise every default-layout store
+    of the experiment/seed across all scales and backends contributes —
+    the fit only gets better with more measured units.
+    """
+    if args.store or args.store_backend:
+        return [_campaign_store(args, spec)]
+    stores = []
+    for scale in ("smoke", "quick", "full"):
+        name = campaign_for(args.experiment, scale, args.seed).name
+        for backend in sorted(BACKENDS):
+            path = default_store_path(name, backend)
+            if path.exists():
+                stores.append(open_store(path, backend))
+    return stores
+
+
+def _cmd_fit_cost(args, spec) -> int:
+    from repro.campaigns.costmodel import (
+        DEFAULT_COST_MODEL_PATH,
+        fit_cost_model,
+        records_from_stores,
+    )
+
+    stores = _fit_cost_stores(args, spec)
+    records = records_from_stores(stores)
+    if not stores:
+        print(
+            f"campaign fit-cost: no stores found for {args.experiment}"
+            f" (seed {args.seed}); run a campaign first"
+        )
+        return 1
+    try:
+        model = fit_cost_model(records)
+    except ValueError as exc:
+        print(f"campaign fit-cost: {exc}")
+        return 1
+    out = Path(args.out) if args.out else DEFAULT_COST_MODEL_PATH
+    model.save(out)
+    print(model.describe())
+    print(
+        f"model written to {out} — `--schedule adaptive` uses it"
+        f" automatically ({len(stores)} store(s), {len(records)} records)"
+    )
+    return 0
+
+
 def _cmd_campaign(args) -> int:
     spec = campaign_for(args.experiment, args.scale, args.seed)
+    if args.campaign_command == "fit-cost":
+        return _cmd_fit_cost(args, spec)
     if args.campaign_command == "status":
         # No explicit store: report every backend found in the default
         # layout (per-backend totals), not just the jsonl one.

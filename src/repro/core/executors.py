@@ -339,16 +339,18 @@ class EventDrivenExecutor:
         transmissions = []
 
         def launch_from(node: Coordinate) -> None:
-            for step, send in pending.pop(node, []):
+            for step, send in pending.pop(node, ()):
                 transmission = self._make_transmission(
                     send, step, length_flits, kind
                 )
-                our_uids.add(transmission.message.uid)
+                uid = transmission.message.uid
+                our_uids.add(uid)
+                # uid-keyed dispatch: this broadcast's deliveries reach
+                # only this hook, however many run concurrently.
+                self.network.add_uid_hook(uid, on_delivery)
                 transmissions.append(transmission.start())
 
         def on_delivery(record: DeliveryRecord) -> None:
-            if record.message_uid not in our_uids:
-                return
             if record.node in arrivals:  # pragma: no cover - exactly-once guard
                 return
             arrivals[record.node] = record.time
@@ -356,7 +358,6 @@ class EventDrivenExecutor:
             if len(arrivals) == expected and not done.triggered:
                 done.succeed()
 
-        self.network.add_delivery_hook(on_delivery)
         try:
             launch_from(schedule.source)
             if expected:
@@ -367,7 +368,8 @@ class EventDrivenExecutor:
             if alive:
                 yield env.all_of(alive)
         finally:
-            self.network._delivery_hooks.remove(on_delivery)
+            for uid in our_uids:
+                self.network.remove_uid_hook(uid)
 
         return BroadcastOutcome(
             algorithm=schedule.algorithm,

@@ -160,10 +160,15 @@ class BroadcastSchedule:
 
     def covered_nodes(self) -> Set[Coordinate]:
         """Source plus every delivery target."""
-        out: Set[Coordinate] = {self.source}
-        for step in self.steps:
-            out |= step.deliveries()
-        return out
+        cached = getattr(self, "_covered_cache", None)
+        if cached is None:
+            cached = {self.source}
+            for step in self.steps:
+                cached |= step.deliveries()
+            self._covered_cache = frozenset(cached)
+        # Fresh set per call: schedules are shared (and memoised across
+        # simulations), so callers must be free to mutate the result.
+        return set(cached)
 
     def receive_step(self) -> Dict[Coordinate, int]:
         """Step at which each node first receives (source maps to 0)."""
@@ -175,12 +180,23 @@ class BroadcastSchedule:
         return seen
 
     def sends_by_node(self) -> Dict[Coordinate, List[Tuple[int, PathSend]]]:
-        """Map sender → its sends (with step indices), in step order."""
-        out: Dict[Coordinate, List[Tuple[int, PathSend]]] = {}
-        for step in self.steps:
-            for send in step.sends:
-                out.setdefault(send.source, []).append((step.index, send))
-        return out
+        """Map sender → its sends (with step indices), in step order.
+
+        The mapping is built once and shallow-copied per call (every
+        broadcast launch consumes one by popping nodes as they
+        receive); the per-sender lists are shared and must not be
+        mutated.
+        """
+        template = getattr(self, "_by_node_cache", None)
+        if template is None:
+            template = {}
+            for step in self.steps:
+                for send in step.sends:
+                    template.setdefault(send.source, []).append(
+                        (step.index, send)
+                    )
+            self._by_node_cache = template
+        return dict(template)
 
     def max_concurrent_sends(self) -> int:
         """Largest per-node send count within a single step."""

@@ -83,7 +83,9 @@ class Channel:
         self.dst = dst
         self.timing = timing
         self.faulty = False
-        self.resource = Resource(env, capacity=1, name=f"ch{src}->{dst}")
+        # No name label: formatting one per channel dominates network
+        # construction on large meshes, and reprs carry src/dst anyway.
+        self.resource = Resource(env, capacity=1)
 
     @property
     def busy(self) -> bool:

@@ -8,6 +8,7 @@ row-major (C) order: the *last* dimension varies fastest, matching
 
 from __future__ import annotations
 
+from itertools import product
 from typing import Iterator, Sequence, Tuple
 
 __all__ = [
@@ -74,11 +75,10 @@ def from_index(index: int, dims: Sequence[int]) -> Coordinate:
 def coordinate_iter(dims: Sequence[int]) -> Iterator[Coordinate]:
     """Iterate all coordinates in linear-index order."""
     dims = validate_dims(dims)
-    total = 1
-    for d in dims:
-        total *= d
-    for i in range(total):
-        yield from_index(i, dims)
+    # product() yields row-major order (last dimension fastest) — the
+    # same sequence as from_index(0..total), without re-deriving each
+    # coordinate from its index.
+    return iter(product(*(range(d) for d in dims)))
 
 
 def manhattan_distance(a: Sequence[int], b: Sequence[int]) -> int:

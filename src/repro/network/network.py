@@ -106,6 +106,7 @@ class NetworkSimulator:
             (u, v): Channel(self.env, u, v, timing) for u, v in topology.channels()
         }
         self._delivery_hooks: List[Callable[[DeliveryRecord], None]] = []
+        self._uid_hooks: Dict[int, Callable[[DeliveryRecord], None]] = {}
 
     # -- shape shortcuts --------------------------------------------------
     @property
@@ -141,9 +142,26 @@ class NetworkSimulator:
         """Register a callback invoked on every message delivery."""
         self._delivery_hooks.append(hook)
 
+    def add_uid_hook(self, uid: int, hook: Callable[[DeliveryRecord], None]) -> None:
+        """Register a callback for deliveries of one message only.
+
+        A message's deliveries concern exactly one consumer (the
+        executor that launched it), so uid-keyed dispatch replaces the
+        every-hook-filters-every-delivery broadcast of the generic hook
+        list — O(1) per delivery however many broadcasts are in flight.
+        """
+        self._uid_hooks[uid] = hook
+
+    def remove_uid_hook(self, uid: int) -> None:
+        """Deregister a per-message hook (missing uids are ignored)."""
+        self._uid_hooks.pop(uid, None)
+
     def record_delivery(self, record: DeliveryRecord) -> None:
         """Deliver a copy to its node and notify hooks."""
         self.nodes[record.node].deliver(record)
+        hook = self._uid_hooks.get(record.message_uid)
+        if hook is not None:
+            hook(record)
         for hook in self._delivery_hooks:
             hook(record)
 

@@ -42,7 +42,7 @@ class Node:
             raise ValueError(f"a node needs at least one port, got {ports}")
         self.env = env
         self.coord = coord
-        self.ports = Resource(env, capacity=ports, name=f"ports{coord}")
+        self.ports = Resource(env, capacity=ports)
         self.deliveries: List[DeliveryRecord] = []
         self.sent_count = 0
         self._first_arrival: Dict[int, float] = {}

@@ -133,6 +133,22 @@ class Mesh(Topology):
                 out.append(coord[:axis] + (c + 1,) + coord[axis + 1 :])
         return out
 
+    def channels(self) -> Iterator[Tuple[Coordinate, Coordinate]]:
+        """All directed channels, generated without per-node validation.
+
+        Yields exactly the base-class order (nodes linearly, per axis
+        the ``c-1`` then ``c+1`` neighbour) — network construction
+        iterates this for every simulation unit, so it skips the
+        re-validation ``neighbors()`` performs on arbitrary input.
+        """
+        dims = self.dims
+        for coord in self.nodes():
+            for axis, (c, d) in enumerate(zip(coord, dims)):
+                if c > 0:
+                    yield coord, coord[:axis] + (c - 1,) + coord[axis + 1 :]
+                if c < d - 1:
+                    yield coord, coord[:axis] + (c + 1,) + coord[axis + 1 :]
+
     def distance(self, u: Coordinate, v: Coordinate) -> int:
         u = validate_coordinate(u, self.dims)
         v = validate_coordinate(v, self.dims)

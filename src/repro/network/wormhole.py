@@ -24,6 +24,21 @@ terminus.  For the paper's parameters (L = 32–2048 flits vs. path
 lengths ≤ ~45 hops) the worm genuinely spans its whole path during
 transmission, so this is exact, not an approximation, except for worms
 shorter than their path — a regime the paper does not enter.
+
+Hop batching
+------------
+The header walk is *hop-batched*: while no other simulation event can
+fire before the header's next arrival time (``env.peek()`` strictly
+later), consecutive free channels are claimed eventlessly with
+``Resource.claim`` and the worm pays one combined ``hold_until``
+instead of a per-hop request/yield/timeout triple.  The no-interleaving guard
+makes this provably unobservable — per-hop times are accumulated with
+the same float arithmetic, channel state is untouched by third parties
+inside the batched window, and adaptive routing samples
+``channel_load`` against exactly the state it would have seen hop by
+hop.  The walk falls back to the per-hop slow path at the first busy
+or faulty channel, or whenever another event is due in the window.
+``docs/performance.md`` spells out the invariants.
 """
 
 from __future__ import annotations
@@ -102,6 +117,10 @@ class PathTransmission:
         The simulator to transmit on.
     message:
         The worm; ``message.destinations`` must lie on the route.
+    batch_hops:
+        Batch the header walk over consecutive free channels (default).
+        The batched and per-hop walks are event-for-event identical —
+        the flag exists for the determinism tests that prove it.
     """
 
     def __init__(
@@ -113,6 +132,7 @@ class PathTransmission:
         waypoints: Optional[Sequence[Coordinate]] = None,
         routing: Optional[RoutingFunction] = None,
         adaptive: bool = False,
+        batch_hops: bool = True,
     ):
         if (path is None) == (waypoints is None):
             raise ValueError("give exactly one of path= or waypoints=")
@@ -132,15 +152,23 @@ class PathTransmission:
                 raise ValueError(
                     f"path starts at {path.source}, message source is {message.source}"
                 )
-            stray = message.destinations - set(path.nodes)
-            if stray:
-                raise ValueError(f"destinations {sorted(stray)} are not on the path")
+            # Destinations covered by the path's declared deliveries
+            # (the common case) need no set materialisation at all.
+            if not (message.destinations <= path.deliveries):
+                stray = (
+                    message.destinations - path.deliveries - set(path.nodes)
+                )
+                if stray:
+                    raise ValueError(
+                        f"destinations {sorted(stray)} are not on the path"
+                    )
         self.network = network
         self.message = message
         self.path = path
         self.waypoints = waypoints
         self.routing = routing
         self.adaptive = adaptive
+        self.batch_hops = batch_hops
         self.result: Optional[TransmissionResult] = None
 
     # -- launching ---------------------------------------------------------
@@ -176,39 +204,121 @@ class PathTransmission:
         queued_at = env.now
         # 1. injection port + start-up latency.
         port_req = source_node.ports.request()
-        yield port_req
-        yield env.timeout(net.config.startup_latency)
+        if not port_req.consume_inline():
+            yield port_req
+        yield env.hold(net.config.startup_latency)
         injected_at = env.now
         source_node.sent_count += 1
 
         # 2. header walk: acquire channels in order, holding all behind.
         held = []
-        visited: List[Coordinate] = [msg.source]
+        current = tuple(msg.source)
+        visited: List[Coordinate] = [current]
         header_times: Dict[Coordinate, float] = {}
-        current = msg.source
         remaining = set(msg.destinations)
-        for nxt in self._next_nodes():
-            channel = net.channel(current, nxt)
+        hop_time = timing.header_hop_time
+        batching = self.batch_hops and env._fastpath
+        heap = env._heap
+        channels = net.channels
+        # Pre-built paths walk their node tuple by index — no generator
+        # machinery on the per-hop fast path; adaptive waypoint routes
+        # resolve lazily through _next_nodes() as before.
+        if self.path is not None:
+            route = self.path.nodes
+            route_len = len(route)
+            route_idx = 1
+            next_nodes = None
+            nxt = route[1] if route_len > 1 else None
+        else:
+            route = None
+            next_nodes = self._next_nodes()
+            nxt = next(next_nodes, None)
+        claim_token = object() if batching else None
+        while nxt is not None:
+            channel = channels[(current, nxt)]
+            if batching:
+                # Greedily claim consecutive free channels, then pay one
+                # combined hold.  `t` accumulates per-hop times with the
+                # slow path's exact float arithmetic.  Both the *routing
+                # decision* for a hop and its channel claim happen at
+                # the header's arrival time `t`; they may run early only
+                # when no other event fires at or before `t`
+                # (`heap[0][0] > t`): the heap cannot change before its
+                # own head pops, so channel state — including the
+                # `channel_load` samples adaptive routing reads — is
+                # provably what the hop-by-hop walk would have seen.
+                # The first hop was resolved within the current
+                # execution slice — synchronous either way, no guard.
+                # When the guard fails, the next decision is deferred
+                # until the clock catches up (`deferred` below).
+                t = start = env._now
+                deferred = False
+                while True:
+                    if channel.faulty:
+                        break  # the hop-by-hop path raises, at time t
+                    resource = channel.resource
+                    if not resource.claim(claim_token, t):
+                        break  # busy: the slow path queues at this hop
+                    held.append((resource, claim_token))
+                    t = t + hop_time
+                    current = nxt
+                    visited.append(current)
+                    if current in remaining:
+                        header_times[current] = t
+                        remaining.discard(current)
+                    if heap and heap[0][0] <= t:
+                        # Another event interleaves before the header
+                        # reaches `current`: the next routing decision
+                        # and claim must wait for real time t.
+                        deferred = True
+                        break
+                    if route is not None:
+                        route_idx += 1
+                        nxt = route[route_idx] if route_idx < route_len else None
+                    else:
+                        nxt = next(next_nodes, None)
+                    if nxt is None:
+                        break
+                    channel = channels[(current, nxt)]
+                if t > start:
+                    yield env.hold_until(t)
+                if deferred:
+                    # env.now == t: resolve the next hop at its exact
+                    # per-hop decision time, then retry (batch or slow).
+                    if route is not None:
+                        route_idx += 1
+                        nxt = route[route_idx] if route_idx < route_len else None
+                    else:
+                        nxt = next(next_nodes, None)
+                    continue
+                if nxt is None:
+                    break
             if channel.faulty:
-                for ch, req in reversed(held):
-                    ch.resource.release(req)
+                for res, req in reversed(held):
+                    res.release(req)
                 source_node.ports.release(port_req)
                 from repro.network.faults import FaultyChannelError
 
                 raise FaultyChannelError(channel)
             request = channel.resource.request()
-            yield request
-            held.append((channel, request))
-            yield env.timeout(timing.header_hop_time)
+            if not request.consume_inline():
+                yield request
+            held.append((channel.resource, request))
+            yield env.hold(hop_time)
             current = nxt
             visited.append(current)
             if current in remaining:
                 header_times[current] = env.now
                 remaining.discard(current)
+            if route is not None:
+                route_idx += 1
+                nxt = route[route_idx] if route_idx < route_len else None
+            else:
+                nxt = next(next_nodes, None)
 
         if remaining:
-            for ch, req in reversed(held):
-                ch.resource.release(req)
+            for res, req in reversed(held):
+                res.release(req)
             source_node.ports.release(port_req)
             raise RuntimeError(
                 f"worm #{msg.uid} finished its path without reaching {sorted(remaining)}"
@@ -217,10 +327,14 @@ class PathTransmission:
         # 3-4. body pipelining + coded-path deliveries in arrival order.
         body = timing.body_time(msg.length_flits)
         arrivals: Dict[Coordinate, float] = {}
-        for node, header_t in sorted(header_times.items(), key=lambda kv: kv[1]):
+        if len(header_times) > 1:
+            deliveries = sorted(header_times.items(), key=lambda kv: kv[1])
+        else:  # unicast fast path: nothing to sort
+            deliveries = header_times.items()
+        for node, header_t in deliveries:
             arrival = header_t + body
             if arrival > env.now:
-                yield env.timeout(arrival - env.now)
+                yield env.hold(arrival - env.now)
             arrivals[node] = arrival
             net.record_delivery(
                 DeliveryRecord(
@@ -230,8 +344,8 @@ class PathTransmission:
 
         # 5. tail drains at the terminus; free the path and the port.
         completed_at = env.now
-        for channel, request in reversed(held):
-            channel.resource.release(request)
+        for res, request in reversed(held):
+            res.release(request)
         source_node.ports.release(port_req)
 
         self.result = TransmissionResult(

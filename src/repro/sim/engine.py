@@ -5,16 +5,35 @@ drives process execution.  The structure mirrors CSIM's scheduler (the
 engine the paper's MultiSim simulator runs on): events are processed in
 ``(time, priority, insertion order)`` order, so simultaneous events are
 deterministic — essential for reproducible experiments.
+
+Fast paths
+----------
+The run loop is allocation-free for the model's hot operations:
+
+* :meth:`Environment.hold` / :meth:`Environment.hold_until` suspend the
+  active process on its reusable hold marker — no ``Timeout`` object,
+  no callback list, no event bookkeeping;
+* :meth:`Environment.timeout` recycles ``Timeout`` objects from a pool
+  once the loop proves (by reference count) that nothing else can
+  observe them;
+* the :meth:`run` loop pops and dispatches heap entries inline — no
+  per-event ``peek()``/``step()`` calls, no property lookups.
+
+All fast paths preserve the exact ``(time, priority, insertion order)``
+event semantics of the straightforward kernel; pass ``fastpath=False``
+to force the reference behaviour (used by the golden-trace equivalence
+tests).  See ``docs/performance.md`` for the invariants.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from itertools import count
+from sys import getrefcount
 from typing import Any, Generator, Iterable, Optional
 
 from repro.sim.event import AllOf, AnyOf, Event, Timeout
-from repro.sim.process import Process
+from repro.sim.process import HOLD, Process, _HoldEntry
 
 __all__ = ["Environment", "SimulationError"]
 
@@ -23,6 +42,9 @@ __all__ = ["Environment", "SimulationError"]
 NORMAL = 1
 #: Priority used for urgent bookkeeping events (process resumption).
 URGENT = 0
+
+#: Upper bound on pooled ``Timeout`` objects per environment.
+_TIMEOUT_POOL_MAX = 256
 
 
 class SimulationError(RuntimeError):
@@ -36,6 +58,10 @@ class Environment:
     ----------
     initial_time:
         Starting value of the simulation clock (default ``0.0``).
+    fastpath:
+        Enable the zero-allocation kernel fast paths (default).  The
+        observable event order is identical either way; ``False`` exists
+        for the equivalence tests that prove exactly that.
 
     Examples
     --------
@@ -51,11 +77,13 @@ class Environment:
     'done'
     """
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(self, initial_time: float = 0.0, fastpath: bool = True):
         self._now = float(initial_time)
         self._heap: list = []
         self._eid = count()
         self._active_process: Optional[Process] = None
+        self._fastpath = bool(fastpath)
+        self._timeout_pool: list = []
 
     # -- clock ------------------------------------------------------------
     @property
@@ -68,6 +96,11 @@ class Environment:
         """The process currently executing, if any."""
         return self._active_process
 
+    @property
+    def fastpath(self) -> bool:
+        """Whether the zero-allocation fast paths are enabled."""
+        return self._fastpath
+
     # -- event factories ----------------------------------------------------
     def event(self) -> Event:
         """Create a new pending :class:`Event`."""
@@ -75,7 +108,53 @@ class Environment:
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create an event that triggers ``delay`` time units from now."""
+        pool = self._timeout_pool
+        if pool:
+            timeout = pool.pop()
+            timeout._reuse(delay, value)
+            return timeout
         return Timeout(self, delay, value)
+
+    def hold(self, delay: float):
+        """Suspend the active process for ``delay`` — the fast timeout.
+
+        Semantically identical to ``yield env.timeout(delay)`` from
+        inside a process (same heap time arithmetic, same priority, one
+        insertion-order ticket) but allocation-free: the process's
+        reusable hold marker goes on the heap and the run loop resumes
+        the generator directly.  The returned sentinel must be yielded
+        immediately.  Outside a process (or with ``fastpath=False``) it
+        degrades to a regular :class:`Timeout`.
+        """
+        process = self._active_process
+        if process is None or not self._fastpath:
+            return self.timeout(delay)
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        hold = process._hold
+        hold.eid = eid = next(self._eid)
+        hold.active = True
+        heappush(self._heap, (self._now + delay, NORMAL, eid, hold))
+        return HOLD
+
+    def hold_until(self, when: float):
+        """Suspend the active process until the absolute time ``when``.
+
+        Unlike ``hold(when - now)`` this schedules the exact ``when``
+        value with no float round-trip — the primitive the hop-batched
+        wormhole walk uses to land on iteratively accumulated per-hop
+        times bit-for-bit.
+        """
+        if when < self._now:
+            raise ValueError(f"hold_until({when}) is in the past (now={self._now})")
+        process = self._active_process
+        if process is None or not self._fastpath:
+            return self.timeout(when - self._now)
+        hold = process._hold
+        hold.eid = eid = next(self._eid)
+        hold.active = True
+        heappush(self._heap, (when, NORMAL, eid, hold))
+        return HOLD
 
     def process(self, generator: Generator) -> Process:
         """Start a new process running ``generator``."""
@@ -92,7 +171,7 @@ class Environment:
     # -- scheduling ---------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
         """Put a triggered event on the heap (kernel internal)."""
-        heapq.heappush(self._heap, (self._now + delay, priority, next(self._eid), event))
+        heappush(self._heap, (self._now + delay, priority, next(self._eid), event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -102,10 +181,17 @@ class Environment:
         """Process the next event on the heap."""
         if not self._heap:
             raise SimulationError("step() on an empty event heap")
-        when, _prio, _eid, event = heapq.heappop(self._heap)
+        when, _prio, eid, event = heappop(self._heap)
         if when < self._now:  # pragma: no cover - defensive
             raise SimulationError("event scheduled in the past")
         self._now = when
+        if event.__class__ is _HoldEntry:
+            if event.active and event.eid == eid:
+                event.active = False
+                event.process._advance(False, None)
+            return  # else: stale marker of an interrupted hold
+        if not event._triggered:  # pragma: no cover - defensive
+            return  # stale entry of a process that was preempted
         callbacks, event.callbacks = event.callbacks, None
         if callbacks is None:  # pragma: no cover - defensive
             raise SimulationError("event processed twice")
@@ -140,15 +226,46 @@ class Environment:
                     f"until={stop_time} is in the past (now={self._now})"
                 )
 
-        while self._heap:
-            if stop_event is not None and stop_event.processed:
+        # Inlined event loop: one heap pop per event, hold markers and
+        # timeout recycling handled in place.  Mirrors step() exactly.
+        heap = self._heap
+        pool = self._timeout_pool
+        pooling = self._fastpath
+        bounded = stop_time != float("inf")
+        while heap:
+            if stop_event is not None and stop_event.callbacks is None:
                 break
-            if self.peek() > stop_time:
+            if bounded and heap[0][0] > stop_time:
                 self._now = stop_time
                 break
-            self.step()
+            when, _prio, eid, event = heappop(heap)
+            if when < self._now:  # pragma: no cover - defensive
+                raise SimulationError("event scheduled in the past")
+            self._now = when
+            if event.__class__ is _HoldEntry:
+                if event.active and event.eid == eid:
+                    event.active = False
+                    event.process._advance(False, None)
+                continue
+            if not event._triggered:  # pragma: no cover - defensive
+                continue
+            callbacks = event.callbacks
+            event.callbacks = None
+            if callbacks is None:  # pragma: no cover - defensive
+                raise SimulationError("event processed twice")
+            for callback in callbacks:
+                callback(event)
+            if not event._ok and not event._defused:
+                raise event._value
+            if (
+                pooling
+                and event.__class__ is Timeout
+                and getrefcount(event) == 2  # only this loop sees it
+                and len(pool) < _TIMEOUT_POOL_MAX
+            ):
+                pool.append(event)
         else:
-            if stop_time != float("inf"):
+            if bounded:
                 self._now = stop_time
 
         if stop_event is not None:

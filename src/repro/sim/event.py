@@ -14,10 +14,25 @@ states:
 The design follows the classic process-oriented kernel structure (CSIM,
 simpy): processes ``yield`` events, and the kernel resumes them when the
 event is processed.
+
+Fast-path notes
+---------------
+The kernel's hot loop bypasses much of this machinery — see
+``docs/performance.md``:
+
+* ``env.hold(delay)`` resumes the active process straight off the heap
+  with no :class:`Event` object at all;
+* :class:`Timeout` objects are pooled and reused by the environment;
+* an uncontended :class:`~repro.sim.resources.Request` carries a
+  reserved heap sequence number (``_fast_eid``) instead of a scheduled
+  grant event, letting the waiting process resume without a heap
+  round-trip while preserving the exact ``(time, priority, order)``
+  semantics of the slow path.
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
@@ -52,6 +67,11 @@ class Event:
     __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_defused")
 
     _PENDING = object()
+
+    #: Reserved heap order of a fast-granted resource request; ``None``
+    #: for every other event (class default read through the slot-less
+    #: fallback; :class:`~repro.sim.resources.Request` overrides it).
+    _fast_eid: Optional[int] = None
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -92,7 +112,8 @@ class Event:
         self._ok = True
         self._value = value
         self._triggered = True
-        self.env._schedule(self)
+        env = self.env
+        heappush(env._heap, (env._now, 1, next(env._eid), self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -110,7 +131,8 @@ class Event:
         self._ok = False
         self._value = exception
         self._triggered = True
-        self.env._schedule(self)
+        env = self.env
+        heappush(env._heap, (env._now, 1, next(env._eid), self))
         return self
 
     def trigger(self, event: "Event") -> None:
@@ -149,25 +171,53 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that triggers automatically after ``delay`` time units."""
+    """An event that triggers automatically after ``delay`` time units.
+
+    Instances are pooled: when the kernel's run loop finishes processing
+    a :class:`Timeout` that nothing else references, the object is
+    recycled and handed out again by :meth:`Environment.timeout
+    <repro.sim.engine.Environment.timeout>`.  The pool is invisible to
+    well-behaved code — an object is only reused once its previous life
+    is fully over and unreferenced.
+    """
 
     __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
+        self.env = env
+        self.callbacks = []
+        self._ok = True
+        self._value = value
+        self._triggered = True
+        self._defused = False
+        self.delay = delay
+        heappush(env._heap, (env._now + delay, 1, next(env._eid), self))
+
+    def _reuse(self, delay: float, value: Any) -> None:
+        """Re-arm a pooled instance (kernel internal)."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self.callbacks = []
         self.delay = delay
         self._ok = True
         self._value = value
         self._triggered = True
-        env._schedule(self, delay=delay)
+        self._defused = False
+        env = self.env
+        heappush(env._heap, (env._now + delay, 1, next(env._eid), self))
 
 
 class ConditionEvent(Event):
-    """Base for composite events over a set of sub-events."""
+    """Base for composite events over a set of sub-events.
 
-    __slots__ = ("events", "_count")
+    The result mapping is pre-built in declaration order at
+    construction time and filled in as sub-events trigger, so firing
+    never re-walks ``self.events``.
+    """
+
+    __slots__ = ("events", "_count", "_total", "_values")
 
     def __init__(self, env: "Environment", events: List[Event]):
         super().__init__(env)
@@ -175,14 +225,15 @@ class ConditionEvent(Event):
         self._count = 0
         if any(e.env is not env for e in self.events):
             raise ValueError("all events must belong to the same environment")
+        self._prepare()
         if not self.events:
             self.succeed({})
             return
         for event in self.events:
             event.add_callback(self._check)
 
-    def _collect(self) -> dict:
-        return {e: e._value for e in self.events if e.processed or e.triggered}
+    def _prepare(self) -> None:
+        """Subclass hook run before any ``_check`` callback can fire."""
 
     def _check(self, event: Event) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
@@ -193,6 +244,13 @@ class AllOf(ConditionEvent):
 
     __slots__ = ()
 
+    def _prepare(self) -> None:
+        # Seed the result dict with every sub-event so values land in
+        # declaration order regardless of trigger order; AnyOf's result
+        # is a single-entry dict, so only AllOf pays for this.
+        self._total = len(self.events)
+        self._values = dict.fromkeys(self.events)
+
     def _check(self, event: Event) -> None:
         if self._triggered:
             return
@@ -200,9 +258,10 @@ class AllOf(ConditionEvent):
             event.defuse()
             self.fail(event._value)
             return
+        self._values[event] = event._value
         self._count += 1
-        if self._count == len(self.events):
-            self.succeed({e: e._value for e in self.events})
+        if self._count == self._total:
+            self.succeed(self._values)
 
 
 class AnyOf(ConditionEvent):

@@ -6,10 +6,24 @@ generator with the event's value (or throws the event's exception into
 it).  A process is itself an :class:`~repro.sim.event.Event` that
 triggers when the generator finishes, so processes can be joined
 (``yield other_process``) or composed with ``AllOf``/``AnyOf``.
+
+Fast-path notes
+---------------
+Two kernel-internal shortcuts live here (see ``docs/performance.md``):
+
+* ``yield env.hold(delay)`` suspends the process on a reusable
+  :class:`_HoldEntry` marker instead of a fresh ``Timeout`` event — the
+  run loop resumes the generator directly when the marker pops;
+* resuming is a *trampoline*: when a yielded event is already
+  processed (or is an uncontended resource grant whose resumption is
+  provably unobservable), the generator is advanced in a loop rather
+  than by recursive callbacks, so arbitrarily long chains of immediate
+  completions cannot overflow the Python stack.
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from repro.sim.event import Event, Interrupt
@@ -18,6 +32,31 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Environment
 
 __all__ = ["Process"]
+
+#: Sentinel yielded by :meth:`Environment.hold`; the trampoline treats
+#: it as "already scheduled, nothing to wait on".
+HOLD = object()
+
+
+class _HoldEntry:
+    """Reusable heap marker for a process suspended in ``hold()``.
+
+    One marker exists per process and is pushed (never copied) for the
+    process start event and every subsequent hold.  ``eid`` — the heap
+    insertion-order ticket of the *latest* arming — guards against
+    stale pops: an interrupt deactivates the marker and a later hold
+    re-arms it under a fresh ticket, so an old heap entry (whose
+    ticket can never match, even if its deadline coincides) is
+    silently skipped — exactly like the detached ``Timeout`` it
+    replaces.
+    """
+
+    __slots__ = ("process", "eid", "active")
+
+    def __init__(self, process: "Process"):
+        self.process = process
+        self.eid = -1
+        self.active = False
 
 
 class Process(Event):
@@ -29,25 +68,40 @@ class Process(Event):
         Owning environment.
     generator:
         The generator to execute.  Each yielded value must be an
-        :class:`Event` of the same environment.
+        :class:`Event` of the same environment (or the marker returned
+        by ``env.hold()``).
     """
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_target", "_hold")
 
     def __init__(self, env: "Environment", generator: Generator):
-        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+        if getattr(generator, "throw", None) is None or getattr(
+            generator, "send", None
+        ) is None:
             raise TypeError(f"{generator!r} is not a generator")
-        super().__init__(env)
+        # Inlined Event.__init__ — one process per worm makes this hot.
+        self.env = env
+        self.callbacks = []
+        self._value = Event._PENDING
+        self._ok = True
+        self._triggered = False
+        self._defused = False
         self._generator = generator
         self._target: Optional[Event] = None
-        self.name = getattr(generator, "__name__", type(generator).__name__)
-        # Kick off the process at the current simulation time.
-        init = Event(env)
-        init._ok = True
-        init._value = None
-        init._triggered = True
-        init.add_callback(self._resume)
-        env._schedule(init, priority=0)
+        # Kick off the process at the current simulation time.  The
+        # reusable hold marker doubles as the start event: it pops at
+        # (now, URGENT, eid) and sends None into the fresh generator —
+        # the same resumption the seed kernel's init Event produced.
+        hold = self._hold = _HoldEntry(self)
+        hold.eid = eid = next(env._eid)
+        hold.active = True
+        heappush(env._heap, (env._now, 0, eid, hold))
+
+    @property
+    def name(self) -> str:
+        """Diagnostic label (the generator's function name)."""
+        generator = self._generator
+        return getattr(generator, "__name__", type(generator).__name__)
 
     @property
     def is_alive(self) -> bool:
@@ -93,31 +147,98 @@ class Process(Event):
                     self._target.callbacks.remove(self._resume)
                 except ValueError:  # pragma: no cover - defensive
                     pass
+        elif self._target is None and self._hold.active:
+            # An interrupt arrived while suspended in hold(): deactivate
+            # the marker so its pending heap entry pops as a no-op.
+            self._hold.active = False
         self._target = None
-        self.env._active_process = self
-        try:
-            if event._ok:
-                result = self._generator.send(event._value)
-            else:
-                event.defuse()
-                result = self._generator.throw(event._value)
-        except StopIteration as stop:
-            self.env._active_process = None
-            self.succeed(stop.value)
-            return
-        except BaseException as exc:
-            self.env._active_process = None
-            self.fail(exc)
-            return
-        self.env._active_process = None
+        if event._ok:
+            self._advance(False, event._value)
+        else:
+            event.defuse()
+            self._advance(True, event._value)
 
-        if not isinstance(result, Event):
-            self._generator.close()
-            self.fail(TypeError(f"process yielded a non-event: {result!r}"))
+    def _advance(self, throw: bool, value: Any) -> None:
+        """Trampoline: drive the generator over synchronous completions."""
+        env = self.env
+        generator = self._generator
+        send = generator.send
+        heap = env._heap
+        while True:
+            env._active_process = self
+            try:
+                if throw:
+                    result = generator.throw(value)
+                else:
+                    result = send(value)
+            except StopIteration as stop:
+                env._active_process = None
+                self._hold.active = False  # neutralise an unyielded hold
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:
+                env._active_process = None
+                self._hold.active = False
+                self.fail(exc)
+                return
+            env._active_process = None
+
+            if result is HOLD:
+                # env.hold() already pushed our marker; just suspend.
+                if not self._hold.active:  # pragma: no cover - defensive
+                    self._no_hold_pending()
+                    return
+                return
+            if not isinstance(result, Event):
+                generator.close()
+                self.fail(TypeError(f"process yielded a non-event: {result!r}"))
+                return
+            if self._hold.active:
+                generator.close()
+                self.fail(
+                    RuntimeError(
+                        "hold() was called but its marker was not yielded"
+                    )
+                )
+                return
+            if result.env is not env:
+                generator.close()
+                self.fail(
+                    ValueError("yielded event belongs to a different environment")
+                )
+                return
+
+            callbacks = result.callbacks
+            if callbacks is None:
+                # Already processed — resume synchronously (the seed
+                # kernel's add_callback did the same, recursively).
+                if result._ok:
+                    throw, value = False, result._value
+                else:
+                    result.defuse()
+                    throw, value = True, result._value
+                continue
+
+            fast_eid = result._fast_eid
+            if fast_eid is not None:
+                # Uncontended resource grant that skipped the heap.
+                result._fast_eid = None
+                if not heap or heap[0][0] > env._now:
+                    # No other event can interleave before the grant
+                    # would have popped: resume directly (unobservable
+                    # shortcut, grants always succeed).
+                    result.callbacks = None
+                    throw, value = False, result._value
+                    continue
+                # Something else is pending at this instant: replay the
+                # exact slow path by scheduling the grant under its
+                # reserved insertion order.
+                heappush(heap, (env._now, 1, fast_eid, result))
+
+            callbacks.append(self._resume)
+            self._target = result
             return
-        if result.env is not self.env:
-            self._generator.close()
-            self.fail(ValueError("yielded event belongs to a different environment"))
-            return
-        self._target = result
-        result.add_callback(self._resume)
+
+    def _no_hold_pending(self) -> None:  # pragma: no cover - defensive
+        self._generator.close()
+        self.fail(RuntimeError("yielded a hold marker without calling hold()"))

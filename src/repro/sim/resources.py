@@ -7,6 +7,20 @@ awaiting transmission").  :class:`Resource` reproduces that behaviour:
 strict FIFO order.  :class:`PriorityResource` additionally orders waiters
 by a priority key, and :class:`Store` is a FIFO buffer of items (used
 for node inboxes).
+
+Fast-path notes
+---------------
+Granting is synchronous in *state* in every kernel mode — ``request()``
+on a free resource updates ``users``/``grants`` immediately; only the
+waiter's resumption used to round-trip the event heap.  With the fast
+path, an uncontended grant skips that round-trip: the request carries a
+reserved heap insertion order (``_fast_eid``) and the process trampoline
+resumes directly when no other event could interleave, or replays the
+exact heap schedule when one could.  ``try_acquire()`` goes further for
+the hop-batched wormhole walk: it claims a free slot with no event at
+all, back-dating the utilisation bookkeeping to the logical acquisition
+time.  Contended grants (from ``release()``) always travel through the
+heap — that is what keeps FIFO hand-off interleaving exact.
 """
 
 from __future__ import annotations
@@ -23,6 +37,10 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = ["Resource", "Request", "PriorityResource", "Store"]
 
+#: Process-wide ticket counter shared by every resource (see
+#: ``Resource.__init__``).
+_TICKETS = count()
+
 
 class Request(Event):
     """A pending or granted claim on a :class:`Resource`.
@@ -34,13 +52,65 @@ class Request(Event):
             yield env.timeout(service_time)
     """
 
-    __slots__ = ("resource", "priority", "_order")
+    __slots__ = ("resource", "priority", "_order", "_fast_eid")
 
     def __init__(self, resource: "Resource", priority: float = 0.0):
-        super().__init__(resource.env)
+        # Inlined Event.__init__ — one request per channel per hop makes
+        # this one of the hottest constructors in the simulator.
+        self.env = resource.env
+        self.callbacks = []
+        self._value = Event._PENDING
+        self._ok = True
+        self._triggered = False
+        self._defused = False
         self.resource = resource
         self.priority = priority
         self._order = next(resource._ticket)
+        self._fast_eid: Optional[int] = None
+
+    def add_callback(self, callback) -> None:
+        """Register ``callback``, materialising a deferred fast grant.
+
+        A fast-granted request holds a reserved heap slot instead of a
+        scheduled event; any consumer other than the owning process's
+        trampoline (e.g. an ``AllOf``) flushes it onto the heap first so
+        the callback fires with the exact slow-path ordering.
+        """
+        fast_eid = self._fast_eid
+        if fast_eid is not None:
+            self._fast_eid = None
+            env = self.env
+            heapq.heappush(env._heap, (env._now, 1, fast_eid, self))
+        Event.add_callback(self, callback)
+
+    def consume_inline(self) -> bool:
+        """Consume a fast grant without yielding, when provably exact.
+
+        Returns True when the request is granted *and* resuming now is
+        indistinguishable from yielding it — either it is already
+        processed, or it holds a reserved fast-grant slot and no other
+        event is pending at this instant (the same check the process
+        trampoline applies on yield, hoisted into the caller so hot
+        loops can skip the generator round-trip entirely)::
+
+            req = resource.request()
+            if not req.consume_inline():
+                yield req
+
+        Returns False for queued grants and interleaved instants; the
+        caller must yield as usual.
+        """
+        if self.callbacks is None:
+            return True
+        fast_eid = self._fast_eid
+        if fast_eid is not None:
+            env = self.env
+            heap = env._heap
+            if not heap or heap[0][0] > env._now:
+                self._fast_eid = None
+                self.callbacks = None
+                return True
+        return False
 
     def cancel(self) -> None:
         """Withdraw the request (release if granted, dequeue if waiting)."""
@@ -74,10 +144,14 @@ class Resource:
         self.name = name
         self.users: List[Request] = []
         self.queue: Deque[Request] = deque()
-        self._ticket = count()
+        # Shared ticket stream: only the relative order of tickets on
+        # one resource matters (FIFO/priority tie-breaks), which a
+        # global counter preserves while sparing every channel its own
+        # iterator allocation.
+        self._ticket = _TICKETS
         # Cumulative statistics for utilisation reporting.
         self._busy_time = 0.0
-        self._last_change = env.now
+        self._last_change = env._now
         self._grants = 0
 
     # -- introspection ------------------------------------------------------
@@ -104,8 +178,9 @@ class Resource:
             busy += now - self._last_change
         return busy / now if now > 0 else 0.0
 
-    def _mark(self) -> None:
-        now = self.env.now
+    def _mark(self, now: Optional[float] = None) -> None:
+        if now is None:
+            now = self.env._now
         if self.users:
             self._busy_time += now - self._last_change
         self._last_change = now
@@ -115,10 +190,61 @@ class Resource:
         """Ask for a slot; the returned event triggers when granted."""
         req = Request(self, priority)
         if len(self.users) < self.capacity and not self.queue:
-            self._grant(req)
+            if self.env._fastpath:
+                # Immediate grant: the slot is taken synchronously (as
+                # always) but no grant event goes on the heap — the
+                # request reserves its insertion order instead, and the
+                # waiting process resumes without a heap round-trip
+                # unless another same-instant event must interleave.
+                self._mark()
+                self.users.append(req)
+                self._grants += 1
+                req._value = self
+                req._triggered = True
+                req._fast_eid = next(self.env._eid)
+            else:
+                self._grant(req)
         else:
             self._enqueue(req)
         return req
+
+    def try_acquire(self, at: Optional[float] = None) -> Optional[Request]:
+        """Claim a free slot immediately, with no event at all.
+
+        Returns a granted :class:`Request` (release it as usual), or
+        ``None`` when the resource is busy or has waiters.  ``at``
+        back-dates the utilisation bookkeeping to the logical
+        acquisition time — the hop-batched wormhole walk acquires
+        channels ahead of the clock under a no-interleaving guard, so
+        the statistics must record the time the header *would* have
+        claimed the channel.
+        """
+        if self.queue or len(self.users) >= self.capacity:
+            return None
+        req = Request(self, 0.0)
+        self._mark(at)
+        self.users.append(req)
+        self._grants += 1
+        req._value = self
+        req._triggered = True
+        req.callbacks = None  # never scheduled: processed on arrival
+        return req
+
+    def claim(self, token: Any, at: Optional[float] = None) -> bool:
+        """Like :meth:`try_acquire`, but the caller brings its own token.
+
+        The hop-batched wormhole walk holds many channels per worm; an
+        opaque reusable token in ``users`` (released with the usual
+        :meth:`release`) spares one :class:`Request` per hop.  Plain
+        FIFO resources never order by ticket, so skipping it is
+        unobservable.  Returns True when the slot was claimed.
+        """
+        if self.queue or len(self.users) >= self.capacity:
+            return False
+        self._mark(at)
+        self.users.append(token)
+        self._grants += 1
+        return True
 
     def release(self, request: Request) -> None:
         """Return a granted slot (or withdraw a waiting request)."""
@@ -173,6 +299,16 @@ class PriorityResource(Resource):
     @property
     def queue_length(self) -> int:
         return len(self._pqueue)
+
+    def try_acquire(self, at: Optional[float] = None) -> Optional[Request]:
+        if self._pqueue:
+            return None
+        return super().try_acquire(at)
+
+    def claim(self, token: Any, at: Optional[float] = None) -> bool:
+        if self._pqueue:
+            return False
+        return super().claim(token, at)
 
     def _enqueue(self, req: Request) -> None:
         heapq.heappush(self._pqueue, (req.priority, req._order, req))

@@ -19,6 +19,11 @@ import numpy as np
 
 __all__ = ["RandomStreams"]
 
+#: Derived bit-generator states keyed by (master entropy, stream name);
+#: see ``RandomStreams.__getitem__``.
+_STATE_MEMO: Dict = {}
+_STATE_MEMO_MAX = 4096
+
 
 class RandomStreams:
     """A registry of named RNG streams derived from one master seed.
@@ -49,12 +54,26 @@ class RandomStreams:
         if gen is None:
             # Derive a child seed from the master seed and the stream
             # name, so stream identity is stable across runs regardless
-            # of creation order.
-            key = [b for b in name.encode("utf-8")]
-            child = np.random.SeedSequence(
-                entropy=self._root.entropy, spawn_key=tuple(key)
-            )
-            gen = np.random.default_rng(child)
+            # of creation order.  The derived bit-generator state is a
+            # pure function of (entropy, name); memoising it spares the
+            # SeedSequence expansion for the hundreds of identically
+            # named per-node streams a sweep's simulations re-create.
+            memo_key = (self._root.entropy, name) if self.seed is not None else None
+            state = _STATE_MEMO.get(memo_key) if memo_key else None
+            if state is None:
+                key = [b for b in name.encode("utf-8")]
+                child = np.random.SeedSequence(
+                    entropy=self._root.entropy, spawn_key=tuple(key)
+                )
+                bit_gen = np.random.PCG64(child)
+                if memo_key:
+                    if len(_STATE_MEMO) >= _STATE_MEMO_MAX:
+                        _STATE_MEMO.clear()
+                    _STATE_MEMO[memo_key] = bit_gen.state
+            else:
+                bit_gen = np.random.PCG64()
+                bit_gen.state = state
+            gen = np.random.Generator(bit_gen)
             self._streams[name] = gen
         return gen
 

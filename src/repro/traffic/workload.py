@@ -38,6 +38,11 @@ from repro.routing.paths import Path
 from repro.traffic.arrivals import ExponentialArrivals, rate_per_us
 from repro.traffic.patterns import DestinationPattern, UniformPattern
 
+#: Process-wide broadcast-schedule memo (pure construction results,
+#: shared across simulations; bounded to keep long campaigns lean).
+_SCHEDULE_MEMO: Dict = {}
+_SCHEDULE_MEMO_MAX = 512
+
 __all__ = ["MixedTrafficConfig", "MixedTrafficSimulation", "TrafficStats"]
 
 
@@ -154,6 +159,7 @@ class MixedTrafficSimulation:
         self.latencies = LatencyCollector()
         self.throughput = ThroughputCollector()
         self._schedule_cache: Dict = {}
+        self._path_cache: Dict = {}
         self._generated = 0
         self._completed: Dict[int, float] = {}
         self._done = self.network.env.event()
@@ -166,7 +172,7 @@ class MixedTrafficSimulation:
             rng, rate_per_us(self.config.load_messages_per_ms)
         )
         while True:
-            yield env.timeout(arrivals.next_gap())
+            yield env.hold(arrivals.next_gap())
             if self._generated >= self.config.target_operations:
                 return
             op_id = self._generated
@@ -185,10 +191,14 @@ class MixedTrafficSimulation:
             kind=MessageKind.UNICAST,
             created_at=self.network.env.now,
         )
-        nodes = self._dor.path(source, destination)
-        transmission = PathTransmission(
-            self.network, message, path=Path(nodes, deliveries=[destination])
-        )
+        # DOR paths are pure functions of (source, destination): cache
+        # the immutable Path objects across the run's many unicasts.
+        path = self._path_cache.get((source, destination))
+        if path is None:
+            nodes = self._dor.path(source, destination)
+            path = Path(nodes, deliveries=[destination])
+            self._path_cache[(source, destination)] = path
+        transmission = PathTransmission(self.network, message, path=path)
         process = transmission.start()
         process.add_callback(
             lambda event: self._operation_done(event, op_id, "unicast")
@@ -197,7 +207,16 @@ class MixedTrafficSimulation:
     def _launch_broadcast(self, source, op_id: int) -> None:
         schedule = self._schedule_cache.get(source)
         if schedule is None:
-            schedule = self.algorithm.schedule(source)
+            # Schedules are pure functions of (algorithm, mesh, source):
+            # share them process-wide so every load point of a sweep
+            # reuses the sibling points' construction work.
+            key = (type(self.algorithm).__name__, self.topology.dims, source)
+            schedule = _SCHEDULE_MEMO.get(key)
+            if schedule is None:
+                if len(_SCHEDULE_MEMO) >= _SCHEDULE_MEMO_MAX:
+                    _SCHEDULE_MEMO.clear()
+                schedule = self.algorithm.schedule(source)
+                _SCHEDULE_MEMO[key] = schedule
             self._schedule_cache[source] = schedule
         process = self._executor.launch(
             schedule, self.config.message_length_flits
