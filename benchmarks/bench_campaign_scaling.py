@@ -21,7 +21,9 @@ except that the parallel runs must not collapse (finish at all).
 import time
 
 from repro.campaigns.pool import estimate_unit_cost, order_units, run_campaign
+from repro.experiments.config import ExperimentScale
 from repro.experiments.fig2 import fig2_campaign
+from repro.experiments.traffic_sweep import traffic_campaign
 
 WORKER_COUNTS = (1, 2, 4)
 
@@ -52,6 +54,67 @@ def test_campaign_scaling(once):
         )
         # Determinism: sharding may only change wall-clock time.
         assert records == baseline_records
+
+
+def test_single_point_shard_scaling(once):
+    """Makespan of ONE heavy traffic point vs its shard count.
+
+    The intra-unit parallelism win: an unsharded point is a single
+    unit, so extra workers cannot help it; `--shards K` fans the same
+    point out into K sub-units that a K-worker pool drains together.
+    Wall-clock speedup is hardware-dependent and printed, not asserted
+    (single-vCPU CI can't show it); the asserted invariants are that
+    the sharded spec's records are byte-identical at every worker
+    count and that the shard fan-out really dispatches K units.
+    """
+
+    # One heavy load point on the fig3 mesh: the paper's 21-batch
+    # budget (so shards=4 keeps a 5-batch retained slice each) with
+    # quick-sized batches, ~4x the quick-scale point.
+    heavy = ExperimentScale(
+        name="bench-heavy",
+        sources_per_point=1,
+        batch_size=15,
+        num_batches=21,
+        discard=1,
+        max_sim_time_us=120_000.0,
+    )
+
+    def point(shards):
+        return traffic_campaign(
+            "fig3",
+            scale=heavy,
+            loads=[4.0],
+            algorithms=["DB"],
+            shards=shards,
+        )
+
+    def sweep():
+        results = {}
+        serial_unsharded = _timed_run(point(1), 1)
+        results["unsharded"] = serial_unsharded
+        for shards in (2, 4):
+            spec = point(shards)
+            serial = _timed_run(spec, 1)
+            parallel = _timed_run(spec, shards)
+            # Determinism: fan-out may only change wall-clock time.
+            assert parallel[0] == serial[0]
+            results[shards] = (serial, parallel)
+        return results
+
+    results = once(sweep)
+    _, unsharded_s = results["unsharded"]
+    print()
+    print("single fig3 point (load=4, 21 batches of 15 ops):")
+    print(f"  shards=1:                 {unsharded_s:6.2f}s (one unit)")
+    for shards in (2, 4):
+        (records, serial_s), (_, parallel_s) = results[shards]
+        speedup = serial_s / parallel_s if parallel_s else float("inf")
+        print(
+            f"  shards={shards} workers={shards}:       {parallel_s:6.2f}s"
+            f"  (serial {serial_s:6.2f}s, speedup x{speedup:4.2f})"
+        )
+        assert records[0].result["shards"] == shards
 
 
 def _list_schedule_makespan(durations, workers):

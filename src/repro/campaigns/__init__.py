@@ -18,7 +18,12 @@ Core pieces:
   lease-arbitrated shared directory for multi-host fleets), giving
   crash-resumable and shareable campaigns;
 * :mod:`repro.campaigns.units` — the unit runners ("broadcast",
-  "traffic") that turn one :class:`UnitSpec` into a result record;
+  "traffic", "traffic-shard") that turn one :class:`UnitSpec` into a
+  result record;
+* :mod:`repro.campaigns.shards` — the parent→shard relationship: a
+  heavy traffic point with ``shards=K`` fans out into K independent
+  per-substream replications and a deterministic reducer that fires
+  when the last shard lands (``repro fig3 --shards 4 --workers 4``);
 * :mod:`repro.campaigns.aggregate` — merges unit records back into the
   per-experiment row dataclasses.
 
@@ -49,6 +54,11 @@ from repro.campaigns.pool import (
     order_units,
     register_unit_runner,
     run_campaign,
+)
+from repro.campaigns.shards import (
+    merge_shard_records,
+    shard_specs,
+    unit_shards,
 )
 from repro.campaigns.spec import CampaignSpec, UnitSpec, freeze_params
 from repro.campaigns.store import (
@@ -83,9 +93,12 @@ __all__ = [
     "freeze_params",
     "load_cost_model",
     "load_default_cost_model",
+    "merge_shard_records",
     "open_store",
     "order_units",
     "register_aggregator",
     "register_unit_runner",
     "run_campaign",
+    "shard_specs",
+    "unit_shards",
 ]

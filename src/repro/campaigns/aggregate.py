@@ -72,11 +72,20 @@ def cells(
     Cells keep the first-seen (declaration) order; records within a
     cell are sorted by replication index, reproducing the serial
     measurement order exactly.
+
+    Shard records (kind ``traffic-shard``) are intermediate state —
+    their parent's merged record is the reportable one — and are
+    skipped, so aggregating a whole store that contains both never
+    double-counts a sharded point.
     """
+    from repro.campaigns.shards import is_shard
+
     grouped: Dict[str, List[UnitRecord]] = {}
     specs: Dict[str, UnitSpec] = {}
     for record in records:
         spec = record.unit_spec
+        if is_shard(spec):
+            continue
         key = spec.cell_key
         grouped.setdefault(key, []).append(record)
         specs.setdefault(key, spec)

@@ -9,8 +9,11 @@ better: :func:`fit_cost_model` fits a log-linear model
 
     \\log t \\approx w_0 + w_1 \\log N + w_2 \\log L + w_3 \\log(\\max(\\rho, 1))
               + w_4 \\log B + w_5 \\cdot \\mathrm{barrier}
+              + w_6 \\cdot \\mathrm{shard}
 
-(N nodes, L flits, ρ load, B the traffic batch budget) by ordinary
+(N nodes, L flits, ρ load, B the unit's *own* batch budget — a
+shard's is its slice — and ``shard`` the per-replication overhead
+indicator of ``traffic-shard`` units) by ordinary
 least squares, and the resulting :class:`CostModel` plugs into
 ``--schedule adaptive`` dispatch: ``repro campaign fit-cost`` writes
 ``campaigns/cost_model.json`` and every later adaptive run picks it up
@@ -53,6 +56,7 @@ FEATURE_NAMES = (
     "log_load",
     "log_batch_budget",
     "barrier",
+    "shard",
 )
 
 #: Fewer samples than features + 1 cannot produce a meaningful fit.
@@ -60,10 +64,18 @@ MIN_SAMPLES = len(FEATURE_NAMES) + 1
 
 
 def cost_features(spec: UnitSpec) -> List[float]:
-    """Feature vector of one unit (see module docstring for the model)."""
+    """Feature vector of one unit (see module docstring for the model).
+
+    Shards are first-class: a ``traffic-shard`` unit's batch budget is
+    its *own* slice (already per-shard), and the ``shard`` indicator
+    lets the fit learn the fixed per-replication overhead (network
+    construction, its private warm-up batches) that makes a shard cost
+    more than ``1/K`` of its parent.  The adaptive scheduler therefore
+    LPT-orders individual shards, not just whole points.
+    """
     nodes = float(math.prod(spec.dims))
     load = max(float(spec.load), 1.0) if spec.load is not None else 1.0
-    if spec.kind == "traffic":
+    if spec.kind in ("traffic", "traffic-shard"):
         budget = float(spec.param("batch_size", 25)) * float(
             spec.param("num_batches", 21)
         )
@@ -76,6 +88,7 @@ def cost_features(spec: UnitSpec) -> List[float]:
         math.log(load),
         math.log(max(budget, 1.0)),
         1.0 if spec.param("barrier", False) else 0.0,
+        1.0 if spec.kind == "traffic-shard" else 0.0,
     ]
 
 

@@ -28,6 +28,12 @@ caching (``cache=``)
     whose grid overlaps this ``full`` campaign — is reused and copied
     into the primary store.
 
+A fourth concern is layered on top of all three: units declaring
+``shards=K`` fan out into K shard units (leased, scheduled and cached
+individually) plus a deterministic merge that fires — in whichever
+pool observes the last shard — as soon as all K shard records exist;
+see :mod:`repro.campaigns.shards`.
+
 Unit runners register under a *kind* key ("broadcast", "traffic");
 :mod:`repro.campaigns.units` provides the built-ins and is imported
 lazily so the campaigns layer never drags the experiments package into
@@ -46,9 +52,11 @@ Example::
 from __future__ import annotations
 
 import math
+import threading
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from contextlib import contextmanager
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence
 
 from repro.campaigns.spec import CampaignSpec, UnitSpec
@@ -66,6 +74,7 @@ __all__ = [
     "ProgressFn",
     "SCHEDULES",
     "estimate_unit_cost",
+    "lease_heartbeat",
     "order_units",
     "register_unit_runner",
     "execute_unit",
@@ -131,7 +140,10 @@ def estimate_unit_cost(
     cost = nodes * float(max(spec.length_flits, 1))
     if spec.load is not None:
         cost *= max(float(spec.load), 1.0)
-    if spec.kind == "traffic":
+    if spec.kind in ("traffic", "traffic-shard"):
+        # A shard's params carry its own (smaller) batch slice, so the
+        # estimate is naturally per-shard: the LPT scheduler orders
+        # shards against whole points on the same scale.
         cost *= float(spec.param("batch_size", 25)) * float(
             spec.param("num_batches", 21)
         )
@@ -180,9 +192,70 @@ def execute_unit(spec: UnitSpec) -> UnitRecord:
     )
 
 
-def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
-    """Worker-process entry point (module-level so it pickles)."""
-    return execute_unit(UnitSpec.from_dict(payload)).to_dict()
+@contextmanager
+def lease_heartbeat(
+    store: Optional[CampaignStore],
+    unit_hash: str,
+    owner: str,
+    ttl_s: float = DEFAULT_LEASE_TTL_S,
+):
+    """Refresh a unit's lease from the process executing it.
+
+    A daemon thread re-claims the lease every TTL/3 for as long as the
+    unit runs, so the stale-steal TTL can sit well below the longest
+    unit's duration: a *live* worker keeps its lease fresh forever,
+    while a crashed worker stops heartbeating and loses the unit one
+    TTL later.  Best-effort by design — a failed refresh only means
+    peers may duplicate (never corrupt) the unit's work.
+
+    One deliberate race: a refresh that is already in flight when the
+    unit finishes can re-create the lease *after* the pool released
+    it, leaving a phantom lease until its TTL expires.  This is
+    harmless by construction — records are appended *before* release,
+    so the unit the phantom covers always has a stored record, which
+    status reporting and peer pools check first (they absorb the
+    record on their next poll instead of waiting out the lease).
+
+    No-op for stores without lease support (or no store at all).
+    """
+    if store is None or not store.supports_leases:
+        yield
+        return
+    stop = threading.Event()
+
+    def beat() -> None:
+        while not stop.wait(ttl_s / 3.0):
+            try:
+                store.try_claim(unit_hash, owner, ttl_s=ttl_s)
+            except Exception:  # pragma: no cover - e.g. store unreachable
+                pass  # the TTL still bounds how stale the lease can get
+
+    thread = threading.Thread(
+        target=beat, daemon=True, name=f"lease-heartbeat-{unit_hash[:8]}"
+    )
+    thread.start()
+    try:
+        yield
+    finally:
+        stop.set()
+        thread.join(timeout=1.0)
+
+
+def _execute_payload(
+    payload: Dict[str, Any],
+    store: Optional[CampaignStore] = None,
+    owner: str = "",
+    ttl_s: float = DEFAULT_LEASE_TTL_S,
+) -> Dict[str, Any]:
+    """Worker-process entry point (module-level so it pickles).
+
+    The worker refreshes its own unit's lease while executing it (see
+    :func:`lease_heartbeat`); the coordinating pool only claims and
+    releases.
+    """
+    spec = UnitSpec.from_dict(payload)
+    with lease_heartbeat(store, spec.unit_hash, owner, ttl_s):
+        return execute_unit(spec).to_dict()
 
 
 def _warm_from_caches(
@@ -254,10 +327,12 @@ def run_campaign(
     lease_ttl_s:
         How long a claimed unit stays reserved; a pool that crashes
         mid-unit blocks that unit from peers for at most this long
-        (same-host crashes are detected immediately).  Worker-pool
-        runs refresh their active leases every TTL/3, so the TTL only
-        needs to exceed a unit's duration for serial (``workers=1``)
-        runs, which cannot refresh mid-unit.
+        (same-host crashes are detected immediately).  The process
+        executing a unit — pool worker or the serial in-process path —
+        heartbeats its lease every TTL/3 for as long as the unit runs
+        (:func:`lease_heartbeat`), so the TTL never needs to exceed a
+        unit's duration: it only bounds how long a *crashed* worker's
+        unit stays blocked.
     poll_interval_s:
         Sleep between re-checks while waiting on units leased by a
         concurrent pool.
@@ -281,7 +356,30 @@ def run_campaign(
                 f" R^2={cost_model.r_squared:.2f})"
             )
 
+    # Sharded parents (units with a shards=K parameter) never execute
+    # directly: they fan out into K shard units and a deterministic
+    # merge that fires — in whichever pool observes the last shard —
+    # as soon as all K shard records exist.
+    from repro.campaigns.shards import (
+        SHARDABLE_KINDS,
+        merge_shard_records,
+        shard_specs,
+        unit_shards,
+    )
+
+    shard_plan: Dict[str, List[UnitSpec]] = {}
+    shard_parent: Dict[str, str] = {}
+    parent_by_hash: Dict[str, UnitSpec] = {}
+    for unit in spec.units:
+        if unit.kind in SHARDABLE_KINDS and unit_shards(unit) > 1:
+            plan = shard_specs(unit)
+            shard_plan[unit.unit_hash] = plan
+            parent_by_hash[unit.unit_hash] = unit
+            for shard in plan:
+                shard_parent[shard.unit_hash] = unit.unit_hash
+
     wanted = spec.unit_hashes()
+    wanted += [s.unit_hash for plan in shard_plan.values() for s in plan]
     records: Dict[str, UnitRecord] = {}
     if store is not None:
         wanted_set = set(wanted)
@@ -289,19 +387,6 @@ def run_campaign(
             h: rec for h, rec in store.records().items() if h in wanted_set
         }
     cache_hits = _warm_from_caches(wanted, records, store, cache)
-
-    pending = spec.pending(records)
-    if progress:
-        cached_note = (
-            f"{len(records)} cached"
-            + (f" ({cache_hits} from cache stores)" if cache_hits else "")
-        )
-        progress(
-            f"campaign {spec.name}: {len(spec)} units"
-            f" ({cached_note}, {len(pending)} to run,"
-            f" workers={min(workers, max(len(pending), 1))},"
-            f" schedule={schedule})"
-        )
 
     owner = make_owner_id()
     claiming = store is not None and store.supports_leases
@@ -312,11 +397,64 @@ def run_campaign(
             store.append(record)
             if claiming:
                 store.release(record.unit_hash, owner)
+        _after_land(record.unit_hash)
+
+    def absorb(record: UnitRecord) -> None:
+        """Adopt a record a peer pool or cache already persisted."""
+        records[record.unit_hash] = record
+        _after_land(record.unit_hash)
+
+    def _after_land(unit_hash: str) -> None:
+        """Merge a sharded parent once its last shard has landed."""
+        parent_hash = shard_parent.get(unit_hash)
+        if parent_hash is None or parent_hash in records:
+            return
+        members = []
+        for shard in shard_plan[parent_hash]:
+            member = records.get(shard.unit_hash)
+            if member is None:
+                return  # siblings still in flight
+            members.append(member)
+        finish(merge_shard_records(parent_by_hash[parent_hash], members))
+
+    # Resume mid-merge: a prior run may have completed every shard of
+    # a parent without persisting the merge (the merge is idempotent
+    # and deterministic, so re-deriving it is always safe).
+    for parent_hash, plan in shard_plan.items():
+        if parent_hash not in records:
+            _after_land(plan[0].unit_hash)
+
+    pending: List[UnitSpec] = []
+    for unit in spec.pending(records):
+        if unit.unit_hash in shard_plan:
+            pending.extend(
+                s
+                for s in shard_plan[unit.unit_hash]
+                if s.unit_hash not in records
+            )
+        else:
+            pending.append(unit)
+    if progress:
+        cached_note = (
+            f"{len(records)} cached"
+            + (f" ({cache_hits} from cache stores)" if cache_hits else "")
+        )
+        shard_note = (
+            f" [{len(shard_plan)} sharded unit(s),"
+            f" {len(shard_parent)} shards]"
+            if shard_plan
+            else ""
+        )
+        progress(
+            f"campaign {spec.name}: {len(spec)} units{shard_note}"
+            f" ({cached_note}, {len(pending)} to run,"
+            f" workers={min(workers, max(len(pending), 1))},"
+            f" schedule={schedule})"
+        )
 
     queue = deque(order_units(pending, schedule, cost_model))
     deferred: List[UnitSpec] = []  # leased by a concurrent pool
     last_wait_note = -1  # dedupe "waiting on N" progress lines
-    last_refresh = time.monotonic()
     max_active = min(workers, max(len(queue), 1))
     pool = (
         ProcessPoolExecutor(max_workers=max_active)
@@ -342,36 +480,42 @@ def run_campaign(
                     # record means the work is already done.
                     existing = store.get(unit.unit_hash)
                     if existing is not None:
-                        records[unit.unit_hash] = existing
                         store.release(unit.unit_hash, owner)
+                        absorb(existing)
                         continue
                 if pool is None:
                     try:
-                        finish(execute_unit(unit))
+                        with lease_heartbeat(
+                            store if claiming else None,
+                            unit.unit_hash,
+                            owner,
+                            lease_ttl_s,
+                        ):
+                            record = execute_unit(unit)
+                        finish(record)
                     except BaseException:
                         if claiming:  # don't strand the lease
                             store.release(unit.unit_hash, owner)
                         raise
                 else:
-                    active[pool.submit(_execute_payload, unit.as_dict())] = unit
+                    # Each worker heartbeats its own lease while the
+                    # unit runs (see lease_heartbeat), so the TTL can
+                    # sit below the longest unit's duration.
+                    active[
+                        pool.submit(
+                            _execute_payload,
+                            unit.as_dict(),
+                            store if claiming else None,
+                            owner,
+                            lease_ttl_s,
+                        )
+                    ] = unit
             if active:
                 done, _ = wait(
                     active,
                     timeout=max(lease_ttl_s / 6.0, poll_interval_s),
                     return_when=FIRST_COMPLETED,
                 )
-                if claiming and (
-                    time.monotonic() - last_refresh > lease_ttl_s / 3.0
-                ):
-                    # Refresh the leases of still-executing units on a
-                    # TTL/3 cadence — independent of completion traffic,
-                    # so a steady stream of short units can't starve a
-                    # long unit's refresh and let a peer steal it.
-                    last_refresh = time.monotonic()
-                    for unit in active.values():
-                        store.try_claim(
-                            unit.unit_hash, owner, ttl_s=lease_ttl_s
-                        )
                 for future in done:
                     # Take the result while the unit is still in
                     # `active`: a runner exception propagates with the
@@ -391,7 +535,7 @@ def run_campaign(
                         continue
                     peer_record = store.get(unit.unit_hash)
                     if peer_record is not None:
-                        records[unit.unit_hash] = peer_record
+                        absorb(peer_record)
                     else:
                         missing.append(unit)
                 deferred = []
@@ -413,9 +557,16 @@ def run_campaign(
                 store.release(unit.unit_hash, owner)
 
     if progress:
-        total = sum(r.elapsed_s for r in records.values())
+        # Merged parents report the sum of their shards' times, so
+        # count each sharded unit once (via its parent record).
+        total = sum(
+            r.elapsed_s
+            for h, r in records.items()
+            if h not in shard_parent
+        )
+        done = sum(1 for u in spec.units if u.unit_hash in records)
         progress(
             f"campaign {spec.name}: complete"
-            f" ({len(records)}/{len(spec)} units, {total:.2f}s simulated work)"
+            f" ({done}/{len(spec)} units, {total:.2f}s simulated work)"
         )
     return [records[unit.unit_hash] for unit in spec.units]

@@ -1,0 +1,271 @@
+"""Sharded simulation units: parent→shard planning and the reducer.
+
+A heavy batch-means traffic point (one parent :class:`UnitSpec` with a
+``shards=K`` parameter, K > 1) fans out into K *shard* units.  Shard
+``k`` is an independent replication: it draws every random number from
+the ``shard{k}`` namespace of the parent's master seed and collects its
+slice of the parent's retained batch budget (plus its own ``discard``
+warm-up batches, which it throws away — every replication has its own
+cold start).  A shard is therefore a **pure function of (parent spec,
+k)**: its content hash, its substreams and its result do not depend on
+which worker, pool, host or resumed run executes it.
+
+The reducer (:func:`merge_shard_records`) is deterministic: shard
+results are ordered by shard index and their retained batch means are
+concatenated through the exact :mod:`repro.metrics.partial` algebra,
+bucket means and throughput are pooled from mergeable sums, and the
+merged record carries the same result schema as an unsharded traffic
+unit.  Running the K shards serially in one process and merging gives
+byte-for-byte the record that any parallel, multi-pool or resumed
+execution produces — the campaign engine's serial/parallel contract,
+extended below the unit.
+
+Two identities are deliberately kept:
+
+* ``shards=1`` (or no ``shards`` parameter) is *not* a degenerate
+  shard plan — it is the original single-trajectory protocol,
+  bit-for-bit, hash included.
+* a shard's hash omits the sibling count: shard 2 with a 5-batch slice
+  is the same simulation whether its parent split 21 batches 4 ways
+  or 16 batches 3 ways, so overlapping decompositions share results
+  through the store exactly like overlapping scales do.
+
+Usage::
+
+    parent = UnitSpec(..., kind="traffic",
+                      params=freeze_params(shards=4, num_batches=21,
+                                           discard=1, batch_size=25))
+    for shard in shard_specs(parent):
+        ...                      # dispatch like any other unit
+    record = merge_shard_records(parent, shard_records)
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Dict, List, Sequence
+
+from repro.campaigns.spec import UnitSpec, freeze_params
+from repro.campaigns.store import UnitRecord
+from repro.metrics.partial import PartialStat, merge_partials
+from repro.metrics.steady_state import is_steady_partial
+
+__all__ = [
+    "SHARD_KIND",
+    "unit_shards",
+    "is_shard",
+    "shard_batch_slices",
+    "shard_specs",
+    "merge_shard_results",
+    "merge_shard_records",
+    "run_sharded_traffic_unit",
+]
+
+#: Unit kind of a shard (registered in :mod:`repro.campaigns.units`).
+SHARD_KIND = "traffic-shard"
+
+#: Parent kinds that know how to shard.
+SHARDABLE_KINDS = ("traffic",)
+
+
+def unit_shards(spec: UnitSpec) -> int:
+    """The unit's declared shard count, validated (1 = unsharded)."""
+    shards = spec.shards
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    return shards
+
+
+def is_shard(spec: UnitSpec) -> bool:
+    """True when ``spec`` is a shard of some parent unit."""
+    return spec.kind == SHARD_KIND
+
+
+def shard_batch_slices(
+    num_batches: int, discard: int, shards: int
+) -> List[int]:
+    """Retained-batch budget per shard (largest remainders first).
+
+    The parent's ``num_batches - discard`` retained batches are split
+    as evenly as possible; every shard additionally collects (and
+    discards) its own ``discard`` warm-up batches, so the merged point
+    retains exactly as many batch means as the serial protocol —
+    the confidence interval keeps its degrees of freedom — at the
+    price of ``(shards - 1) * discard`` extra warm-up batches of
+    simulation, the usual replication overhead.
+    """
+    retained = num_batches - discard
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if retained < shards:
+        raise ValueError(
+            f"cannot split {retained} retained batches"
+            f" ({num_batches} - {discard} discard) into {shards} shards;"
+            f" use --shards <= {max(retained, 1)}"
+        )
+    base, extra = divmod(retained, shards)
+    return [base + (1 if k < extra else 0) for k in range(shards)]
+
+
+def shard_specs(parent: UnitSpec) -> List[UnitSpec]:
+    """The parent's shard units, in shard order (pure function).
+
+    Each shard spec replaces the parent's ``shards``/``num_batches``
+    parameters with its own slice (``shard`` index, slice-sized
+    ``num_batches``); everything else — algorithm, dims, load, seed,
+    batch size, caps — is inherited, so the shard's content hash is
+    derived from exactly what determines its result.
+    """
+    shards = unit_shards(parent)
+    if parent.kind not in SHARDABLE_KINDS:
+        raise ValueError(
+            f"kind {parent.kind!r} cannot shard (supported:"
+            f" {', '.join(SHARDABLE_KINDS)})"
+        )
+    if shards < 2:
+        raise ValueError(f"unit {parent.unit_hash} declares no sharding")
+    params = dict(parent.params)
+    params.pop("shards")
+    num_batches = int(params.get("num_batches", 21))
+    discard = int(params.get("discard", 1))
+    out = []
+    for k, slice_batches in enumerate(
+        shard_batch_slices(num_batches, discard, shards)
+    ):
+        shard_params = dict(params)
+        shard_params["num_batches"] = slice_batches + discard
+        shard_params["discard"] = discard
+        shard_params["shard"] = k
+        out.append(
+            replace(
+                parent, kind=SHARD_KIND, params=freeze_params(**shard_params)
+            )
+        )
+    return out
+
+
+# ----------------------------------------------------------------- reduce
+def _pooled_mean(count: int, total: float) -> Any:
+    return (total / count) if count else None
+
+
+def merge_shard_results(
+    parent: UnitSpec, results: Sequence[Dict[str, Any]]
+) -> Dict[str, Any]:
+    """Reduce shard result dicts into one parent result (deterministic).
+
+    ``results`` may arrive in any order; they are sorted by their
+    ``shard`` index.  Retained batch means concatenate in shard order
+    through the exact partial-merge algebra; bucket means, throughput
+    and counters pool from the shards' mergeable sums.  The returned
+    dict has the unsharded traffic-result schema plus ``shards`` /
+    ``batches`` bookkeeping and a pooled ``steady`` diagnostic.
+    """
+    shards = unit_shards(parent)
+    ordered = sorted(results, key=lambda r: int(r["shard"]))
+    indices = [int(r["shard"]) for r in ordered]
+    if indices != list(range(shards)):
+        raise ValueError(
+            f"cannot merge unit {parent.unit_hash}: have shards {indices},"
+            f" expected 0..{shards - 1}"
+        )
+    discard = int(parent.param("discard", 1))
+    batch_size = int(parent.param("batch_size", 25))
+
+    chunks: List[PartialStat] = []
+    offset = 0
+    for result in ordered:
+        partial = PartialStat.from_dict(result["latency_partial"])
+        retained = partial.batch_means[discard:]
+        chunks.append(
+            PartialStat.from_batch_means(
+                retained, batch_size, offset=offset * batch_size
+            )
+        )
+        offset += len(retained)
+    merged = merge_partials(chunks)
+
+    counts = {"unicast": 0, "broadcast": 0}
+    totals = {"unicast": 0.0, "broadcast": 0.0}
+    throughput_count, throughput_span = 0, 0.0
+    operations = 0
+    saturated = False
+    for result in ordered:
+        for bucket in counts:
+            counts[bucket] += int(result["bucket_counts"][bucket])
+            totals[bucket] += float(result["bucket_totals"][bucket])
+        throughput_count += int(result["throughput_count"])
+        throughput_span += float(result["throughput_span_us"])
+        operations += int(result["operations"])
+        saturated = saturated or bool(result["saturated"])
+
+    if merged.batch_means:
+        mean_latency = merged.mean_of_batches
+    else:
+        # Every shard saturated before closing a retained batch; fall
+        # back to the pooled mean of whatever operations completed
+        # (mirrors the serial protocol's saturated fallback).
+        all_count = counts["unicast"] + counts["broadcast"]
+        all_total = totals["unicast"] + totals["broadcast"]
+        mean_latency = (
+            all_total / all_count if all_count else float("nan")
+        )
+
+    if throughput_count == 0:
+        throughput = 0.0
+    elif throughput_span <= 0:
+        throughput = float("inf") if throughput_count > 1 else 0.0
+    else:
+        throughput = throughput_count / throughput_span
+
+    return {
+        "mean_latency_us": mean_latency,
+        "unicast_mean_latency_us": _pooled_mean(
+            counts["unicast"], totals["unicast"]
+        ),
+        "broadcast_mean_latency_us": _pooled_mean(
+            counts["broadcast"], totals["broadcast"]
+        ),
+        "throughput_msgs_per_us": throughput,
+        "operations": operations,
+        "saturated": saturated,
+        "shards": shards,
+        "batches": len(merged.batch_means),
+        # The paper's "results do not change with time" criterion over
+        # the pooled batch means (False also when too few batches to
+        # judge) — a per-point diagnostic for sweep reports.
+        "steady": bool(is_steady_partial(merged, window=2)),
+    }
+
+
+def merge_shard_records(
+    parent: UnitSpec, records: Sequence[UnitRecord]
+) -> UnitRecord:
+    """Wrap :func:`merge_shard_results` as the parent's stored record.
+
+    ``elapsed_s`` is the sum of the shards' measured times — the
+    parent's total simulation cost, which keeps ``fit-cost`` honest
+    about what a sharded point costs end to end.
+    """
+    result = merge_shard_results(parent, [r.result for r in records])
+    return UnitRecord(
+        unit_hash=parent.unit_hash,
+        experiment=parent.experiment,
+        spec=parent.as_dict(),
+        result=result,
+        elapsed_s=float(sum(r.elapsed_s for r in records)),
+    )
+
+
+def run_sharded_traffic_unit(parent: UnitSpec) -> Dict[str, Any]:
+    """Execute a sharded parent inline: all shards serially, then merge.
+
+    This is the *definition* of a sharded unit's result — the worker
+    pool's fan-out/merge path is an optimisation that must (and does,
+    see ``tests/test_campaign_shards.py``) reproduce it byte for byte.
+    """
+    from repro.campaigns.units import run_traffic_shard_unit
+
+    return merge_shard_results(
+        parent, [run_traffic_shard_unit(s) for s in shard_specs(parent)]
+    )

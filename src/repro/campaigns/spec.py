@@ -98,6 +98,24 @@ class UnitSpec:
         """Look up an extra parameter (absent → ``default``)."""
         return dict(self.params).get(name, default)
 
+    @property
+    def shards(self) -> int:
+        """Declared shard count (1 = the unsharded protocol).
+
+        A unit with ``shards=K > 1`` is a *parent*: it never executes
+        directly but fans out into K shard units and a deterministic
+        merge — see :mod:`repro.campaigns.shards` for the plan/reduce
+        machinery and :attr:`shard_index` for the other side of the
+        relationship.
+        """
+        return int(self.param("shards", 1))
+
+    @property
+    def shard_index(self) -> Optional[int]:
+        """This unit's shard index, or ``None`` when it is no shard."""
+        index = self.param("shard")
+        return None if index is None else int(index)
+
     def as_dict(self) -> Dict[str, Any]:
         """Canonical plain-dict form (JSON-serialisable)."""
         data: Dict[str, Any] = {

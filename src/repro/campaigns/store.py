@@ -63,7 +63,12 @@ _REQUIRED_KEYS = ("unit_hash", "experiment", "spec", "result")
 
 #: How long a claimed-but-unfinished unit stays reserved before other
 #: pools may steal it (i.e. how long a crashed worker can block a unit).
-DEFAULT_LEASE_TTL_S = 600.0
+#: Executing processes heartbeat their lease every TTL/3
+#: (:func:`repro.campaigns.pool.lease_heartbeat`), so the TTL may sit
+#: far below the longest unit's duration — it only bounds crash
+#: recovery, not unit length.  Clocks across hosts sharing a store
+#: must agree to well within TTL/3.
+DEFAULT_LEASE_TTL_S = 120.0
 
 
 @dataclass(frozen=True)

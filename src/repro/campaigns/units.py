@@ -7,7 +7,7 @@ master seed (named ``RandomStreams``), never taken from process-local
 state, so a unit computes the same record no matter which worker — or
 which resumed run — executes it.
 
-Two kinds cover all of the paper's experiments:
+Three kinds cover all of the paper's experiments:
 
 * ``"broadcast"`` — one single-source broadcast on an idle network
   (the §3.1/§3.2 protocol).  The replication index selects which of
@@ -15,7 +15,15 @@ Two kinds cover all of the paper's experiments:
   ``barrier=True`` the same source is also run under step-barrier
   semantics (the tables' second CV column).
 * ``"traffic"`` — one mixed unicast/broadcast load point (the §3.3
-  protocol, batch means and all).
+  protocol, batch means and all).  With a ``shards=K`` parameter the
+  point is *defined* as K independent replications merged by the
+  deterministic reducer in :mod:`repro.campaigns.shards`; executed
+  inline here, the pool's parallel fan-out must match it byte for
+  byte.
+* ``"traffic-shard"`` — one shard of a sharded traffic point: the
+  same simulation under the shard's ``shard{k}`` RNG namespace,
+  collecting only its slice of the batch budget and returning the
+  mergeable partial statistics the reducer consumes.
 
 Usage — registering a custom runner::
 
@@ -37,7 +45,7 @@ from typing import Any, Dict
 from repro.campaigns.pool import register_unit_runner
 from repro.campaigns.spec import UnitSpec
 
-__all__ = ["run_broadcast_unit", "run_traffic_unit"]
+__all__ = ["run_broadcast_unit", "run_traffic_unit", "run_traffic_shard_unit"]
 
 
 @register_unit_runner("broadcast")
@@ -88,9 +96,8 @@ def run_broadcast_unit(spec: UnitSpec) -> Dict[str, Any]:
     return result
 
 
-@register_unit_runner("traffic")
-def run_traffic_unit(spec: UnitSpec) -> Dict[str, Any]:
-    """One mixed-traffic load point (Figs. 3-4 protocol)."""
+def _traffic_stats(spec: UnitSpec, shard: Any = None):
+    """Run the simulation a traffic(-shard) spec describes."""
     from repro.network.topology import Mesh
     from repro.traffic.workload import MixedTrafficConfig, MixedTrafficSimulation
 
@@ -105,8 +112,25 @@ def run_traffic_unit(spec: UnitSpec) -> Dict[str, Any]:
         discard=int(spec.param("discard", 1)),
         max_sim_time_us=float(spec.param("max_sim_time_us", 2_000_000.0)),
         seed=spec.seed,
+        shard=shard,
     )
-    stats = MixedTrafficSimulation(Mesh(spec.dims), spec.algorithm, config).run()
+    return MixedTrafficSimulation(Mesh(spec.dims), spec.algorithm, config).run()
+
+
+@register_unit_runner("traffic")
+def run_traffic_unit(spec: UnitSpec) -> Dict[str, Any]:
+    """One mixed-traffic load point (Figs. 3-4 protocol).
+
+    ``shards=1`` (the default) is the original single-trajectory
+    protocol; ``shards=K`` delegates to the sharded definition — K
+    inline replications plus the deterministic reducer — which the
+    campaign pool parallelises without changing a byte.
+    """
+    from repro.campaigns.shards import run_sharded_traffic_unit, unit_shards
+
+    if unit_shards(spec) > 1:
+        return run_sharded_traffic_unit(spec)
+    stats = _traffic_stats(spec)
     return {
         "mean_latency_us": stats.mean_latency_us,
         "unicast_mean_latency_us": stats.unicast_mean_latency_us,
@@ -114,4 +138,27 @@ def run_traffic_unit(spec: UnitSpec) -> Dict[str, Any]:
         "throughput_msgs_per_us": stats.throughput_msgs_per_us,
         "operations": stats.operations_completed,
         "saturated": stats.saturated,
+    }
+
+
+@register_unit_runner("traffic-shard")
+def run_traffic_shard_unit(spec: UnitSpec) -> Dict[str, Any]:
+    """One shard of a sharded traffic point (mergeable partials)."""
+    shard = spec.param("shard")
+    if shard is None:
+        raise ValueError(f"shard unit {spec.unit_hash} has no shard index")
+    stats = _traffic_stats(spec, shard=int(shard))
+    return {
+        "shard": int(shard),
+        "latency_partial": stats.latency_partial,
+        "bucket_counts": stats.bucket_counts,
+        "bucket_totals": stats.bucket_totals,
+        "throughput_count": stats.throughput_count,
+        "throughput_span_us": stats.throughput_span_us,
+        "operations": stats.operations_completed,
+        "operations_generated": stats.operations_generated,
+        "batches_completed": stats.batches_completed,
+        "saturated": stats.saturated,
+        "sim_time_us": stats.sim_time_us,
+        "mean_latency_us": stats.mean_latency_us,
     }

@@ -15,6 +15,14 @@ skips every already-completed unit)::
     repro campaign status fig4 --scale full
     repro campaign aggregate fig4 --scale full --out fig4.csv
 
+shard the heavy traffic points themselves (each point fans out into K
+independent, mergeable sub-units, so even a single slow load point
+spreads over the worker fleet; status reports per-point shard
+progress)::
+
+    repro campaign run fig4 --scale full --shards 8 --workers 8
+    repro campaign status fig4 --scale full --shards 8
+
 or run a one-off broadcast and print its profile::
 
     repro broadcast --algo AB --dims 8x8x8 --source 3,4,5
@@ -83,6 +91,17 @@ def _add_experiment_options(
         "--scale", default="quick", choices=["smoke", "quick", "full"]
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=1,
+        metavar="K",
+        help=(
+            "split each heavy traffic point (fig3/fig4) into K mergeable"
+            " sub-units so workers can parallelise inside a point;"
+            " 1 = the original single-trajectory protocol"
+        ),
+    )
     parser.add_argument(
         "--store-backend",
         default=None,
@@ -293,23 +312,54 @@ def _campaign_caches(args, spec) -> List[CampaignStore]:
 
 
 def _campaign_status(spec, store: CampaignStore) -> str:
-    """One status line for ``spec`` in ``store``.
+    """Status line(s) for ``spec`` in ``store``.
 
     Leased-but-unfinished units (claimed by a live worker pool but not
     yet completed) are reported separately — they are in flight, not
-    done — and excluded from the pending count.
+    done — and excluded from the pending count.  Sharded units count
+    as *one* unit each; incomplete ones get their own progress line
+    (``2/4 shards, merge pending``) instead of surfacing their shards
+    as anonymous units.
     """
+    from repro.campaigns.shards import shard_specs, unit_shards
+
     wanted = set(spec.unit_hashes())
-    completed = wanted & store.completed_hashes()
-    leased = (store.leased_hashes() & wanted) - completed
-    pending = len(spec) - len(completed) - len(leased)
-    state = "complete" if pending == 0 and not leased else f"{pending} pending"
-    return (
+    stored = store.completed_hashes()
+    completed = wanted & stored
+    leased = store.leased_hashes()
+    leased_units = (leased & wanted) - completed
+    pending = len(spec) - len(completed) - len(leased_units)
+    state = (
+        "complete"
+        if pending == 0 and not leased_units
+        else f"{pending} pending"
+    )
+    lines = [
         f"campaign {spec.name} [{store.backend}]:"
         f" {len(completed)}/{len(spec)} units complete,"
-        f" {len(leased)} leased (in flight) ({state})"
+        f" {len(leased_units)} leased (in flight) ({state})"
         f" — store: {store.path}"
-    )
+    ]
+    for unit in spec.units:
+        if unit.unit_hash in completed or unit_shards(unit) < 2:
+            continue
+        plan = shard_specs(unit)
+        landed = sum(1 for shard in plan if shard.unit_hash in stored)
+        in_flight = sum(
+            1
+            for shard in plan
+            if shard.unit_hash in leased and shard.unit_hash not in stored
+        )
+        if landed == len(plan):
+            note = "merge pending"
+        else:
+            # Same convention as the campaign headline: in-flight
+            # (leased) shards are not part of the to-run count.
+            note = f"{len(plan) - landed - in_flight} to run"
+            if in_flight:
+                note += f", {in_flight} in flight"
+        lines.append(f"  {unit}: {landed}/{len(plan)} shards, {note}")
+    return "\n".join(lines)
 
 
 def _fit_cost_stores(args, spec) -> List[CampaignStore]:
@@ -361,8 +411,20 @@ def _cmd_fit_cost(args, spec) -> int:
     return 0
 
 
+def _shards_note(experiment: str, spec, shards: int) -> None:
+    """Tell the user when --shards cannot apply to this grid."""
+    if shards > 1 and not any(u.param("shards") for u in spec.units):
+        print(
+            f"note: --shards applies to traffic points; the"
+            f" {experiment} grid has none and runs unsharded"
+        )
+
+
 def _cmd_campaign(args) -> int:
-    spec = campaign_for(args.experiment, args.scale, args.seed)
+    spec = campaign_for(
+        args.experiment, args.scale, args.seed, shards=args.shards
+    )
+    _shards_note(args.experiment, spec, args.shards)
     if args.campaign_command == "fit-cost":
         return _cmd_fit_cost(args, spec)
     if args.campaign_command == "status":
@@ -400,6 +462,8 @@ def _cmd_campaign(args) -> int:
                 f"repro campaign run {args.experiment}"
                 f" --scale {args.scale} --seed {args.seed}"
             )
+            if args.shards > 1:
+                resume += f" --shards {args.shards}"
             if args.store:
                 resume += f" --store {args.store}"
             if args.store_backend:
@@ -429,15 +493,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_compare(args)
         if args.command == "campaign":
             return _cmd_campaign(args)
+        spec = campaign_for(
+            args.command, args.scale, args.seed, shards=args.shards
+        )
+        _shards_note(args.command, spec, args.shards)
         store = None
         if args.store or args.store_backend:
             backend = args.store_backend
             if args.store:
                 store = open_store(args.store, backend)
             else:
-                name = campaign_for(args.command, args.scale, args.seed).name
                 store = open_store(
-                    default_store_path(name, backend), backend
+                    default_store_path(spec.name, backend), backend
                 )
         rows, text = run_experiment(
             args.command,
@@ -446,6 +513,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             workers=args.workers,
             store=store,
             schedule=args.schedule,
+            shards=args.shards,
+            spec=spec,
         )
         print(text)
         _save(rows, getattr(args, "out", None))

@@ -192,9 +192,28 @@ def traffic_units(
     seed: int,
     *,
     broadcast_fraction: float = 0.1,
+    shards: int = 1,
 ) -> List[UnitSpec]:
-    """Declare an algorithm × load grid of mixed-traffic units."""
+    """Declare an algorithm × load grid of mixed-traffic units.
+
+    ``shards=K`` (K > 1) declares each load point as K independent
+    replications merged by the deterministic reducer of
+    :mod:`repro.campaigns.shards`; the campaign pool fans the shards
+    out across workers (and pools) and merges when the last one lands.
+    ``shards=1`` is the original single-trajectory protocol and leaves
+    every unit hash untouched.  The shard count *is* part of the
+    measurement protocol (a different, statistically equivalent
+    realisation of the point), which is why it belongs in the hashed
+    parameters.
+    """
     scale = resolve_scale(scale)
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    if shards > 1 and shards > scale.num_batches - scale.discard:
+        raise ValueError(
+            f"scale {scale.name!r} retains {scale.num_batches - scale.discard}"
+            f" batches; use --shards <= that (got {shards})"
+        )
     loads = list(loads)
     units: List[UnitSpec] = []
     for algorithm in algorithms:
@@ -214,6 +233,7 @@ def traffic_units(
                         num_batches=scale.num_batches,
                         discard=scale.discard,
                         max_sim_time_us=scale.max_sim_time_us,
+                        shards=shards if shards > 1 else None,
                     ),
                 )
             )

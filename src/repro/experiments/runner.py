@@ -38,20 +38,39 @@ __all__ = [
     "run_experiment",
 ]
 
-CampaignBuilder = Callable[[str, int], CampaignSpec]
+CampaignBuilder = Callable[..., CampaignSpec]
 
-#: Experiment id → campaign builder (scale, seed) -> CampaignSpec.
+#: Experiment id → campaign builder (scale, seed, shards=1) ->
+#: CampaignSpec.  ``shards`` reaches only the traffic grids: broadcast
+#: grids already shard at replication granularity (one unit per random
+#: source), so there is nothing further to split.
 CAMPAIGNS: Dict[str, CampaignBuilder] = {
-    "fig1": fig1_campaign,
-    "fig2": fig2_campaign,
-    "table1": lambda scale, seed: cv_table_campaign("DB", scale, seed),
-    "table2": lambda scale, seed: cv_table_campaign("AB", scale, seed),
-    "fig3": lambda scale, seed: traffic_campaign("fig3", scale, seed),
-    "fig4": lambda scale, seed: traffic_campaign("fig4", scale, seed),
-    "ablation-startup": startup_ablation_campaign,
-    "ablation-length": length_ablation_campaign,
-    "ablation-maxdest": maxdest_ablation_campaign,
-    "ablation-ports": ports_ablation_campaign,
+    "fig1": lambda scale, seed, shards=1: fig1_campaign(scale, seed),
+    "fig2": lambda scale, seed, shards=1: fig2_campaign(scale, seed),
+    "table1": lambda scale, seed, shards=1: cv_table_campaign(
+        "DB", scale, seed
+    ),
+    "table2": lambda scale, seed, shards=1: cv_table_campaign(
+        "AB", scale, seed
+    ),
+    "fig3": lambda scale, seed, shards=1: traffic_campaign(
+        "fig3", scale, seed, shards=shards
+    ),
+    "fig4": lambda scale, seed, shards=1: traffic_campaign(
+        "fig4", scale, seed, shards=shards
+    ),
+    "ablation-startup": lambda scale, seed, shards=1: (
+        startup_ablation_campaign(scale, seed)
+    ),
+    "ablation-length": lambda scale, seed, shards=1: (
+        length_ablation_campaign(scale, seed)
+    ),
+    "ablation-maxdest": lambda scale, seed, shards=1: (
+        maxdest_ablation_campaign(scale, seed)
+    ),
+    "ablation-ports": lambda scale, seed, shards=1: (
+        ports_ablation_campaign(scale, seed)
+    ),
 }
 
 #: Experiment id → row formatter.
@@ -85,9 +104,13 @@ EXPERIMENTS: Dict[str, str] = {
 
 
 def campaign_for(
-    experiment_id: str, scale: str = "quick", seed: int = 0
+    experiment_id: str, scale: str = "quick", seed: int = 0, shards: int = 1
 ) -> CampaignSpec:
-    """Declare (without running) an experiment's campaign."""
+    """Declare (without running) an experiment's campaign.
+
+    ``shards`` splits each heavy traffic point into that many
+    mergeable sub-units (fig3/fig4 only; other grids ignore it).
+    """
     experiment_id = experiment_id.lower()
     try:
         builder = CAMPAIGNS[experiment_id]
@@ -96,7 +119,7 @@ def campaign_for(
             f"unknown experiment {experiment_id!r};"
             f" choose from {sorted(CAMPAIGNS)}"
         ) from None
-    return builder(scale, seed)
+    return builder(scale, seed, shards=shards)
 
 
 def run_experiment(
@@ -108,10 +131,18 @@ def run_experiment(
     progress: Optional[ProgressFn] = None,
     schedule: str = "fifo",
     cache: Sequence[CampaignStore] = (),
+    shards: int = 1,
+    spec: Optional[CampaignSpec] = None,
 ) -> Tuple[List[Any], str]:
-    """Regenerate one table/figure; returns (rows, rendered text)."""
+    """Regenerate one table/figure; returns (rows, rendered text).
+
+    ``spec`` lets a caller that already declared the campaign (e.g.
+    the CLI, which needs it for store naming and advisories) pass it
+    through instead of rebuilding the grid.
+    """
     experiment_id = experiment_id.lower()
-    spec = campaign_for(experiment_id, scale, seed)
+    if spec is None:
+        spec = campaign_for(experiment_id, scale, seed, shards=shards)
     rows = run_units(
         experiment_id,
         spec,

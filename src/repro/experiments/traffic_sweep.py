@@ -62,8 +62,15 @@ def traffic_campaign(
     seed: int = 0,
     loads: Optional[List[float]] = None,
     algorithms: Optional[List[str]] = None,
+    shards: int = 1,
 ) -> CampaignSpec:
-    """Declare the algorithm × load unit grid of Fig. 3 or Fig. 4."""
+    """Declare the algorithm × load unit grid of Fig. 3 or Fig. 4.
+
+    ``shards=K`` declares every load point as K mergeable sub-unit
+    replications (see :mod:`repro.campaigns.shards`), letting a worker
+    fleet parallelise *inside* the heavy points instead of waiting on
+    the slowest one.
+    """
     figure = figure.lower()
     if figure == "fig3":
         dims, default_loads = FIG3_DIMS, FIG3_LOADS
@@ -82,6 +89,7 @@ def traffic_campaign(
         scale,
         seed,
         broadcast_fraction=BROADCAST_FRACTION,
+        shards=shards,
     )
     return campaign(figure, units, scale, seed)
 
@@ -96,9 +104,10 @@ def run_traffic_sweep(
     workers: int = 1,
     store: Optional[CampaignStore] = None,
     schedule: str = "fifo",
+    shards: int = 1,
 ) -> List[TrafficSweepRow]:
     """Regenerate the Fig. 3 (8×8×8) or Fig. 4 (16×16×8) curves."""
-    spec = traffic_campaign(figure, scale, seed, loads, algorithms)
+    spec = traffic_campaign(figure, scale, seed, loads, algorithms, shards)
     return run_units(
         figure.lower(), spec, workers=workers, store=store, schedule=schedule
     )

@@ -14,14 +14,28 @@ from repro.metrics.stats import (
     improvement_percent,
     summarize,
 )
-from repro.metrics.confidence import ConfidenceInterval, t_confidence_interval
-from repro.metrics.batch_means import BatchMeans, BatchMeansResult
+from repro.metrics.confidence import (
+    ConfidenceInterval,
+    interval_from_partial,
+    t_confidence_interval,
+)
+from repro.metrics.batch_means import (
+    BatchMeans,
+    BatchMeansResult,
+    result_from_partial,
+)
 from repro.metrics.collectors import (
     BroadcastStatsCollector,
     LatencyCollector,
     ThroughputCollector,
 )
-from repro.metrics.steady_state import is_steady, mser_truncation, truncate_warmup
+from repro.metrics.partial import PartialStat, merge_partials, split_observations
+from repro.metrics.steady_state import (
+    is_steady,
+    is_steady_partial,
+    mser_truncation,
+    truncate_warmup,
+)
 
 __all__ = [
     "BatchMeans",
@@ -29,12 +43,18 @@ __all__ = [
     "BroadcastStatsCollector",
     "ConfidenceInterval",
     "LatencyCollector",
+    "PartialStat",
     "SummaryStats",
     "ThroughputCollector",
     "coefficient_of_variation",
     "improvement_percent",
+    "interval_from_partial",
     "is_steady",
+    "is_steady_partial",
+    "merge_partials",
     "mser_truncation",
+    "result_from_partial",
+    "split_observations",
     "summarize",
     "truncate_warmup",
     "t_confidence_interval",

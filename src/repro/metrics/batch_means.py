@@ -11,6 +11,14 @@ are grouped into fixed-size batches, the first ``discard`` batch means
 are dropped as warm-up, and the remaining batch means give the point
 estimate and its confidence interval (batch means are approximately
 independent, making the t interval valid for steady-state output).
+
+The estimator is built on the mergeable
+:class:`~repro.metrics.partial.PartialStat` algebra: :meth:`BatchMeans.
+partial` exports the collected state as a serialisable chunk summary,
+and :func:`result_from_partial` turns any (possibly merged) partial
+back into a :class:`BatchMeansResult` — the route the sharded campaign
+units take, with ``merge(split(run)) == run`` guaranteed exactly (see
+:mod:`repro.metrics.partial`).
 """
 
 from __future__ import annotations
@@ -20,9 +28,10 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.metrics.confidence import ConfidenceInterval, t_confidence_interval
+from repro.metrics.confidence import ConfidenceInterval, interval_from_partial
+from repro.metrics.partial import PartialStat, _batch_mean
 
-__all__ = ["BatchMeans", "BatchMeansResult"]
+__all__ = ["BatchMeans", "BatchMeansResult", "result_from_partial"]
 
 #: The paper's protocol: 21 batches collected, the first discarded.
 PAPER_BATCHES = 21
@@ -46,6 +55,40 @@ class BatchMeansResult:
     @property
     def num_batches(self) -> int:
         return len(self.batch_means)
+
+
+def result_from_partial(
+    stat: PartialStat,
+    discard: int = PAPER_DISCARD,
+    confidence: float = 0.95,
+) -> BatchMeansResult:
+    """Estimate from a (possibly merged) partial's batch means.
+
+    The partial must describe a whole measurement stream (offset 0 —
+    a chunk that starts mid-stream has no well-defined warm-up to
+    discard).  Incomplete ``tail`` observations are ignored, exactly
+    as :class:`BatchMeans` ignores an unfinished batch.
+    """
+    if stat.offset != 0:
+        raise ValueError(
+            f"result needs a whole stream (offset 0), got offset {stat.offset}"
+        )
+    retained = stat.batch_means[discard:]
+    if not retained:
+        raise ValueError(
+            f"no retained batches: collected {len(stat.batch_means)},"
+            f" discard {discard}"
+        )
+    interval = (
+        interval_from_partial(stat, confidence, discard)
+        if len(retained) >= 2
+        else None
+    )
+    return BatchMeansResult(
+        batch_means=tuple(retained),
+        discarded=min(discard, len(stat.batch_means)),
+        interval=interval,
+    )
 
 
 class BatchMeans:
@@ -82,6 +125,7 @@ class BatchMeans:
         self.confidence = confidence
         self._current: List[float] = []
         self._means: List[float] = []
+        self._total = 0.0
 
     # -- streaming ---------------------------------------------------------
     def add(self, value: float) -> None:
@@ -89,8 +133,9 @@ class BatchMeans:
         if self.complete:
             return
         self._current.append(float(value))
+        self._total += float(value)
         if len(self._current) == self.batch_size:
-            self._means.append(float(np.mean(self._current)))
+            self._means.append(_batch_mean(self._current))
             self._current.clear()
 
     def extend(self, values: Sequence[float]) -> None:
@@ -114,23 +159,31 @@ class BatchMeans:
         return len(self._means) >= self.num_batches
 
     # -- results -----------------------------------------------------------
+    def partial(self) -> PartialStat:
+        """The collected state as a mergeable, serialisable partial.
+
+        Contains every closed batch plus the raw observations of the
+        unfinished one, so shards can export their contribution and a
+        reducer can stitch shards back together exactly.  ``total``
+        is the estimator's sequential running sum — deterministic for
+        a given stream, but (like every ``PartialStat`` total, see
+        :mod:`repro.metrics.partial`) outside the bit-exactness
+        contract, which covers the batching fields.
+        """
+        return PartialStat(
+            batch_size=self.batch_size,
+            offset=0,
+            count=self.batch_size * len(self._means) + len(self._current),
+            total=self._total,
+            head=(),
+            batch_means=tuple(self._means),
+            tail=tuple(self._current),
+        )
+
     def result(self) -> BatchMeansResult:
         """Estimate from the retained batches (requires ≥ 1 retained)."""
-        retained = self._means[self.discard :]
-        if not retained:
-            raise ValueError(
-                f"no retained batches: collected {len(self._means)},"
-                f" discard {self.discard}"
-            )
-        interval = (
-            t_confidence_interval(retained, self.confidence)
-            if len(retained) >= 2
-            else None
-        )
-        return BatchMeansResult(
-            batch_means=tuple(retained),
-            discarded=min(self.discard, len(self._means)),
-            interval=interval,
+        return result_from_partial(
+            self.partial(), discard=self.discard, confidence=self.confidence
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -77,19 +77,30 @@ class ThroughputCollector:
     def count(self) -> int:
         return self._count
 
+    def window(self, horizon: Optional[float] = None) -> tuple:
+        """``(count, span)`` — the mergeable form of :meth:`throughput`.
+
+        Shard reducers sum counts and spans across shards and divide
+        once, which reproduces ``throughput()`` exactly for a single
+        collector (same numerator, same denominator).
+        """
+        if self._count == 0:
+            return 0, 0.0
+        start = self._first or 0.0
+        end = self._last if horizon is None else horizon
+        return self._count, (end or 0.0) - start
+
     def throughput(self, horizon: Optional[float] = None) -> float:
         """Deliveries per time unit over the observation span.
 
         ``horizon`` overrides the span end (e.g. total simulated time).
         """
-        if self._count == 0:
+        count, span = self.window(horizon)
+        if count == 0:
             return 0.0
-        start = self._first or 0.0
-        end = self._last if horizon is None else horizon
-        span = (end or 0.0) - start
         if span <= 0:
-            return float("inf") if self._count > 1 else 0.0
-        return self._count / span
+            return float("inf") if count > 1 else 0.0
+        return count / span
 
     def clear(self) -> None:
         self._count = 0

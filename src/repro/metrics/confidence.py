@@ -16,7 +16,12 @@ from typing import Sequence
 
 import numpy as np
 
-__all__ = ["ConfidenceInterval", "t_confidence_interval", "t_quantile"]
+__all__ = [
+    "ConfidenceInterval",
+    "interval_from_partial",
+    "t_confidence_interval",
+    "t_quantile",
+]
 
 
 def _log_beta(a: float, b: float) -> float:
@@ -133,6 +138,23 @@ class ConfidenceInterval:
             f"{self.mean:.4g} ± {self.half_width:.4g}"
             f" ({self.level:.0%}, n={self.count})"
         )
+
+
+def interval_from_partial(
+    stat, level: float = 0.95, discard: int = 0
+) -> ConfidenceInterval:
+    """Student-t CI over a (possibly merged) partial's batch means.
+
+    How every batch-means interval is computed (``BatchMeans.result``
+    routes through here via ``result_from_partial``): ``stat`` is a
+    :class:`~repro.metrics.partial.PartialStat` whose ``batch_means``
+    carry the pooled batches; the first ``discard`` are dropped as
+    warm-up.  Computes through :func:`t_confidence_interval` on the
+    retained means, so a merged stream yields the same interval as the
+    serial stream it was split from.
+    """
+    retained = stat.batch_means[discard:]
+    return t_confidence_interval(retained, level)
 
 
 def t_confidence_interval(

@@ -1,0 +1,305 @@
+"""Mergeable partial statistics — the algebra behind sharded units.
+
+A :class:`PartialStat` summarises one *contiguous chunk* of an
+observation stream in a form that can be serialised, shipped between
+processes, and merged back together **exactly**: for any way of
+cutting a stream into chunks,
+
+    ``merge_partials(split(stream)) == partial(stream)``
+
+bit for bit, because every batch mean is computed from the same floats
+in the same order whether the batch was closed inside one chunk or
+stitched across a chunk boundary.  That identity is what lets a heavy
+batch-means simulation point fan out into shards whose merged result
+is byte-identical to running the shards serially in one process (see
+:mod:`repro.campaigns.shards`).
+
+The representation keeps raw observations only where batching needs
+them — the ``head`` before the chunk's first global batch boundary and
+the ``tail`` after its last complete batch — and compresses everything
+between into ``batch_means``.  Merging is *order-independent*: chunks
+may arrive in any order (e.g. from a worker pool) and are re-ordered
+by their stream ``offset`` before stitching.
+
+Usage::
+
+    a = PartialStat.from_observations(xs[:7],  batch_size=5, offset=0)
+    b = PartialStat.from_observations(xs[7:], batch_size=5, offset=7)
+    merged = merge_partials([b, a])            # any order
+    merged == PartialStat.from_observations(xs, batch_size=5)  # True
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["PartialStat", "merge_partials", "split_observations"]
+
+
+def _batch_mean(values: Sequence[float]) -> float:
+    # The one batch-mean kernel shared by streaming collection
+    # (BatchMeans.add) and merge stitching: identical floats in
+    # identical order produce the identical mean.
+    return float(np.mean(values))
+
+
+@dataclass(frozen=True)
+class PartialStat:
+    """Order-independent summary of one contiguous observation chunk.
+
+    Parameters
+    ----------
+    batch_size:
+        Width of the global batching grid (observations per batch).
+    offset:
+        Global index of the chunk's first observation.  Batch
+        boundaries are the multiples of ``batch_size`` on this global
+        axis, so alignment survives splitting.
+    count / total:
+        Observation count and sum — the mergeable sums used for
+        pooled means.  ``total`` is a *deterministic* reduction (the
+        same chunks always merge to the same value) but, unlike
+        ``batch_means``/``head``/``tail``, it is not bit-identical
+        across different chunkings: a sum of correctly-rounded chunk
+        sums may differ in the last ulps from the unsplit stream's
+        sum.  The exactness contract covers the batching fields;
+        consumers needing exact pooled sums track them per chunk
+        (as the traffic shards do for their latency buckets).
+    head:
+        Raw observations before the chunk's first global batch
+        boundary (they complete a batch begun in the preceding chunk).
+    batch_means:
+        Means of the complete, boundary-aligned batches inside the
+        chunk.
+    tail:
+        Raw observations after the last complete batch.
+    """
+
+    batch_size: int
+    offset: int = 0
+    count: int = 0
+    total: float = 0.0
+    head: Tuple[float, ...] = ()
+    batch_means: Tuple[float, ...] = ()
+    tail: Tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.offset < 0:
+            raise ValueError("offset must be >= 0")
+        recon = (
+            len(self.head)
+            + self.batch_size * len(self.batch_means)
+            + len(self.tail)
+        )
+        if recon != self.count:
+            raise ValueError(
+                f"inconsistent partial: head/batches/tail describe {recon}"
+                f" observations, count says {self.count}"
+            )
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def from_observations(
+        cls,
+        values: Iterable[float],
+        batch_size: int,
+        offset: int = 0,
+    ) -> "PartialStat":
+        """Summarise one contiguous chunk starting at ``offset``."""
+        xs = [float(v) for v in values]
+        boundary = (-offset) % batch_size
+        head = tuple(xs[:boundary])
+        rest = xs[boundary:]
+        n_full = len(rest) // batch_size
+        means = tuple(
+            _batch_mean(rest[i * batch_size : (i + 1) * batch_size])
+            for i in range(n_full)
+        )
+        return cls(
+            batch_size=batch_size,
+            offset=offset,
+            count=len(xs),
+            total=math.fsum(xs),
+            head=head,
+            batch_means=means,
+            tail=tuple(rest[n_full * batch_size :]),
+        )
+
+    @classmethod
+    def from_batch_means(
+        cls,
+        means: Sequence[float],
+        batch_size: int,
+        offset: int = 0,
+        total: Optional[float] = None,
+    ) -> "PartialStat":
+        """Wrap already-closed batches (``offset`` must be aligned).
+
+        When the raw observation sum is no longer available, ``total``
+        is reconstructed from the means (``batch_size × Σmeans``) —
+        the best derivation the compressed form admits.
+        """
+        if offset % batch_size:
+            raise ValueError(
+                f"offset {offset} is not aligned to batch_size {batch_size}"
+            )
+        means = tuple(float(m) for m in means)
+        if total is None:
+            total = batch_size * math.fsum(means)
+        return cls(
+            batch_size=batch_size,
+            offset=offset,
+            count=batch_size * len(means),
+            total=float(total),
+            batch_means=means,
+        )
+
+    # -- views -------------------------------------------------------------
+    @property
+    def end(self) -> int:
+        """Global index one past the chunk's last observation."""
+        return self.offset + self.count
+
+    @property
+    def mean(self) -> float:
+        """Pooled mean of every observation in the chunk."""
+        if not self.count:
+            raise ValueError("empty partial has no mean")
+        return self.total / self.count
+
+    @property
+    def mean_of_batches(self) -> float:
+        """Mean of the closed batch means (the batch-means estimate).
+
+        Computed exactly as :attr:`BatchMeansResult.mean` computes it,
+        so a merged partial reports the same point estimate as the
+        serial estimator it reassembles.
+        """
+        if not self.batch_means:
+            raise ValueError("no closed batches")
+        return float(np.mean(self.batch_means))
+
+    # -- serialisation -----------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain JSON-serialisable form (inverse: :meth:`from_dict`)."""
+        return {
+            "batch_size": self.batch_size,
+            "offset": self.offset,
+            "count": self.count,
+            "total": self.total,
+            "head": list(self.head),
+            "batch_means": list(self.batch_means),
+            "tail": list(self.tail),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "PartialStat":
+        return cls(
+            batch_size=int(data["batch_size"]),
+            offset=int(data["offset"]),
+            count=int(data["count"]),
+            total=float(data["total"]),
+            head=tuple(float(v) for v in data.get("head", ())),
+            batch_means=tuple(float(v) for v in data.get("batch_means", ())),
+            tail=tuple(float(v) for v in data.get("tail", ())),
+        )
+
+
+def merge_partials(partials: Iterable[PartialStat]) -> PartialStat:
+    """Stitch contiguous chunks back into one exact summary.
+
+    Chunks may be given in any order; they are sorted by ``offset``
+    and must tile the stream without gaps or overlaps.  Batch means
+    that straddle a chunk boundary are recomputed from the stored raw
+    ``tail``/``head`` observations — the same floats in the same order
+    the unsplit stream would have batched — so the merge reproduces
+    the serial :class:`PartialStat` exactly.
+    """
+    parts = sorted(partials, key=lambda p: p.offset)
+    if not parts:
+        raise ValueError("nothing to merge")
+    batch_size = parts[0].batch_size
+    if any(p.batch_size != batch_size for p in parts):
+        raise ValueError("cannot merge partials with differing batch_size")
+    start = parts[0].offset
+    # Empty chunks (a split may cut twice at the same index) carry no
+    # observations and would only confuse the contiguity check.
+    parts = [p for p in parts if p.count] or parts[:1]
+    head_limit = start + ((-start) % batch_size)
+
+    merged_head: List[float] = []
+    means: List[float] = []
+    pending: List[float] = []
+    pos = start
+
+    def feed(value: float) -> None:
+        nonlocal pos
+        if pos < head_limit:
+            merged_head.append(value)
+        else:
+            pending.append(value)
+            if len(pending) == batch_size:
+                means.append(_batch_mean(pending))
+                pending.clear()
+        pos += 1
+
+    for part in parts:
+        if part.offset != pos:
+            kind = "overlapping" if part.offset < pos else "gapped"
+            raise ValueError(
+                f"{kind} partials: expected offset {pos}, got {part.offset}"
+            )
+        for value in part.head:
+            feed(value)
+        if part.batch_means:
+            if pos % batch_size or pending:
+                # from_observations can never produce this; it means a
+                # hand-built partial mislabelled its alignment.
+                raise ValueError(
+                    f"partial at offset {part.offset} has batch means that"
+                    f" do not start on a batch boundary"
+                )
+            means.extend(part.batch_means)
+            pos += batch_size * len(part.batch_means)
+        for value in part.tail:
+            feed(value)
+
+    return PartialStat(
+        batch_size=batch_size,
+        offset=start,
+        count=pos - start,
+        total=math.fsum(p.total for p in parts),
+        head=tuple(merged_head),
+        batch_means=tuple(means),
+        tail=tuple(pending),
+    )
+
+
+def split_observations(
+    values: Sequence[float],
+    batch_size: int,
+    cuts: Sequence[int],
+    offset: int = 0,
+) -> List[PartialStat]:
+    """Cut a stream at ``cuts`` (relative indices) into partials.
+
+    Convenience for tests and shard planning: the returned chunks
+    tile ``values`` and merge back to ``from_observations(values)``.
+    """
+    bounds = [0, *sorted(cuts), len(values)]
+    out = []
+    for lo, hi in zip(bounds, bounds[1:]):
+        if not 0 <= lo <= hi <= len(values):
+            raise ValueError(f"cut out of range: {lo}..{hi}")
+        out.append(
+            PartialStat.from_observations(
+                values[lo:hi], batch_size, offset=offset + lo
+            )
+        )
+    return out

@@ -20,7 +20,12 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["mser_truncation", "is_steady", "truncate_warmup"]
+__all__ = [
+    "mser_truncation",
+    "is_steady",
+    "is_steady_partial",
+    "truncate_warmup",
+]
 
 
 def mser_truncation(
@@ -87,6 +92,20 @@ def is_steady(
     previous = float(arr[-2 * window : -window].mean())
     scale = max(abs(previous), abs(recent), 1e-300)
     return abs(recent - previous) / scale <= tolerance
+
+
+def is_steady_partial(
+    stat, window: int = 2, tolerance: float = 0.05, discard: int = 0
+) -> bool:
+    """Steadiness of a (possibly merged) partial's batch means.
+
+    Applies :func:`is_steady` to the retained batch means of a
+    :class:`~repro.metrics.partial.PartialStat` — the natural
+    steady-state check for a sharded batch-means run, where raw
+    observations are no longer available after the merge.  The default
+    window is two batches (batch means are already heavily smoothed).
+    """
+    return is_steady(stat.batch_means[discard:], window=window, tolerance=tolerance)
 
 
 def truncate_warmup(

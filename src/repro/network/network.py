@@ -92,11 +92,17 @@ class NetworkSimulator:
         topology: Topology,
         config: Optional[NetworkConfig] = None,
         seed: Optional[int] = 0,
+        rng_namespace: str = "",
     ):
         self.topology = topology
         self.config = config or NetworkConfig()
         self.env = Environment()
-        self.random = RandomStreams(seed)
+        # The namespace scopes every stream drawn through this network
+        # (traffic generators, routing tie-breaks, fault injection) to
+        # e.g. one shard of a sharded unit; "" is the root namespace
+        # and leaves stream names — and therefore all draws — exactly
+        # as an un-namespaced simulator would make them.
+        self.random = RandomStreams(seed, namespace=rng_namespace)
         timing = self.config.timing
         self.nodes: Dict[Coordinate, Node] = {
             coord: Node(self.env, coord, ports=self.config.ports_per_node)

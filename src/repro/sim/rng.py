@@ -9,6 +9,16 @@ seed using ``SeedSequence.spawn``-style key derivation, so
 
 * the same master seed always reproduces the same experiment, and
 * adding draws to one stream never changes another stream's sequence.
+
+Streams can additionally be *namespaced*: ``streams.namespaced("shard3")``
+returns a view whose stream names are transparently prefixed with
+``"shard3/"``, giving a whole family of substreams that is a pure
+function of ``(master seed, namespace)`` and statistically independent
+of every other namespace (and of the root namespace).  Sharded
+simulation units use one namespace per shard, so shard ``k`` draws the
+same numbers no matter which worker — or how many sibling shards —
+exist.  The empty namespace is the root: a namespaced view with
+``prefix == ""`` is draw-for-draw identical to the plain streams.
 """
 
 from __future__ import annotations
@@ -43,13 +53,30 @@ class RandomStreams:
     True
     """
 
-    def __init__(self, seed: Optional[int] = 0):
+    def __init__(self, seed: Optional[int] = 0, namespace: str = ""):
         self._root = np.random.SeedSequence(seed)
         self.seed = seed
+        self.namespace = namespace
         self._streams: Dict[str, np.random.Generator] = {}
+
+    def namespaced(self, prefix: str) -> "RandomStreams":
+        """A view of the same master seed under ``<prefix>/`` names.
+
+        ``streams.namespaced("shard3")["traffic"]`` is exactly
+        ``streams["shard3/traffic"]`` — an independent stream that is a
+        pure function of ``(seed, "shard3/traffic")``.  Views do not
+        share generator instances with the parent, so draws through a
+        view never perturb the parent's streams.
+        """
+        if not prefix:
+            return RandomStreams(self.seed, namespace=self.namespace)
+        return RandomStreams(
+            self.seed, namespace=f"{self.namespace}{prefix}/"
+        )
 
     def __getitem__(self, name: str) -> np.random.Generator:
         """Return (creating on first use) the stream called ``name``."""
+        name = self.namespace + name
         gen = self._streams.get(name)
         if gen is None:
             # Derive a child seed from the master seed and the stream

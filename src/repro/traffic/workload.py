@@ -21,6 +21,7 @@ define the knee went uncounted.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -67,6 +68,14 @@ class MixedTrafficConfig:
         drain; the run then reports what completed).
     seed:
         Master seed for all randomness.
+    shard:
+        ``None`` (the default) draws from the master seed's root
+        streams — bit-for-bit today's serial protocol.  An integer
+        ``k`` scopes *every* stream to the ``shard{k}`` namespace, so
+        the run is an independent replication that is a pure function
+        of ``(config minus shard, k)`` — the per-replica substream
+        trick that makes sharded units deterministic (see
+        :mod:`repro.campaigns.shards`).
     """
 
     load_messages_per_ms: float
@@ -77,6 +86,7 @@ class MixedTrafficConfig:
     discard: int = 1
     max_sim_time_us: float = 2_000_000.0
     seed: int = 0
+    shard: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.load_messages_per_ms <= 0:
@@ -85,6 +95,13 @@ class MixedTrafficConfig:
             raise ValueError("broadcast_fraction must be in [0, 1]")
         if self.message_length_flits < 1:
             raise ValueError("message_length_flits must be >= 1")
+        if self.shard is not None and self.shard < 0:
+            raise ValueError("shard index must be >= 0")
+
+    @property
+    def rng_namespace(self) -> str:
+        """Stream-name prefix implementing the shard substream."""
+        return "" if self.shard is None else f"shard{self.shard}/"
 
     @property
     def target_operations(self) -> int:
@@ -94,7 +111,15 @@ class MixedTrafficConfig:
 
 @dataclass
 class TrafficStats:
-    """Results of one traffic simulation point."""
+    """Results of one traffic simulation point.
+
+    Besides the reported summary figures, the stats carry their own
+    *mergeable decomposition* — the generation-order latency stream as
+    a :class:`~repro.metrics.partial.PartialStat`, per-bucket latency
+    sums, and the throughput window — so a sharded campaign can store
+    each shard's contribution and reduce shards into one point without
+    access to the raw simulation.
+    """
 
     load_messages_per_ms: float
     mean_latency_us: float
@@ -106,6 +131,17 @@ class TrafficStats:
     batches_completed: int
     saturated: bool
     extras: Dict[str, float] = field(default_factory=dict)
+    #: simulated time at the end of the run (µs).
+    sim_time_us: float = 0.0
+    #: generation-order latency stream (PartialStat.to_dict form).
+    latency_partial: Optional[Dict] = None
+    #: per-bucket observation counts / latency sums (mergeable form of
+    #: the bucket means).
+    bucket_counts: Dict[str, int] = field(default_factory=dict)
+    bucket_totals: Dict[str, float] = field(default_factory=dict)
+    #: mergeable form of ``throughput_msgs_per_us`` (count over span).
+    throughput_count: int = 0
+    throughput_span_us: float = 0.0
 
 
 class MixedTrafficSimulation:
@@ -143,7 +179,10 @@ class MixedTrafficSimulation:
             ports_per_node=algorithm_cls.ports_required
         )
         self.network = NetworkSimulator(
-            topology, self.network_config, seed=config.seed
+            topology,
+            self.network_config,
+            seed=config.seed,
+            rng_namespace=config.rng_namespace,
         )
         self.algorithm: BroadcastAlgorithm = algorithm_cls(topology)
         self.pattern = pattern or UniformPattern(topology)
@@ -272,6 +311,7 @@ class MixedTrafficSimulation:
             mean_latency = (
                 self.latencies.summary("all").mean if completed else float("nan")
             )
+        throughput_count, throughput_span = self.throughput.window(env.now)
         return TrafficStats(
             load_messages_per_ms=self.config.load_messages_per_ms,
             mean_latency_us=mean_latency,
@@ -282,4 +322,16 @@ class MixedTrafficSimulation:
             operations_generated=self._generated,
             batches_completed=batches.batches_collected,
             saturated=saturated,
+            sim_time_us=float(env.now),
+            latency_partial=batches.partial().to_dict(),
+            bucket_counts={
+                bucket: self.latencies.count(bucket)
+                for bucket in ("unicast", "broadcast")
+            },
+            bucket_totals={
+                bucket: math.fsum(self.latencies.values(bucket))
+                for bucket in ("unicast", "broadcast")
+            },
+            throughput_count=throughput_count,
+            throughput_span_us=throughput_span,
         )

@@ -1,0 +1,225 @@
+"""Sharded simulation units: planning, merge determinism, heartbeats.
+
+The contract under test (see `repro/campaigns/shards.py`):
+
+* shard planning is a pure function of the parent spec — stable
+  content-hashed shard ids, slices that conserve the retained batch
+  budget;
+* however the shards are executed — inline, worker pool, resumed from
+  a store, split across pools — the merged parent record is byte
+  identical;
+* ``shards=1`` touches nothing: hashes and results are the unsharded
+  protocol's;
+* the lease heartbeat keeps a long unit's lease alive under a TTL far
+  shorter than the unit.
+"""
+
+import time
+
+import pytest
+
+from repro.campaigns import (
+    CampaignSpec,
+    SqliteStore,
+    UnitSpec,
+    execute_unit,
+    freeze_params,
+    merge_shard_records,
+    run_campaign,
+    shard_specs,
+    unit_shards,
+)
+from repro.campaigns.pool import estimate_unit_cost, lease_heartbeat
+from repro.campaigns.shards import SHARD_KIND, shard_batch_slices
+from repro.campaigns.store import JsonlStore
+from repro.cli import main
+from repro.experiments.traffic_sweep import run_traffic_sweep, traffic_campaign
+
+
+def traffic_parent(shards=4, **overrides):
+    params = dict(
+        broadcast_fraction=0.1,
+        batch_size=8,
+        num_batches=5,
+        discard=1,
+        max_sim_time_us=30_000.0,
+        shards=shards if shards > 1 else None,
+    )
+    params.update(overrides.pop("params", {}))
+    fields = dict(
+        experiment="fig3",
+        kind="traffic",
+        algorithm="DB",
+        dims=(4, 4, 4),
+        length_flits=32,
+        seed=0,
+        load=2.0,
+        params=freeze_params(**params),
+    )
+    fields.update(overrides)
+    return UnitSpec(**fields)
+
+
+# ------------------------------------------------------------- planning
+def test_shard_slices_conserve_retained_budget():
+    assert shard_batch_slices(21, 1, 4) == [5, 5, 5, 5]
+    assert shard_batch_slices(21, 1, 3) == [7, 7, 6]
+    assert shard_batch_slices(5, 1, 4) == [1, 1, 1, 1]
+    for num_batches, discard, shards in [(21, 1, 4), (21, 1, 20), (9, 2, 3)]:
+        assert sum(shard_batch_slices(num_batches, discard, shards)) == (
+            num_batches - discard
+        )
+    with pytest.raises(ValueError, match="--shards"):
+        shard_batch_slices(5, 1, 5)
+
+
+def test_shard_specs_are_stable_pure_functions():
+    parent = traffic_parent(shards=4)
+    plan_a, plan_b = shard_specs(parent), shard_specs(parent)
+    assert [s.unit_hash for s in plan_a] == [s.unit_hash for s in plan_b]
+    assert len(plan_a) == 4
+    for k, shard in enumerate(plan_a):
+        assert shard.kind == SHARD_KIND
+        assert shard.shard_index == k
+        assert shard.param("shards") is None  # sibling count not hashed
+        assert shard.param("num_batches") == 1 + 1  # slice + own discard
+    assert len({s.unit_hash for s in plan_a}) == 4
+
+
+def test_overlapping_decompositions_share_shard_hashes():
+    # 21 batches split 4 ways and 11 batches split 2 ways both give
+    # shards with a 5-batch retained slice — the same simulation, so
+    # the same content hash (cross-decomposition store reuse).
+    wide = traffic_parent(shards=4, params={"num_batches": 21})
+    narrow = traffic_parent(shards=2, params={"num_batches": 11})
+    wide_hashes = [s.unit_hash for s in shard_specs(wide)]
+    narrow_hashes = [s.unit_hash for s in shard_specs(narrow)]
+    assert wide_hashes[:2] == narrow_hashes
+
+
+def test_shards_equal_one_leaves_unit_untouched():
+    plain = traffic_parent(shards=1)
+    assert unit_shards(plain) == 1
+    assert plain.param("shards") is None  # hash identical to the seed grid
+    with pytest.raises(ValueError, match="no sharding"):
+        shard_specs(plain)
+
+
+def test_shard_cost_estimate_is_per_shard():
+    parent = traffic_parent(shards=4, params={"num_batches": 21})
+    shard = shard_specs(parent)[0]
+    assert estimate_unit_cost(shard) < estimate_unit_cost(parent)
+
+
+# ------------------------------------------------- execution determinism
+def test_sharded_execution_paths_are_byte_identical(tmp_path):
+    parent = traffic_parent(shards=4)
+    spec = CampaignSpec(name="shard-diff", seed=0, units=(parent,))
+
+    inline = execute_unit(parent)  # the definition: serial shards + merge
+    serial = run_campaign(spec, workers=1)[0]
+    parallel = run_campaign(spec, workers=4)[0]
+    assert serial.result == inline.result == parallel.result
+
+    # resumed from a store that holds only the shard records
+    # ("interrupted before the merge"): no simulation re-runs, the
+    # merge is re-derived.
+    store = JsonlStore(tmp_path / "mid-merge.jsonl")
+    for shard in shard_specs(parent):
+        store.append(execute_unit(shard))
+    resumed = run_campaign(spec, workers=1, store=store)[0]
+    assert resumed.result == inline.result
+    merged = store.get(parent.unit_hash)
+    assert merged is not None and merged.result == inline.result
+
+
+def test_merge_rejects_missing_or_duplicate_shards():
+    parent = traffic_parent(shards=2)
+    records = [execute_unit(s) for s in shard_specs(parent)]
+    merge_shard_records(parent, records)  # complete set is fine
+    with pytest.raises(ValueError, match="expected 0..1"):
+        merge_shard_records(parent, records[:1])
+    with pytest.raises(ValueError, match="expected 0..1"):
+        merge_shard_records(parent, [records[0], records[0]])
+
+
+def test_quick_fig3_row_sharded_vs_serial_golden_diff():
+    """The acceptance diff: one quick-scale fig3 point, --shards 4,
+    parallel workers vs the serial run — byte-identical rows."""
+    kwargs = dict(loads=[1.0], algorithms=["DB"], scale="quick", shards=4)
+    serial = run_traffic_sweep("fig3", workers=1, **kwargs)
+    parallel = run_traffic_sweep("fig3", workers=4, **kwargs)
+    assert serial == parallel  # dataclass equality: every float equal
+    [row] = serial
+    assert row.operations > 0 and row.mean_latency_us > 0
+
+
+def test_sharded_campaign_spec_declares_parents_only():
+    spec = traffic_campaign("fig3", scale="smoke", shards=2, loads=[1.0, 2.0])
+    assert all(u.kind == "traffic" for u in spec.units)
+    assert all(unit_shards(u) == 2 for u in spec.units)
+    # same grid, different shard count → different campaign identity
+    other = traffic_campaign("fig3", scale="smoke", shards=1, loads=[1.0, 2.0])
+    assert spec.campaign_hash != other.campaign_hash
+    assert spec.name == other.name  # shares the default store location
+
+
+def test_two_pools_share_one_sharded_point(tmp_path):
+    """Two pools on one sqlite store split the shards; exactly one
+    merged parent record, identical to the single-pool result."""
+    parent = traffic_parent(shards=4)
+    spec = CampaignSpec(name="two-pools", seed=0, units=(parent,))
+    reference = execute_unit(parent)
+
+    store = SqliteStore(tmp_path / "pools.sqlite")
+    first = run_campaign(spec, workers=2, store=store)
+    second = run_campaign(spec, workers=2, store=store)  # full resume
+    assert first[0].result == second[0].result == reference.result
+
+
+# ------------------------------------------------------------ heartbeats
+def test_lease_heartbeat_outlives_short_ttl(tmp_path):
+    store = SqliteStore(tmp_path / "leases.sqlite")
+    ttl = 0.3
+    assert store.try_claim("unit-a", "worker-1", ttl_s=ttl)
+    with lease_heartbeat(store, "unit-a", "worker-1", ttl_s=ttl):
+        time.sleep(3 * ttl)  # far beyond the TTL
+        # the lease must still be live and still ours
+        assert "unit-a" in store.leased_hashes()
+        assert not store.try_claim("unit-a", "peer:0:deadbeef", ttl_s=ttl)
+    store.release("unit-a", "worker-1")
+    assert store.try_claim("unit-a", "peer:0:deadbeef", ttl_s=ttl)
+
+
+def test_lease_heartbeat_noop_without_lease_support(tmp_path):
+    store = JsonlStore(tmp_path / "plain.jsonl")
+    with lease_heartbeat(store, "unit-a", "worker-1", ttl_s=0.1):
+        time.sleep(0.05)  # nothing to assert beyond "does not blow up"
+
+
+# ------------------------------------------------------------------- CLI
+def test_cli_status_reports_shard_progress(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    spec = traffic_campaign("fig3", scale="smoke", shards=2, loads=[4.0])
+    [parent] = [u for u in spec.units if u.algorithm == "DB"]
+    store = JsonlStore(tmp_path / "campaigns" / f"{spec.name}.jsonl")
+    # land exactly one shard of the DB point
+    store.append(execute_unit(shard_specs(parent)[0]))
+
+    assert main(["campaign", "status", "fig3", "--scale", "smoke",
+                 "--shards", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "1/2 shards, 1 to run" in out
+
+    # land the second shard but not the merge → merge pending
+    store.append(execute_unit(shard_specs(parent)[1]))
+    assert main(["campaign", "status", "fig3", "--scale", "smoke",
+                 "--shards", "2"]) == 0
+    assert "2/2 shards, merge pending" in capsys.readouterr().out
+
+
+def test_cli_shards_note_for_broadcast_grids(capsys, monkeypatch, tmp_path):
+    monkeypatch.chdir(tmp_path)
+    assert main(["campaign", "status", "fig1", "--scale", "smoke",
+                 "--shards", "4"]) == 0
+    assert "runs unsharded" in capsys.readouterr().out

@@ -1,0 +1,142 @@
+"""Exactness of the mergeable-statistics algebra (`repro.metrics.partial`).
+
+The load-bearing property behind sharded simulation units: however a
+batch-means observation stream is cut into chunks — and in whatever
+order the chunks come back — merging the chunk partials reproduces the
+serial estimator bit for bit (batch means, point estimate, confidence
+interval).  Hypothesis drives the splits; every assertion is exact
+equality, never approx.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics import (
+    BatchMeans,
+    PartialStat,
+    interval_from_partial,
+    is_steady_partial,
+    merge_partials,
+    result_from_partial,
+    split_observations,
+)
+
+
+# ------------------------------------------------------------ strategies
+def observations(min_size=0, max_size=240):
+    return st.lists(
+        st.floats(
+            min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+        ),
+        min_size=min_size,
+        max_size=max_size,
+    )
+
+
+@st.composite
+def stream_and_cuts(draw):
+    xs = draw(observations())
+    batch_size = draw(st.integers(min_value=1, max_value=9))
+    n_cuts = draw(st.integers(min_value=0, max_value=8))
+    cuts = [
+        draw(st.integers(min_value=0, max_value=len(xs)))
+        for _ in range(n_cuts)
+    ]
+    return xs, batch_size, cuts
+
+
+# ------------------------------------------------------------- properties
+@settings(max_examples=200, deadline=None)
+@given(stream_and_cuts())
+def test_merge_of_any_split_is_exact(case):
+    xs, batch_size, cuts = case
+    serial = PartialStat.from_observations(xs, batch_size)
+    parts = split_observations(xs, batch_size, cuts)
+    merged = merge_partials(reversed(parts))  # order must not matter
+    assert merged.batch_means == serial.batch_means
+    assert merged.head == serial.head
+    assert merged.tail == serial.tail
+    assert merged.count == serial.count
+    assert merged.offset == serial.offset
+
+
+@settings(max_examples=100, deadline=None)
+@given(stream_and_cuts())
+def test_merged_result_equals_streaming_estimator(case):
+    xs, batch_size, cuts = case
+    num_batches = max(len(xs) // batch_size, 1)
+    estimator = BatchMeans(
+        batch_size=batch_size, num_batches=num_batches, discard=0
+    )
+    estimator.extend(xs)
+    merged = merge_partials(split_observations(xs, batch_size, cuts))
+    if not merged.batch_means:
+        with pytest.raises(ValueError):
+            result_from_partial(merged, discard=0)
+        return
+    serial = estimator.result()
+    recovered = result_from_partial(merged, discard=0)
+    assert recovered.batch_means == serial.batch_means
+    assert recovered.mean == serial.mean  # exact, not approx
+    if serial.interval is not None:
+        assert recovered.interval.mean == serial.interval.mean
+        assert recovered.interval.half_width == serial.interval.half_width
+        assert interval_from_partial(merged).half_width == (
+            serial.interval.half_width
+        )
+
+
+@settings(max_examples=100, deadline=None)
+@given(observations(min_size=1), st.integers(min_value=1, max_value=9))
+def test_partial_round_trips_through_json(xs, batch_size):
+    stat = PartialStat.from_observations(xs, batch_size)
+    restored = PartialStat.from_dict(json.loads(json.dumps(stat.to_dict())))
+    assert restored == stat
+
+
+# ----------------------------------------------------------------- edges
+def test_merge_rejects_gaps_overlaps_and_mixed_batch_size():
+    a = PartialStat.from_observations([1.0, 2.0], 2, offset=0)
+    gap = PartialStat.from_observations([3.0], 2, offset=5)
+    with pytest.raises(ValueError, match="gapped"):
+        merge_partials([a, gap])
+    overlap = PartialStat.from_observations([3.0], 2, offset=1)
+    with pytest.raises(ValueError, match="overlapping"):
+        merge_partials([a, overlap])
+    other = PartialStat.from_observations([3.0], 3, offset=2)
+    with pytest.raises(ValueError, match="batch_size"):
+        merge_partials([a, other])
+    with pytest.raises(ValueError, match="nothing"):
+        merge_partials([])
+
+
+def test_batchmeans_partial_exports_closed_and_pending_state():
+    bm = BatchMeans(batch_size=3, num_batches=4, discard=1)
+    bm.extend([1.0, 2.0, 3.0, 4.0, 5.0])
+    stat = bm.partial()
+    assert stat.batch_means == (2.0,)
+    assert stat.tail == (4.0, 5.0)
+    assert stat.count == 5
+    # result via the partial path is the estimator's own result
+    bm.extend([6.0, 7.0, 8.0, 9.0])
+    assert result_from_partial(bm.partial(), discard=1) == bm.result()
+
+
+def test_result_from_partial_requires_whole_stream():
+    stat = PartialStat.from_observations([1.0, 2.0, 3.0], 3, offset=3)
+    with pytest.raises(ValueError, match="offset"):
+        result_from_partial(stat, discard=0)
+
+
+def test_is_steady_partial_reads_batch_means():
+    flat = PartialStat.from_batch_means([5.0, 5.01, 5.0, 5.02], 10)
+    trending = PartialStat.from_batch_means([1.0, 2.0, 4.0, 8.0], 10)
+    assert is_steady_partial(flat, window=2)
+    assert not is_steady_partial(trending, window=2)
+
+
+def test_from_batch_means_requires_alignment():
+    with pytest.raises(ValueError, match="aligned"):
+        PartialStat.from_batch_means([1.0], batch_size=4, offset=2)
