@@ -18,12 +18,15 @@ Core pieces:
   lease-arbitrated shared directory for multi-host fleets), giving
   crash-resumable and shareable campaigns;
 * :mod:`repro.campaigns.units` — the unit runners ("broadcast",
-  "traffic", "traffic-shard") that turn one :class:`UnitSpec` into a
-  result record;
+  "broadcast-cell", "broadcast-shard", "traffic", "traffic-shard")
+  that turn one :class:`UnitSpec` into a result record;
 * :mod:`repro.campaigns.shards` — the parent→shard relationship: a
   heavy traffic point with ``shards=K`` fans out into K independent
-  per-substream replications and a deterministic reducer that fires
-  when the last shard lands (``repro fig3 --shards 4 --workers 4``);
+  per-substream replications, a broadcast cell slices its source axis
+  (fan-out picked at dispatch time, ``--shards auto`` inverting the
+  fitted cost model), and a deterministic reducer fires when the last
+  shard lands (``repro fig3 --shards 4 --workers 4``,
+  ``repro fig1 --shards auto --workers 8``);
 * :mod:`repro.campaigns.aggregate` — merges unit records back into the
   per-experiment row dataclasses.
 
@@ -43,6 +46,7 @@ for how the campaigns layer sits atop the rest of the stack.
 from repro.campaigns.aggregate import aggregate, register_aggregator
 from repro.campaigns.costmodel import (
     CostModel,
+    auto_shard_count,
     fit_cost_model,
     load_cost_model,
     load_default_cost_model,
@@ -57,6 +61,7 @@ from repro.campaigns.pool import (
 )
 from repro.campaigns.shards import (
     merge_shard_records,
+    planned_shards,
     shard_specs,
     unit_shards,
 )
@@ -86,6 +91,7 @@ __all__ = [
     "UnitRecord",
     "UnitSpec",
     "aggregate",
+    "auto_shard_count",
     "default_store_path",
     "estimate_unit_cost",
     "execute_unit",
@@ -96,6 +102,7 @@ __all__ = [
     "merge_shard_records",
     "open_store",
     "order_units",
+    "planned_shards",
     "register_aggregator",
     "register_unit_runner",
     "run_campaign",

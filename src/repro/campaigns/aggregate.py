@@ -73,12 +73,20 @@ def cells(
     cell are sorted by replication index, reproducing the serial
     measurement order exactly.
 
-    Shard records (kind ``traffic-shard``) are intermediate state —
-    their parent's merged record is the reportable one — and are
-    skipped, so aggregating a whole store that contains both never
-    double-counts a sharded point.
+    Shard records (kinds ``traffic-shard`` / ``broadcast-shard``) are
+    intermediate state — their parent's merged record is the
+    reportable one — and are skipped, so aggregating a whole store
+    that contains both never double-counts a sharded point.  Merged
+    broadcast-cell records explode back into their per-replication
+    records (identical — hash, spec and floats — to the records an
+    unsharded grid stores), so every aggregator below consumes the
+    same member shape whichever way the campaign was decomposed.
     """
-    from repro.campaigns.shards import is_shard
+    from repro.campaigns.shards import (
+        BROADCAST_CELL_KIND,
+        explode_cell_record,
+        is_shard,
+    )
 
     grouped: Dict[str, List[UnitRecord]] = {}
     specs: Dict[str, UnitSpec] = {}
@@ -86,9 +94,16 @@ def cells(
         spec = record.unit_spec
         if is_shard(spec):
             continue
-        key = spec.cell_key
-        grouped.setdefault(key, []).append(record)
-        specs.setdefault(key, spec)
+        members = (
+            explode_cell_record(record)
+            if spec.kind == BROADCAST_CELL_KIND
+            else [record]
+        )
+        for member in members:
+            member_spec = member.unit_spec
+            key = member_spec.cell_key
+            grouped.setdefault(key, []).append(member)
+            specs.setdefault(key, member_spec)
     out = []
     for key, members in grouped.items():
         members.sort(key=lambda r: r.unit_spec.replication)

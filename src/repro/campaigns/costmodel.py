@@ -37,12 +37,15 @@ from repro.campaigns.store import UnitRecord
 
 __all__ = [
     "DEFAULT_COST_MODEL_PATH",
+    "DEFAULT_MIN_SHARD_COST_S",
     "FEATURE_NAMES",
     "CostModel",
+    "auto_shard_count",
     "cost_features",
     "fit_cost_model",
     "load_cost_model",
     "load_default_cost_model",
+    "unit_budget",
 ]
 
 #: Conventional location written by ``repro campaign fit-cost`` and
@@ -62,25 +65,51 @@ FEATURE_NAMES = (
 #: Fewer samples than features + 1 cannot produce a meaningful fit.
 MIN_SAMPLES = len(FEATURE_NAMES) + 1
 
+#: Minimum predicted seconds a shard must be worth before ``--shards
+#: auto`` splits it off: below this, process dispatch and per-shard
+#: fixed overhead (network construction, warm-up) dominate the work.
+DEFAULT_MIN_SHARD_COST_S = 2.0
+
+
+def unit_budget(spec: UnitSpec) -> float:
+    """The unit's own work budget, in its kind's natural unit.
+
+    Traffic points and their shards: observations (batch size × the
+    unit's *own* batch count — a shard's is its slice).  Broadcast
+    cells: their source count; broadcast shards: their slice of it.
+    Anything else (one single-source broadcast): 1.  This is the one
+    shared definition behind both the fitted model's budget feature
+    and the static scheduling heuristic
+    (:func:`repro.campaigns.pool.estimate_unit_cost`) — keep them on
+    the same number or the two cost paths drift apart silently.
+    """
+    if spec.kind in ("traffic", "traffic-shard"):
+        return float(spec.param("batch_size", 25)) * float(
+            spec.param("num_batches", 21)
+        )
+    if spec.kind == "broadcast-cell":
+        return float(spec.param("sources_count", 1))
+    if spec.kind == "broadcast-shard":
+        return float(spec.param("source_count", 1))
+    return 1.0
+
 
 def cost_features(spec: UnitSpec) -> List[float]:
     """Feature vector of one unit (see module docstring for the model).
 
     Shards are first-class: a ``traffic-shard`` unit's batch budget is
-    its *own* slice (already per-shard), and the ``shard`` indicator
-    lets the fit learn the fixed per-replication overhead (network
-    construction, its private warm-up batches) that makes a shard cost
-    more than ``1/K`` of its parent.  The adaptive scheduler therefore
-    LPT-orders individual shards, not just whole points.
+    its *own* slice (already per-shard), a broadcast cell's budget is
+    its source count (and a ``broadcast-shard``'s its slice of it),
+    and the ``shard`` indicator lets the fit learn the fixed
+    per-replication overhead (network construction, private warm-up)
+    that makes a shard cost more than ``1/K`` of its parent.  The
+    adaptive scheduler therefore LPT-orders individual shards, not
+    just whole points — and ``--shards auto`` inverts the same model
+    to pick the fan-out.
     """
     nodes = float(math.prod(spec.dims))
     load = max(float(spec.load), 1.0) if spec.load is not None else 1.0
-    if spec.kind in ("traffic", "traffic-shard"):
-        budget = float(spec.param("batch_size", 25)) * float(
-            spec.param("num_batches", 21)
-        )
-    else:
-        budget = 1.0
+    budget = unit_budget(spec)
     return [
         1.0,
         math.log(nodes),
@@ -88,7 +117,7 @@ def cost_features(spec: UnitSpec) -> List[float]:
         math.log(load),
         math.log(max(budget, 1.0)),
         1.0 if spec.param("barrier", False) else 0.0,
-        1.0 if spec.kind == "traffic-shard" else 0.0,
+        1.0 if spec.kind in ("traffic-shard", "broadcast-shard") else 0.0,
     ]
 
 
@@ -198,6 +227,67 @@ def fit_cost_model(records: Iterable[UnitRecord]) -> CostModel:
         samples=len(rows),
         r_squared=r_squared,
     )
+
+
+def auto_shard_count(
+    spec: UnitSpec,
+    model: Optional[CostModel] = None,
+    *,
+    workers: Optional[int] = None,
+    min_shard_s: float = DEFAULT_MIN_SHARD_COST_S,
+) -> int:
+    """Pick a unit's fan-out from the fitted per-shard cost model.
+
+    The resolution of ``--shards auto``: find the largest fan-out
+    ``K`` whose *narrowest shard* is still predicted to cost at least
+    ``min_shard_s`` wall seconds — i.e. invert the model's per-shard
+    cost term (slice budget, shard-overhead indicator and all) instead
+    of naively dividing the parent's total.  The result is capped by
+
+    * ``workers`` (when given — fanning out past the pool is pure
+      per-shard overhead),
+    * the unit's inherent limit (a broadcast cell's replication count;
+      a traffic point's retained batch budget).
+
+    Without a fitted model there are no wall seconds to budget:
+    broadcast cells — whose fan-out can never change a float of the
+    result — default to the cap (maximum parallelism), while traffic
+    points — where the shard count *is* the measurement protocol —
+    conservatively stay unsharded until ``repro campaign fit-cost``
+    has produced evidence.
+    """
+    from repro.campaigns.shards import (
+        BROADCAST_CELL_KIND,
+        cell_sources,
+        shard_specs,
+    )
+
+    if spec.kind == BROADCAST_CELL_KIND:
+        limit = cell_sources(spec)
+    elif spec.kind == "traffic":
+        limit = int(spec.param("num_batches", 21)) - int(
+            spec.param("discard", 1)
+        )
+    else:
+        return 1
+    cap = limit if workers is None else min(limit, max(int(workers), 1))
+    if cap < 2:
+        return 1
+    if model is None:
+        return cap if spec.kind == BROADCAST_CELL_KIND else 1
+    for k in range(cap, 1, -1):
+        # shard_specs orders largest slices first, so the last shard is
+        # the narrowest of the K-way plan; the fan-out is accepted only
+        # when even it clears the per-shard budget — every shard of the
+        # plan is then worth its dispatch and warm-up overhead.  Heavy
+        # units accept the first (largest) K, so the descending probe
+        # is usually one iteration; plan construction computes no
+        # content hashes (unit_hash is a lazy property predict() never
+        # touches), so even the cheap-unit worst case stays trivial.
+        narrowest = shard_specs(spec, k)[-1]
+        if model.predict(narrowest) >= min_shard_s:
+            return k
+    return 1
 
 
 def load_cost_model(path: Path) -> CostModel:

@@ -28,11 +28,15 @@ caching (``cache=``)
     whose grid overlaps this ``full`` campaign — is reused and copied
     into the primary store.
 
-A fourth concern is layered on top of all three: units declaring
-``shards=K`` fan out into K shard units (leased, scheduled and cached
-individually) plus a deterministic merge that fires — in whichever
-pool observes the last shard — as soon as all K shard records exist;
-see :mod:`repro.campaigns.shards`.
+A fourth concern is layered on top of all three: sharded parents fan
+out into shard units (leased, scheduled and cached individually) plus
+a deterministic merge that fires — in whichever pool observes the last
+shard — as soon as all shard records exist.  Traffic points declare
+their fan-out in their hashed ``shards=K`` parameter (it is protocol);
+broadcast cells get theirs from ``run_campaign``'s ``shards=`` request
+at dispatch time — including the cost-model-driven ``shards="auto"`` —
+because slicing a cell's source axis can never change a float of its
+merged record; see :mod:`repro.campaigns.shards`.
 
 Unit runners register under a *kind* key ("broadcast", "traffic");
 :mod:`repro.campaigns.units` provides the built-ins and is imported
@@ -136,17 +140,20 @@ def estimate_unit_cost(
     """
     if model is not None:
         return model.predict(spec)
+    from repro.campaigns.costmodel import unit_budget
+
     nodes = float(math.prod(spec.dims))
     cost = nodes * float(max(spec.length_flits, 1))
     if spec.load is not None:
         cost *= max(float(spec.load), 1.0)
-    if spec.kind in ("traffic", "traffic-shard"):
-        # A shard's params carry its own (smaller) batch slice, so the
-        # estimate is naturally per-shard: the LPT scheduler orders
-        # shards against whole points on the same scale.
-        cost *= float(spec.param("batch_size", 25)) * float(
-            spec.param("num_batches", 21)
-        )
+    # The kind's own work budget (a traffic unit's observation count,
+    # a broadcast cell's source count, a shard's slice of either) —
+    # shared with the fitted model's budget feature, so the heuristic
+    # and the model rank the same units the same way.  A shard's
+    # params carry its own (smaller) slice, so the estimate is
+    # naturally per-shard: the LPT scheduler orders shards against
+    # whole points on the same scale.
+    cost *= max(unit_budget(spec), 1.0)
     if spec.param("barrier", False):
         cost *= 2.0  # the unit also runs its barrier twin
     return cost
@@ -288,6 +295,7 @@ def run_campaign(
     schedule: str = "fifo",
     cache: Sequence[CampaignStore] = (),
     cost_model: Optional["CostModel"] = None,
+    shards: int | str = 1,
     lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
     poll_interval_s: float = 0.5,
 ) -> List[UnitRecord]:
@@ -324,6 +332,20 @@ def run_campaign(
         heuristic (``repro campaign fit-cost`` produces one; the CLI
         auto-loads ``campaigns/cost_model.json`` when present).
         Affects dispatch order only, never results.
+    shards:
+        Fan-out request for **broadcast cell** units (kind
+        ``"broadcast-cell"``): an integer slices each cell's source
+        axis that many ways (capped by the cell's replication count),
+        ``"auto"`` inverts the fitted cost model per cell — capped by
+        ``workers`` and a minimum per-shard budget
+        (:func:`repro.campaigns.costmodel.auto_shard_count`).  The
+        expansion happens here, at dispatch time, because a broadcast
+        cell's fan-out is pure work division: it is not part of the
+        cell's content hash, racing pools agree on sub-unit identity
+        through the shards' own content hashes, and *any* fan-out
+        merges to the byte-identical cell record.  Traffic parents
+        ignore this argument — their hashed ``shards`` parameter is
+        the measurement protocol, fixed when the grid was declared.
     lease_ttl_s:
         How long a claimed unit stays reserved; a pool that crashes
         mid-unit blocks that unit from peers for at most this long
@@ -343,7 +365,11 @@ def run_campaign(
         raise ValueError(
             f"unknown schedule {schedule!r}; choose from {SCHEDULES}"
         )
-    if schedule == "adaptive" and cost_model is None:
+    if not (shards == "auto" or (isinstance(shards, int) and shards >= 1)):
+        raise ValueError(
+            f"shards must be a positive int or 'auto', got {shards!r}"
+        )
+    if cost_model is None and (schedule == "adaptive" or shards == "auto"):
         # Opportunistically use the fitted model from a prior
         # `repro campaign fit-cost` run; silently absent otherwise.
         from repro.campaigns.costmodel import load_default_cost_model
@@ -351,28 +377,33 @@ def run_campaign(
         cost_model = load_default_cost_model()
         if cost_model is not None and progress:
             progress(
-                f"campaign {spec.name}: adaptive schedule using fitted"
-                f" cost model ({cost_model.samples} samples,"
+                f"campaign {spec.name}: using fitted cost model"
+                f" ({cost_model.samples} samples,"
                 f" R^2={cost_model.r_squared:.2f})"
             )
 
-    # Sharded parents (units with a shards=K parameter) never execute
-    # directly: they fan out into K shard units and a deterministic
-    # merge that fires — in whichever pool observes the last shard —
-    # as soon as all K shard records exist.
+    # Sharded parents never execute directly: they fan out into shard
+    # units and a deterministic merge that fires — in whichever pool
+    # observes the last shard — as soon as all shard records exist.
+    # Traffic parents carry their fan-out in their hashed shards=K
+    # parameter (it is protocol); broadcast cells resolve the `shards`
+    # request here, at dispatch time (their fan-out is pure work
+    # division and never part of the hash).
     from repro.campaigns.shards import (
-        SHARDABLE_KINDS,
         merge_shard_records,
+        planned_shards,
         shard_specs,
-        unit_shards,
     )
 
     shard_plan: Dict[str, List[UnitSpec]] = {}
     shard_parent: Dict[str, str] = {}
     parent_by_hash: Dict[str, UnitSpec] = {}
     for unit in spec.units:
-        if unit.kind in SHARDABLE_KINDS and unit_shards(unit) > 1:
-            plan = shard_specs(unit)
+        fan_out = planned_shards(
+            unit, requested=shards, cost_model=cost_model, workers=workers
+        )
+        if fan_out > 1:
+            plan = shard_specs(unit, fan_out)
             shard_plan[unit.unit_hash] = plan
             parent_by_hash[unit.unit_hash] = unit
             for shard in plan:
@@ -415,6 +446,18 @@ def run_campaign(
             if member is None:
                 return  # siblings still in flight
             members.append(member)
+        if store is not None:
+            # A peer pool may have observed the last shard first and
+            # already merged the parent (e.g. we absorbed its shards
+            # after our store snapshot).  The merge is deterministic,
+            # so re-deriving it would be harmless — but re-*appending*
+            # it would duplicate the parent record in append-only
+            # backends and double-report the merge; adopt the stored
+            # record instead.
+            existing = store.get(parent_hash)
+            if existing is not None:
+                absorb(existing)
+                return
         finish(merge_shard_records(parent_by_hash[parent_hash], members))
 
     # Resume mid-merge: a prior run may have completed every shard of

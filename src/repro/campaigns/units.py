@@ -7,13 +7,21 @@ master seed (named ``RandomStreams``), never taken from process-local
 state, so a unit computes the same record no matter which worker — or
 which resumed run — executes it.
 
-Three kinds cover all of the paper's experiments:
+Five kinds cover all of the paper's experiments:
 
 * ``"broadcast"`` — one single-source broadcast on an idle network
   (the §3.1/§3.2 protocol).  The replication index selects which of
   the cell's shared random sources this unit measures; with
   ``barrier=True`` the same source is also run under step-barrier
   semantics (the tables' second CV column).
+* ``"broadcast-cell"`` — a whole dims × algorithm cell (all of its
+  random sources, event-driven runs paired with their barrier twins),
+  declared instead of per-replication units when ``--shards`` asks the
+  pool to slice the replication axis; the fan-out is chosen at
+  dispatch time and can never change a float of the result.
+* ``"broadcast-shard"`` — one contiguous source slice of a broadcast
+  cell, returning the mergeable :class:`~repro.metrics.partial.
+  BroadcastPartial` of its samples.
 * ``"traffic"`` — one mixed unicast/broadcast load point (the §3.3
   protocol, batch means and all).  With a ``shards=K`` parameter the
   point is *defined* as K independent replications merged by the
@@ -45,17 +53,70 @@ from typing import Any, Dict
 from repro.campaigns.pool import register_unit_runner
 from repro.campaigns.spec import UnitSpec
 
-__all__ = ["run_broadcast_unit", "run_traffic_unit", "run_traffic_shard_unit"]
+__all__ = [
+    "run_broadcast_unit",
+    "run_broadcast_cell_unit",
+    "run_broadcast_shard_unit",
+    "run_traffic_unit",
+    "run_traffic_shard_unit",
+]
+
+
+def _broadcast_source_results(
+    spec: UnitSpec, sources
+) -> list:
+    """Per-source result dicts for ``sources``, in order.
+
+    The single shared measurement kernel behind the ``"broadcast"``,
+    ``"broadcast-cell"`` and ``"broadcast-shard"`` runners: each source
+    runs one event-driven broadcast on a fresh idle network and, when
+    the spec says ``barrier=True``, its closed-form barrier twin — the
+    pair stays together, so any slicing of the source axis reproduces
+    the same per-source floats.
+    """
+    from repro.experiments.common import (
+        run_barrier_broadcasts,
+        run_single_broadcasts,
+    )
+
+    startup_latency = float(spec.param("startup_latency", 1.5))
+    outcomes = run_single_broadcasts(
+        spec.algorithm,
+        spec.dims,
+        sources,
+        spec.length_flits,
+        startup_latency,
+        max_destinations_per_path=spec.param("max_destinations_per_path"),
+        ports_override=spec.param("ports_override"),
+    )
+    barriers = (
+        run_barrier_broadcasts(
+            spec.algorithm, spec.dims, sources, spec.length_flits,
+            startup_latency,
+        )
+        if spec.param("barrier", False)
+        else None
+    )
+    results = []
+    for i, (source, outcome) in enumerate(zip(sources, outcomes)):
+        result: Dict[str, Any] = {
+            "source": list(source),
+            "network_latency": outcome.network_latency,
+            "mean_latency": outcome.mean_latency,
+            "cv": outcome.coefficient_of_variation,
+            "delivered": outcome.delivered_count,
+        }
+        if barriers is not None:
+            result["barrier_cv"] = barriers[i].coefficient_of_variation
+            result["barrier_network_latency"] = barriers[i].network_latency
+        results.append(result)
+    return results
 
 
 @register_unit_runner("broadcast")
 def run_broadcast_unit(spec: UnitSpec) -> Dict[str, Any]:
     """One event-driven broadcast (plus optional barrier twin)."""
-    from repro.experiments.common import (
-        random_sources,
-        run_barrier_broadcasts,
-        run_single_broadcasts,
-    )
+    from repro.experiments.common import random_sources
 
     count = int(spec.param("sources_count", spec.replication + 1))
     if not 0 <= spec.replication < count:
@@ -69,31 +130,58 @@ def run_broadcast_unit(spec: UnitSpec) -> Dict[str, Any]:
     # many draws follow), which is why the unit hash can omit the
     # scale's total source count and stay valid across scales.
     source = random_sources(spec.dims, count, spec.seed)[spec.replication]
-    startup_latency = float(spec.param("startup_latency", 1.5))
-    outcome = run_single_broadcasts(
-        spec.algorithm,
-        spec.dims,
-        [source],
-        spec.length_flits,
-        startup_latency,
-        max_destinations_per_path=spec.param("max_destinations_per_path"),
-        ports_override=spec.param("ports_override"),
-    )[0]
-    result: Dict[str, Any] = {
-        "source": list(source),
-        "network_latency": outcome.network_latency,
-        "mean_latency": outcome.mean_latency,
-        "cv": outcome.coefficient_of_variation,
-        "delivered": outcome.delivered_count,
+    return _broadcast_source_results(spec, [source])[0]
+
+
+@register_unit_runner("broadcast-cell")
+def run_broadcast_cell_unit(spec: UnitSpec) -> Dict[str, Any]:
+    """One whole broadcast cell: all its sources, in replication order.
+
+    This is the *definition* of a sharded broadcast cell's result — it
+    never mentions a fan-out, so however the pool slices the cell
+    (``--shards K``, ``--shards auto``, different pools picking
+    different plans), the merged record must (and does, see
+    ``tests/test_campaign_shards.py``) reproduce it byte for byte.
+    """
+    from repro.campaigns.shards import cell_sources
+    from repro.experiments.common import random_sources
+    from repro.metrics.partial import BroadcastPartial
+
+    count = cell_sources(spec)
+    sources = random_sources(spec.dims, count, spec.seed)
+    partial = BroadcastPartial.from_results(
+        _broadcast_source_results(spec, sources)
+    )
+    return {"replications": count, **partial.to_dict()}
+
+
+@register_unit_runner("broadcast-shard")
+def run_broadcast_shard_unit(spec: UnitSpec) -> Dict[str, Any]:
+    """One contiguous source slice of a broadcast cell (mergeable).
+
+    The slice re-derives the cell's source sequence prefix (the
+    "sources" stream is prefix-stable) and measures sources
+    ``offset .. offset + count``; the returned partial slots into
+    :func:`repro.campaigns.shards.merge_broadcast_shard_results`.
+    """
+    from repro.experiments.common import random_sources
+    from repro.metrics.partial import BroadcastPartial
+
+    offset = spec.param("source_offset")
+    count = spec.param("source_count")
+    if offset is None or count is None:
+        raise ValueError(
+            f"broadcast shard {spec.unit_hash} has no source slice"
+        )
+    offset, count = int(offset), int(count)
+    sources = random_sources(spec.dims, offset + count, spec.seed)[offset:]
+    partial = BroadcastPartial.from_results(
+        _broadcast_source_results(spec, sources), offset=offset
+    )
+    return {
+        "shard": int(spec.param("shard", 0)),
+        "partial": partial.to_dict(),
     }
-    if spec.param("barrier", False):
-        barrier = run_barrier_broadcasts(
-            spec.algorithm, spec.dims, [source], spec.length_flits,
-            startup_latency,
-        )[0]
-        result["barrier_cv"] = barrier.coefficient_of_variation
-        result["barrier_network_latency"] = barrier.network_latency
-    return result
 
 
 def _traffic_stats(spec: UnitSpec, shard: Any = None):

@@ -15,13 +15,15 @@ skips every already-completed unit)::
     repro campaign status fig4 --scale full
     repro campaign aggregate fig4 --scale full --out fig4.csv
 
-shard the heavy traffic points themselves (each point fans out into K
-independent, mergeable sub-units, so even a single slow load point
-spreads over the worker fleet; status reports per-point shard
-progress)::
+shard the heavy units themselves (traffic points fan out into K
+independent, mergeable replications; broadcast cells slice their
+source axis — so even a single slow unit spreads over the worker
+fleet, and ``auto`` lets the fitted cost model pick each unit's
+fan-out; status reports per-unit shard progress)::
 
     repro campaign run fig4 --scale full --shards 8 --workers 8
     repro campaign status fig4 --scale full --shards 8
+    repro campaign run fig1 --scale full --shards auto --workers 8
 
 or run a one-off broadcast and print its profile::
 
@@ -84,6 +86,13 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _shards_arg(text: str):
+    """``--shards`` value: a positive count or the literal ``auto``."""
+    if text.strip().lower() == "auto":
+        return "auto"
+    return _positive_int(text)
+
+
 def _add_experiment_options(
     parser: argparse.ArgumentParser, workers: bool = True
 ) -> None:
@@ -93,13 +102,15 @@ def _add_experiment_options(
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--shards",
-        type=_positive_int,
+        type=_shards_arg,
         default=1,
         metavar="K",
         help=(
-            "split each heavy traffic point (fig3/fig4) into K mergeable"
-            " sub-units so workers can parallelise inside a point;"
-            " 1 = the original single-trajectory protocol"
+            "split each heavy unit into K mergeable sub-units so workers"
+            " can parallelise inside it: traffic points (fig3/fig4) run K"
+            " independent replications, broadcast cells slice their"
+            " source axis; 'auto' picks per-unit fan-outs from the fitted"
+            " cost model; 1 = the original per-unit protocol"
         ),
     )
     parser.add_argument(
@@ -311,7 +322,7 @@ def _campaign_caches(args, spec) -> List[CampaignStore]:
     return caches
 
 
-def _campaign_status(spec, store: CampaignStore) -> str:
+def _campaign_status(spec, store: CampaignStore, shards=1) -> str:
     """Status line(s) for ``spec`` in ``store``.
 
     Leased-but-unfinished units (claimed by a live worker pool but not
@@ -319,9 +330,19 @@ def _campaign_status(spec, store: CampaignStore) -> str:
     done — and excluded from the pending count.  Sharded units count
     as *one* unit each; incomplete ones get their own progress line
     (``2/4 shards, merge pending``) instead of surfacing their shards
-    as anonymous units.
+    as anonymous units.  Broadcast cells under ``--shards auto`` have
+    no pre-agreed plan (the executing pools pick the fan-out), so
+    their progress is inferred from whatever shard records the store
+    already holds.
     """
-    from repro.campaigns.shards import shard_specs, unit_shards
+    from repro.campaigns.shards import (
+        BROADCAST_CELL_KIND,
+        BROADCAST_SHARD_KIND,
+        broadcast_cell_key,
+        cell_sources,
+        planned_shards,
+        shard_specs,
+    )
 
     wanted = set(spec.unit_hashes())
     stored = store.completed_hashes()
@@ -340,10 +361,63 @@ def _campaign_status(spec, store: CampaignStore) -> str:
         f" {len(leased_units)} leased (in flight) ({state})"
         f" — store: {store.path}"
     ]
+
+    auto_cells = shards == "auto" and any(
+        u.kind == BROADCAST_CELL_KIND and u.unit_hash not in completed
+        for u in spec.units
+    )
+    landed_by_cell = {}
+    if auto_cells:
+        # The fan-out of an auto cell is whatever the executing pools
+        # picked, so read the plan off the stored shard records.
+        for record in store.records().values():
+            shard_spec = record.unit_spec
+            if shard_spec.kind != BROADCAST_SHARD_KIND:
+                continue
+            offset = int(shard_spec.param("source_offset", 0))
+            count = int(shard_spec.param("source_count", 0))
+            landed_by_cell.setdefault(
+                broadcast_cell_key(shard_spec), []
+            ).append((offset, offset + count))
+
+    def _covered(slices, sources):
+        """Distinct covered sources (interval union).
+
+        Slices from several abandoned plans may overlap, and a slice
+        reaching past the cell belongs to a *larger-scale* plan of the
+        same cell key (the key strips the replication count) — drop
+        it, so coverage never exceeds the cell and never claims a
+        merge this cell's plans cannot fire.
+        """
+        covered, reach = 0, 0
+        for lo, hi in sorted(s for s in slices if s[1] <= sources):
+            lo = max(lo, reach)
+            if hi > lo:
+                covered += hi - lo
+                reach = hi
+        return covered
+
     for unit in spec.units:
-        if unit.unit_hash in completed or unit_shards(unit) < 2:
+        if unit.unit_hash in completed:
             continue
-        plan = shard_specs(unit)
+        if unit.kind == BROADCAST_CELL_KIND and shards == "auto":
+            sources = cell_sources(unit)
+            slices = landed_by_cell.get(broadcast_cell_key(unit), [])
+            covered = _covered(slices, sources)
+            note = (
+                "merge pending" if covered >= sources
+                else f"{sources - covered} sources to run"
+            )
+            landed = sum(1 for s in slices if s[1] <= sources)
+            lines.append(
+                f"  {unit}: {covered}/{sources} sources in"
+                f" {landed} auto shard(s), {note}"
+            )
+            continue
+        fan_out = planned_shards(unit, requested=shards)
+        if fan_out < 2:
+            continue
+        plan = shard_specs(unit, fan_out)
         landed = sum(1 for shard in plan if shard.unit_hash in stored)
         in_flight = sum(
             1
@@ -411,20 +485,10 @@ def _cmd_fit_cost(args, spec) -> int:
     return 0
 
 
-def _shards_note(experiment: str, spec, shards: int) -> None:
-    """Tell the user when --shards cannot apply to this grid."""
-    if shards > 1 and not any(u.param("shards") for u in spec.units):
-        print(
-            f"note: --shards applies to traffic points; the"
-            f" {experiment} grid has none and runs unsharded"
-        )
-
-
 def _cmd_campaign(args) -> int:
     spec = campaign_for(
         args.experiment, args.scale, args.seed, shards=args.shards
     )
-    _shards_note(args.experiment, spec, args.shards)
     if args.campaign_command == "fit-cost":
         return _cmd_fit_cost(args, spec)
     if args.campaign_command == "status":
@@ -440,7 +504,7 @@ def _cmd_campaign(args) -> int:
                 if path.exists()
             ] or [_campaign_store(args, spec)]
         for store in stores:
-            print(_campaign_status(spec, store))
+            print(_campaign_status(spec, store, shards=args.shards))
         return 0
 
     store = _campaign_store(args, spec)
@@ -452,6 +516,7 @@ def _cmd_campaign(args) -> int:
             progress=print,
             schedule=args.schedule,
             cache=_campaign_caches(args, spec),
+            shards=args.shards,
         )
     else:  # aggregate
         stored = store.records_for(spec)
@@ -462,7 +527,7 @@ def _cmd_campaign(args) -> int:
                 f"repro campaign run {args.experiment}"
                 f" --scale {args.scale} --seed {args.seed}"
             )
-            if args.shards > 1:
+            if args.shards != 1:
                 resume += f" --shards {args.shards}"
             if args.store:
                 resume += f" --store {args.store}"
@@ -496,7 +561,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         spec = campaign_for(
             args.command, args.scale, args.seed, shards=args.shards
         )
-        _shards_note(args.command, spec, args.shards)
         store = None
         if args.store or args.store_backend:
             backend = args.store_backend

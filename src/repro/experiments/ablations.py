@@ -61,9 +61,15 @@ def _run(
     workers: int,
     store: Optional[CampaignStore],
     schedule: str = "fifo",
+    shards: int | str = 1,
 ) -> List[AblationRow]:
     return run_units(
-        experiment, spec, workers=workers, store=store, schedule=schedule
+        experiment,
+        spec,
+        workers=workers,
+        store=store,
+        schedule=schedule,
+        shards=shards,
     )
 
 
@@ -72,6 +78,7 @@ def startup_ablation_campaign(
     seed: int = 0,
     startup_values: Tuple[float, ...] = (0.15, 1.5),
     length_flits: int = 100,
+    shards: int | str = 1,
 ) -> CampaignSpec:
     """All four algorithms at each paper Ts value."""
     units: List[UnitSpec] = []
@@ -84,6 +91,7 @@ def startup_ablation_campaign(
             scale,
             seed,
             startup_latency=ts,
+            shards=shards,
         )
     return campaign("ablation-startup", units, scale, seed)
 
@@ -97,22 +105,27 @@ def run_startup_latency_ablation(
     workers: int = 1,
     store: Optional[CampaignStore] = None,
     schedule: str = "fifo",
+    shards: int | str = 1,
 ) -> List[AblationRow]:
     """Latency/CV of all four algorithms at both paper Ts values."""
-    spec = startup_ablation_campaign(scale, seed, startup_values, length_flits)
-    return _run(spec, "ablation-startup", workers, store, schedule)
+    spec = startup_ablation_campaign(
+        scale, seed, startup_values, length_flits, shards
+    )
+    return _run(spec, "ablation-startup", workers, store, schedule, shards)
 
 
 def length_ablation_campaign(
     scale: str | ExperimentScale = "quick",
     seed: int = 0,
     lengths: Tuple[int, ...] = (32, 128, 512, 2048),
+    shards: int | str = 1,
 ) -> CampaignSpec:
     """All four algorithms at each message length."""
     units: List[UnitSpec] = []
     for length in lengths:
         units += broadcast_units(
-            "ablation-length", [DIMS], algorithm_names(), length, scale, seed
+            "ablation-length", [DIMS], algorithm_names(), length, scale,
+            seed, shards=shards,
         )
     return campaign("ablation-length", units, scale, seed)
 
@@ -125,10 +138,11 @@ def run_message_length_ablation(
     workers: int = 1,
     store: Optional[CampaignStore] = None,
     schedule: str = "fifo",
+    shards: int | str = 1,
 ) -> List[AblationRow]:
     """The paper's stated 32–2048-flit message-length range."""
-    spec = length_ablation_campaign(scale, seed, lengths)
-    return _run(spec, "ablation-length", workers, store, schedule)
+    spec = length_ablation_campaign(scale, seed, lengths, shards)
+    return _run(spec, "ablation-length", workers, store, schedule, shards)
 
 
 def maxdest_ablation_campaign(
@@ -136,6 +150,7 @@ def maxdest_ablation_campaign(
     seed: int = 0,
     limits: Tuple[Optional[int], ...] = (None, 32, 16, 8),
     length_flits: int = 100,
+    shards: int | str = 1,
 ) -> CampaignSpec:
     """AB at each per-path destination bound."""
     units: List[UnitSpec] = []
@@ -148,6 +163,7 @@ def maxdest_ablation_campaign(
             scale,
             seed,
             max_destinations_per_path=limit,
+            shards=shards,
         )
     return campaign("ablation-maxdest", units, scale, seed)
 
@@ -161,10 +177,11 @@ def run_max_destinations_ablation(
     workers: int = 1,
     store: Optional[CampaignStore] = None,
     schedule: str = "fifo",
+    shards: int | str = 1,
 ) -> List[AblationRow]:
     """AB's per-path destination bound: long worms vs many worms."""
-    spec = maxdest_ablation_campaign(scale, seed, limits, length_flits)
-    return _run(spec, "ablation-maxdest", workers, store, schedule)
+    spec = maxdest_ablation_campaign(scale, seed, limits, length_flits, shards)
+    return _run(spec, "ablation-maxdest", workers, store, schedule, shards)
 
 
 def ports_ablation_campaign(
@@ -172,6 +189,7 @@ def ports_ablation_campaign(
     seed: int = 0,
     ports: Tuple[int, ...] = (1, 2, 3),
     length_flits: int = 100,
+    shards: int | str = 1,
 ) -> CampaignSpec:
     """Every algorithm at every port budget."""
     units: List[UnitSpec] = []
@@ -184,6 +202,7 @@ def ports_ablation_campaign(
             scale,
             seed,
             ports_override=port_count,
+            shards=shards,
         )
     return campaign("ablation-ports", units, scale, seed)
 
@@ -197,7 +216,8 @@ def run_port_count_ablation(
     workers: int = 1,
     store: Optional[CampaignStore] = None,
     schedule: str = "fifo",
+    shards: int | str = 1,
 ) -> List[AblationRow]:
     """Every algorithm at every port budget (EDN's multiport advantage)."""
-    spec = ports_ablation_campaign(scale, seed, ports, length_flits)
-    return _run(spec, "ablation-ports", workers, store, schedule)
+    spec = ports_ablation_campaign(scale, seed, ports, length_flits, shards)
+    return _run(spec, "ablation-ports", workers, store, schedule, shards)

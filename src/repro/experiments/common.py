@@ -12,6 +12,7 @@ backends, scheduling policy and cache stores through
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Any, Iterable, List, Optional, Sequence, Tuple
 
 from repro.campaigns.aggregate import aggregate
@@ -139,14 +140,15 @@ def broadcast_units(
     startup_latency: float = 1.5,
     max_destinations_per_path: Optional[int] = None,
     ports_override: Optional[int] = None,
+    shards: int | str = 1,
 ) -> List[UnitSpec]:
     """Declare a dims × algorithm × replication grid of broadcast units.
 
-    One unit per random source (replication), so a campaign can shard
-    even a single (algorithm, size) point across workers.  All
-    algorithms of a cell share the same sources — the paper's fairness
-    protocol — because every replication re-derives the source list
-    from (dims, seed).
+    With ``shards=1`` (the default): one unit per random source
+    (replication), bit-identical — hashes included — to the grids every
+    prior release declared.  All algorithms of a cell share the same
+    sources — the paper's fairness protocol — because every
+    replication re-derives the source list from (dims, seed).
 
     The scale's ``sources_per_point`` fixes only *how many*
     replications are declared, and is deliberately **not** part of the
@@ -156,20 +158,51 @@ def broadcast_units(
     ``full`` grid's and cross-scale cache lookup
     (:func:`repro.campaigns.run_campaign`'s ``cache=``) can reuse
     them.
+
+    ``shards=K`` (K > 1) or ``shards="auto"`` declares each dims ×
+    algorithm cell as **one** cell-level unit spanning the whole
+    replication axis (kind ``"broadcast-cell"``,
+    ``sources_count=sources_per_point``).  The requested fan-out is
+    *not* recorded in the spec — slicing the source axis cannot change
+    a float of the cell's merged record, so the pool picks the actual
+    fan-out at dispatch time (``run_campaign(..., shards=...)``; see
+    :mod:`repro.campaigns.shards`) and the aggregated rows stay
+    byte-identical to the unsharded grid's.
     """
     scale = resolve_scale(scale)
+    if shards != "auto" and (not isinstance(shards, int) or shards < 1):
+        raise ValueError(
+            f"shards must be a positive int or 'auto', got {shards!r}"
+        )
     units: List[UnitSpec] = []
     for dims in dims_list:
         for algorithm in algorithms:
+            common = dict(
+                experiment=experiment,
+                algorithm=algorithm,
+                dims=tuple(dims),
+                length_flits=length_flits,
+                seed=seed,
+            )
+            if shards != 1:
+                units.append(
+                    UnitSpec(
+                        kind="broadcast-cell",
+                        params=freeze_params(
+                            barrier=barrier or None,
+                            startup_latency=startup_latency,
+                            max_destinations_per_path=max_destinations_per_path,
+                            ports_override=ports_override,
+                            sources_count=scale.sources_per_point,
+                        ),
+                        **common,
+                    )
+                )
+                continue
             for replication in range(scale.sources_per_point):
                 units.append(
                     UnitSpec(
-                        experiment=experiment,
                         kind="broadcast",
-                        algorithm=algorithm,
-                        dims=tuple(dims),
-                        length_flits=length_flits,
-                        seed=seed,
                         replication=replication,
                         params=freeze_params(
                             barrier=barrier or None,
@@ -177,6 +210,7 @@ def broadcast_units(
                             max_destinations_per_path=max_destinations_per_path,
                             ports_override=ports_override,
                         ),
+                        **common,
                     )
                 )
     return units
@@ -192,7 +226,7 @@ def traffic_units(
     seed: int,
     *,
     broadcast_fraction: float = 0.1,
-    shards: int = 1,
+    shards: int | str = 1,
 ) -> List[UnitSpec]:
     """Declare an algorithm × load grid of mixed-traffic units.
 
@@ -204,39 +238,65 @@ def traffic_units(
     every unit hash untouched.  The shard count *is* part of the
     measurement protocol (a different, statistically equivalent
     realisation of the point), which is why it belongs in the hashed
-    parameters.
+    parameters — and why ``shards="auto"`` resolves **here, at
+    declaration time**, as a pure function of the spec and the fitted
+    cost model on disk (never of worker counts): every pool, and every
+    later ``status``/``aggregate`` invocation, reconstructs the same
+    per-point fan-out and therefore the same unit hashes.  Without a
+    fitted model, ``auto`` conservatively leaves traffic points
+    unsharded (see :func:`repro.campaigns.costmodel.auto_shard_count`).
     """
     scale = resolve_scale(scale)
-    if shards < 1:
-        raise ValueError(f"shards must be >= 1, got {shards}")
-    if shards > 1 and shards > scale.num_batches - scale.discard:
-        raise ValueError(
-            f"scale {scale.name!r} retains {scale.num_batches - scale.discard}"
-            f" batches; use --shards <= that (got {shards})"
-        )
+    auto = shards == "auto"
+    if not auto:
+        if not isinstance(shards, int) or shards < 1:
+            raise ValueError(
+                f"shards must be a positive int or 'auto', got {shards!r}"
+            )
+        if shards > 1 and shards > scale.num_batches - scale.discard:
+            raise ValueError(
+                f"scale {scale.name!r} retains"
+                f" {scale.num_batches - scale.discard}"
+                f" batches; use --shards <= that (got {shards})"
+            )
+    cost_model = None
+    if auto:
+        from repro.campaigns.costmodel import load_default_cost_model
+
+        cost_model = load_default_cost_model()
     loads = list(loads)
     units: List[UnitSpec] = []
     for algorithm in algorithms:
         for load in loads:
-            units.append(
-                UnitSpec(
-                    experiment=experiment,
-                    kind="traffic",
-                    algorithm=algorithm,
-                    dims=tuple(dims),
-                    length_flits=length_flits,
-                    seed=seed,
-                    load=float(load),
-                    params=freeze_params(
-                        broadcast_fraction=broadcast_fraction,
-                        batch_size=scale.batch_size,
-                        num_batches=scale.num_batches,
-                        discard=scale.discard,
-                        max_sim_time_us=scale.max_sim_time_us,
-                        shards=shards if shards > 1 else None,
-                    ),
-                )
+            unit = UnitSpec(
+                experiment=experiment,
+                kind="traffic",
+                algorithm=algorithm,
+                dims=tuple(dims),
+                length_flits=length_flits,
+                seed=seed,
+                load=float(load),
+                params=freeze_params(
+                    broadcast_fraction=broadcast_fraction,
+                    batch_size=scale.batch_size,
+                    num_batches=scale.num_batches,
+                    discard=scale.discard,
+                    max_sim_time_us=scale.max_sim_time_us,
+                    shards=None if auto or shards == 1 else shards,
+                ),
             )
+            if auto:
+                from repro.campaigns.costmodel import auto_shard_count
+
+                point_shards = auto_shard_count(unit, cost_model)
+                if point_shards > 1:
+                    unit = replace(
+                        unit,
+                        params=freeze_params(
+                            **dict(unit.params), shards=point_shards
+                        ),
+                    )
+            units.append(unit)
     return units
 
 
@@ -248,16 +308,17 @@ def run_units(
     store: Optional[CampaignStore] = None,
     schedule: str = "fifo",
     cache: Sequence[CampaignStore] = (),
+    shards: int | str = 1,
     progress: Optional[ProgressFn] = None,
 ) -> List[Any]:
     """Execute a declared campaign and aggregate it into result rows.
 
     The one shared execution path behind every ``run_*`` experiment
     function: dispatch through :func:`repro.campaigns.run_campaign`
-    (which honours workers, store backend, scheduling policy and
-    cache stores) and fold the records back into the experiment's row
-    dataclasses.  Rows are identical for any combination of the
-    dispatch knobs.
+    (which honours workers, store backend, scheduling policy, cache
+    stores and the broadcast-cell fan-out request ``shards``) and fold
+    the records back into the experiment's row dataclasses.  Rows are
+    identical for any combination of the dispatch knobs.
     """
     records = run_campaign(
         spec,
@@ -265,6 +326,7 @@ def run_units(
         store=store,
         schedule=schedule,
         cache=cache,
+        shards=shards,
         progress=progress,
     )
     return aggregate(experiment, records)

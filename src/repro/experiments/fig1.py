@@ -40,9 +40,16 @@ class Fig1Row:
 
 
 def fig1_campaign(
-    scale: str | ExperimentScale = "quick", seed: int = 0
+    scale: str | ExperimentScale = "quick",
+    seed: int = 0,
+    shards: int | str = 1,
 ) -> CampaignSpec:
-    """Declare the Fig. 1 unit grid (dims × algorithm × source)."""
+    """Declare the Fig. 1 unit grid (dims × algorithm × source).
+
+    ``shards`` other than 1 declares each dims × algorithm cell as one
+    sliceable cell unit (see :func:`broadcast_units`); the rows stay
+    byte-identical to the unsharded grid's.
+    """
     units = broadcast_units(
         "fig1",
         FIG1_SIZES,
@@ -51,6 +58,7 @@ def fig1_campaign(
         scale,
         seed,
         startup_latency=STARTUP_LATENCY,
+        shards=shards,
     )
     return campaign("fig1", units, scale, seed)
 
@@ -62,14 +70,16 @@ def run_fig1(
     workers: int = 1,
     store: Optional[CampaignStore] = None,
     schedule: str = "fifo",
+    shards: int | str = 1,
 ) -> List[Fig1Row]:
     """Regenerate the Fig. 1 series (via the campaign engine)."""
     return run_units(
         "fig1",
-        fig1_campaign(scale, seed),
+        fig1_campaign(scale, seed, shards),
         workers=workers,
         store=store,
         schedule=schedule,
+        shards=shards,
     )
 
 

@@ -45,9 +45,11 @@ def fig2_campaign(
     scale: str | ExperimentScale = "quick",
     seed: int = 0,
     length_flits: int = MESSAGE_LENGTH,
+    shards: int | str = 1,
 ) -> CampaignSpec:
     """Declare the Fig. 2 unit grid (each unit measures both the
-    event-driven and the barrier CV of one broadcast)."""
+    event-driven and the barrier CV of one broadcast; sharded cells
+    keep each source's event-driven/barrier pair in one slice)."""
     units = broadcast_units(
         "fig2",
         FIG2_SIZES,
@@ -57,6 +59,7 @@ def fig2_campaign(
         seed,
         barrier=True,
         startup_latency=STARTUP_LATENCY,
+        shards=shards,
     )
     return campaign("fig2", units, scale, seed)
 
@@ -69,14 +72,16 @@ def run_fig2(
     workers: int = 1,
     store: Optional[CampaignStore] = None,
     schedule: str = "fifo",
+    shards: int | str = 1,
 ) -> List[Fig2Row]:
     """Regenerate the Fig. 2 series (via the campaign engine)."""
     return run_units(
         "fig2",
-        fig2_campaign(scale, seed, length_flits),
+        fig2_campaign(scale, seed, length_flits, shards),
         workers=workers,
         store=store,
         schedule=schedule,
+        shards=shards,
     )
 
 

@@ -41,17 +41,23 @@ __all__ = [
 CampaignBuilder = Callable[..., CampaignSpec]
 
 #: Experiment id → campaign builder (scale, seed, shards=1) ->
-#: CampaignSpec.  ``shards`` reaches only the traffic grids: broadcast
-#: grids already shard at replication granularity (one unit per random
-#: source), so there is nothing further to split.
+#: CampaignSpec.  ``shards`` (an int or ``"auto"``) reaches every
+#: grid: traffic points embed it as protocol (``auto`` resolves from
+#: the fitted cost model at declaration), broadcast grids switch to
+#: sliceable cell-level units whose actual fan-out the pool picks at
+#: dispatch time.
 CAMPAIGNS: Dict[str, CampaignBuilder] = {
-    "fig1": lambda scale, seed, shards=1: fig1_campaign(scale, seed),
-    "fig2": lambda scale, seed, shards=1: fig2_campaign(scale, seed),
+    "fig1": lambda scale, seed, shards=1: fig1_campaign(
+        scale, seed, shards
+    ),
+    "fig2": lambda scale, seed, shards=1: fig2_campaign(
+        scale, seed, shards=shards
+    ),
     "table1": lambda scale, seed, shards=1: cv_table_campaign(
-        "DB", scale, seed
+        "DB", scale, seed, shards
     ),
     "table2": lambda scale, seed, shards=1: cv_table_campaign(
-        "AB", scale, seed
+        "AB", scale, seed, shards
     ),
     "fig3": lambda scale, seed, shards=1: traffic_campaign(
         "fig3", scale, seed, shards=shards
@@ -60,16 +66,16 @@ CAMPAIGNS: Dict[str, CampaignBuilder] = {
         "fig4", scale, seed, shards=shards
     ),
     "ablation-startup": lambda scale, seed, shards=1: (
-        startup_ablation_campaign(scale, seed)
+        startup_ablation_campaign(scale, seed, shards=shards)
     ),
     "ablation-length": lambda scale, seed, shards=1: (
-        length_ablation_campaign(scale, seed)
+        length_ablation_campaign(scale, seed, shards=shards)
     ),
     "ablation-maxdest": lambda scale, seed, shards=1: (
-        maxdest_ablation_campaign(scale, seed)
+        maxdest_ablation_campaign(scale, seed, shards=shards)
     ),
     "ablation-ports": lambda scale, seed, shards=1: (
-        ports_ablation_campaign(scale, seed)
+        ports_ablation_campaign(scale, seed, shards=shards)
     ),
 }
 
@@ -104,12 +110,17 @@ EXPERIMENTS: Dict[str, str] = {
 
 
 def campaign_for(
-    experiment_id: str, scale: str = "quick", seed: int = 0, shards: int = 1
+    experiment_id: str,
+    scale: str = "quick",
+    seed: int = 0,
+    shards: int | str = 1,
 ) -> CampaignSpec:
     """Declare (without running) an experiment's campaign.
 
     ``shards`` splits each heavy traffic point into that many
-    mergeable sub-units (fig3/fig4 only; other grids ignore it).
+    mergeable sub-units (``"auto"`` resolves per point from the fitted
+    cost model) and declares broadcast grids as sliceable cell-level
+    units; ``1`` is the original per-replication protocol everywhere.
     """
     experiment_id = experiment_id.lower()
     try:
@@ -131,7 +142,7 @@ def run_experiment(
     progress: Optional[ProgressFn] = None,
     schedule: str = "fifo",
     cache: Sequence[CampaignStore] = (),
-    shards: int = 1,
+    shards: int | str = 1,
     spec: Optional[CampaignSpec] = None,
 ) -> Tuple[List[Any], str]:
     """Regenerate one table/figure; returns (rows, rendered text).
@@ -150,6 +161,7 @@ def run_experiment(
         store=store,
         schedule=schedule,
         cache=cache,
+        shards=shards,
         progress=progress,
     )
     return rows, FORMATTERS[experiment_id](rows)

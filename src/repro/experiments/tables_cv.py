@@ -53,11 +53,13 @@ def cv_table_campaign(
     proposed: str,
     scale: str | ExperimentScale = "quick",
     seed: int = 0,
+    shards: int | str = 1,
 ) -> CampaignSpec:
     """Declare the unit grid of Table 1 (``"DB"``) or Table 2 (``"AB"``).
 
     One cell per (algorithm, size) with barrier twins; the aggregator
-    pairs the proposed algorithm against both baselines.
+    pairs the proposed algorithm against both baselines.  ``shards``
+    other than 1 declares the cells as sliceable cell units.
     """
     proposed = proposed.upper()
     experiment = _table_id(proposed)
@@ -70,6 +72,7 @@ def cv_table_campaign(
         seed,
         barrier=True,
         startup_latency=STARTUP_LATENCY,
+        shards=shards,
     )
     return campaign(experiment, units, scale, seed)
 
@@ -82,15 +85,17 @@ def run_cv_table(
     workers: int = 1,
     store: Optional[CampaignStore] = None,
     schedule: str = "fifo",
+    shards: int | str = 1,
 ) -> List[CVTableRow]:
     """Regenerate Table 1 (``proposed="DB"``) or Table 2 (``"AB"``)."""
     experiment = _table_id(proposed)
     return run_units(
         experiment,
-        cv_table_campaign(proposed, scale, seed),
+        cv_table_campaign(proposed, scale, seed, shards),
         workers=workers,
         store=store,
         schedule=schedule,
+        shards=shards,
     )
 
 

@@ -62,14 +62,17 @@ def traffic_campaign(
     seed: int = 0,
     loads: Optional[List[float]] = None,
     algorithms: Optional[List[str]] = None,
-    shards: int = 1,
+    shards: int | str = 1,
 ) -> CampaignSpec:
     """Declare the algorithm × load unit grid of Fig. 3 or Fig. 4.
 
     ``shards=K`` declares every load point as K mergeable sub-unit
     replications (see :mod:`repro.campaigns.shards`), letting a worker
     fleet parallelise *inside* the heavy points instead of waiting on
-    the slowest one.
+    the slowest one.  ``shards="auto"`` picks each point's fan-out
+    from the fitted cost model at declaration time (the shard count is
+    measurement protocol, so it must be pinned before hashing; see
+    :func:`repro.experiments.common.traffic_units`).
     """
     figure = figure.lower()
     if figure == "fig3":
@@ -104,7 +107,7 @@ def run_traffic_sweep(
     workers: int = 1,
     store: Optional[CampaignStore] = None,
     schedule: str = "fifo",
-    shards: int = 1,
+    shards: int | str = 1,
 ) -> List[TrafficSweepRow]:
     """Regenerate the Fig. 3 (8×8×8) or Fig. 4 (16×16×8) curves."""
     spec = traffic_campaign(figure, scale, seed, loads, algorithms, shards)

@@ -29,7 +29,14 @@ from repro.metrics.collectors import (
     LatencyCollector,
     ThroughputCollector,
 )
-from repro.metrics.partial import PartialStat, merge_partials, split_observations
+from repro.metrics.partial import (
+    BroadcastPartial,
+    PartialStat,
+    merge_broadcast_partials,
+    merge_partials,
+    split_broadcast_results,
+    split_observations,
+)
 from repro.metrics.steady_state import (
     is_steady,
     is_steady_partial,
@@ -40,6 +47,7 @@ from repro.metrics.steady_state import (
 __all__ = [
     "BatchMeans",
     "BatchMeansResult",
+    "BroadcastPartial",
     "BroadcastStatsCollector",
     "ConfidenceInterval",
     "LatencyCollector",
@@ -51,9 +59,11 @@ __all__ = [
     "interval_from_partial",
     "is_steady",
     "is_steady_partial",
+    "merge_broadcast_partials",
     "merge_partials",
     "mser_truncation",
     "result_from_partial",
+    "split_broadcast_results",
     "split_observations",
     "summarize",
     "truncate_warmup",

@@ -27,6 +27,14 @@ Usage::
     b = PartialStat.from_observations(xs[7:], batch_size=5, offset=7)
     merged = merge_partials([b, a])            # any order
     merged == PartialStat.from_observations(xs, batch_size=5)  # True
+
+The same algebra exists for broadcast cells: a :class:`BroadcastPartial`
+carries the ordered per-source samples of one contiguous slice of a
+cell's replication axis, and :func:`merge_broadcast_partials` stitches
+slices back bit for bit (every source is a whole observation, so the
+merge is pure ordered concatenation — see
+:mod:`repro.campaigns.shards` for the sharded broadcast cells built on
+top of it).
 """
 
 from __future__ import annotations
@@ -37,7 +45,14 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["PartialStat", "merge_partials", "split_observations"]
+__all__ = [
+    "PartialStat",
+    "merge_partials",
+    "split_observations",
+    "BroadcastPartial",
+    "merge_broadcast_partials",
+    "split_broadcast_results",
+]
 
 
 def _batch_mean(values: Sequence[float]) -> float:
@@ -279,6 +294,256 @@ def merge_partials(partials: Iterable[PartialStat]) -> PartialStat:
         batch_means=tuple(means),
         tail=tuple(pending),
     )
+
+
+# ------------------------------------------------------- broadcast cells
+#: Per-source sample fields of a broadcast cell, in measurement order.
+#: ``source`` is the per-replication coordinate; the rest are the floats
+#: the aggregators consume.  The two ``barrier_*`` fields exist only on
+#: cells measured with a step-barrier twin (Fig. 2 / the CV tables).
+_BROADCAST_FIELDS = (
+    "source",
+    "network_latency",
+    "mean_latency",
+    "cv",
+    "delivered",
+)
+_BROADCAST_BARRIER_FIELDS = ("barrier_cv", "barrier_network_latency")
+
+
+@dataclass(frozen=True)
+class BroadcastPartial:
+    """Ordered per-source samples of one contiguous slice of a cell.
+
+    A broadcast *cell* (one dims × algorithm grid point) measures a
+    sequence of independent single-source broadcasts — replication
+    ``r`` is always the ``r``-th draw of the cell's "sources" stream.
+    A :class:`BroadcastPartial` carries the samples of one contiguous
+    slice ``[offset, offset + count)`` of that sequence.  Unlike batch
+    means, nothing straddles a slice boundary (every source is a whole
+    observation), so the merge is pure ordered concatenation and the
+    exactness guarantee is unconditional: for any way of cutting the
+    replication axis,
+
+        ``merge_broadcast_partials(split(run)) == run``
+
+    bit for bit — every per-source float of the merged cell is the
+    very float the unsliced run produced.
+
+    Barrier twins ride along: a cell measured with ``barrier=True``
+    carries the twin's CV/latency for each source *in the same
+    partial* — the event-driven run and its closed-form barrier twin
+    shard as a pair, never split across slices.
+    """
+
+    offset: int
+    sources: Tuple[Tuple[int, ...], ...]
+    network_latency: Tuple[float, ...]
+    mean_latency: Tuple[float, ...]
+    cv: Tuple[float, ...]
+    delivered: Tuple[int, ...]
+    barrier_cv: Optional[Tuple[float, ...]] = None
+    barrier_network_latency: Optional[Tuple[float, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.offset < 0:
+            raise ValueError("offset must be >= 0")
+        n = len(self.sources)
+        series = [self.network_latency, self.mean_latency, self.cv,
+                  self.delivered]
+        if (self.barrier_cv is None) != (self.barrier_network_latency is None):
+            raise ValueError(
+                "barrier_cv and barrier_network_latency must be set together"
+            )
+        if self.barrier_cv is not None:
+            series += [self.barrier_cv, self.barrier_network_latency]
+        if any(len(s) != n for s in series):
+            raise ValueError(
+                f"inconsistent broadcast partial: {n} sources but series"
+                f" lengths {[len(s) for s in series]}"
+            )
+
+    # -- views -------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Number of sources (replications) in the slice."""
+        return len(self.sources)
+
+    @property
+    def end(self) -> int:
+        """Global replication index one past the slice's last source."""
+        return self.offset + self.count
+
+    @property
+    def barrier(self) -> bool:
+        """Whether the slice carries barrier-twin samples."""
+        return self.barrier_cv is not None
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def from_results(
+        cls, results: Sequence[Dict[str, Any]], offset: int = 0
+    ) -> "BroadcastPartial":
+        """Pack per-source result dicts (the ``"broadcast"`` unit-runner
+        schema: source / network_latency / mean_latency / cv / delivered
+        plus the optional barrier twin fields) into one partial."""
+        barrier = bool(results) and "barrier_cv" in results[0]
+        if any(("barrier_cv" in r) != barrier for r in results):
+            raise ValueError(
+                "cannot mix barrier and non-barrier per-source results"
+            )
+        return cls(
+            offset=offset,
+            sources=tuple(tuple(int(c) for c in r["source"]) for r in results),
+            network_latency=tuple(float(r["network_latency"]) for r in results),
+            mean_latency=tuple(float(r["mean_latency"]) for r in results),
+            cv=tuple(float(r["cv"]) for r in results),
+            delivered=tuple(int(r["delivered"]) for r in results),
+            barrier_cv=(
+                tuple(float(r["barrier_cv"]) for r in results)
+                if barrier else None
+            ),
+            barrier_network_latency=(
+                tuple(float(r["barrier_network_latency"]) for r in results)
+                if barrier else None
+            ),
+        )
+
+    def results(self) -> List[Dict[str, Any]]:
+        """Unpack back into per-source result dicts (inverse of
+        :meth:`from_results`, replication order preserved)."""
+        out = []
+        for i in range(self.count):
+            result: Dict[str, Any] = {
+                "source": list(self.sources[i]),
+                "network_latency": self.network_latency[i],
+                "mean_latency": self.mean_latency[i],
+                "cv": self.cv[i],
+                "delivered": self.delivered[i],
+            }
+            if self.barrier:
+                result["barrier_cv"] = self.barrier_cv[i]
+                result["barrier_network_latency"] = (
+                    self.barrier_network_latency[i]
+                )
+            out.append(result)
+        return out
+
+    # -- serialisation -----------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain JSON-serialisable form (inverse: :meth:`from_dict`)."""
+        data: Dict[str, Any] = {
+            "offset": self.offset,
+            "sources": [list(s) for s in self.sources],
+            "network_latency": list(self.network_latency),
+            "mean_latency": list(self.mean_latency),
+            "cv": list(self.cv),
+            "delivered": list(self.delivered),
+        }
+        if self.barrier:
+            data["barrier_cv"] = list(self.barrier_cv)
+            data["barrier_network_latency"] = list(
+                self.barrier_network_latency
+            )
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "BroadcastPartial":
+        barrier = "barrier_cv" in data
+        return cls(
+            offset=int(data.get("offset", 0)),
+            sources=tuple(
+                tuple(int(c) for c in s) for s in data["sources"]
+            ),
+            network_latency=tuple(
+                float(v) for v in data["network_latency"]
+            ),
+            mean_latency=tuple(float(v) for v in data["mean_latency"]),
+            cv=tuple(float(v) for v in data["cv"]),
+            delivered=tuple(int(v) for v in data["delivered"]),
+            barrier_cv=(
+                tuple(float(v) for v in data["barrier_cv"])
+                if barrier else None
+            ),
+            barrier_network_latency=(
+                tuple(float(v) for v in data["barrier_network_latency"])
+                if barrier else None
+            ),
+        )
+
+
+def merge_broadcast_partials(
+    partials: Iterable[BroadcastPartial],
+) -> BroadcastPartial:
+    """Stitch contiguous cell slices back into one partial, exactly.
+
+    Slices may arrive in any order (e.g. from a worker pool); they are
+    sorted by ``offset`` and must tile the replication axis without
+    gaps or overlaps, all carrying (or all lacking) barrier twins.
+    Because every source is a whole observation, the merge is ordered
+    concatenation — bit-for-bit identical to the unsliced run.
+    """
+    parts = sorted(partials, key=lambda p: p.offset)
+    if not parts:
+        raise ValueError("nothing to merge")
+    start = parts[0].offset
+    # Empty slices (a split may cut twice at the same index) carry no
+    # samples — and cannot know whether their cell has barrier twins —
+    # so they neither constrain the barrier check nor the tiling.
+    parts = [p for p in parts if p.count] or parts[:1]
+    barrier = parts[0].barrier
+    if any(p.barrier != barrier for p in parts):
+        raise ValueError(
+            "cannot merge barrier and non-barrier broadcast partials"
+        )
+    pos = parts[0].offset
+    for part in parts:
+        if part.offset != pos:
+            kind = "overlapping" if part.offset < pos else "gapped"
+            raise ValueError(
+                f"{kind} broadcast partials: expected offset {pos},"
+                f" got {part.offset}"
+            )
+        pos = part.end
+
+    def cat(field: str) -> Optional[Tuple]:
+        if not barrier and field in _BROADCAST_BARRIER_FIELDS:
+            return None
+        out: List[Any] = []
+        for part in parts:
+            out.extend(getattr(part, field))
+        return tuple(out)
+
+    return BroadcastPartial(
+        offset=start,
+        sources=cat("sources"),
+        network_latency=cat("network_latency"),
+        mean_latency=cat("mean_latency"),
+        cv=cat("cv"),
+        delivered=cat("delivered"),
+        barrier_cv=cat("barrier_cv"),
+        barrier_network_latency=cat("barrier_network_latency"),
+    )
+
+
+def split_broadcast_results(
+    results: Sequence[Dict[str, Any]],
+    cuts: Sequence[int],
+    offset: int = 0,
+) -> List[BroadcastPartial]:
+    """Cut per-source results at ``cuts`` (relative indices) into
+    partials that tile the cell and merge back to
+    ``BroadcastPartial.from_results(results)`` — the broadcast twin of
+    :func:`split_observations`, for tests and shard planning."""
+    bounds = [0, *sorted(cuts), len(results)]
+    out = []
+    for lo, hi in zip(bounds, bounds[1:]):
+        if not 0 <= lo <= hi <= len(results):
+            raise ValueError(f"cut out of range: {lo}..{hi}")
+        out.append(
+            BroadcastPartial.from_results(results[lo:hi], offset=offset + lo)
+        )
+    return out
 
 
 def split_observations(

@@ -1,0 +1,220 @@
+"""Exactness of the broadcast-cell algebra (`repro.metrics.partial`).
+
+The load-bearing property behind sharded broadcast cells: however a
+cell's per-source sample sequence is cut into slices — and in whatever
+order the slices come back — merging the slice partials reproduces the
+unsliced cell bit for bit, across every shard count.  Mirrors
+`tests/test_partial_stats.py` for the broadcast-side partials; every
+assertion is exact equality, never approx.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics import (
+    BroadcastPartial,
+    merge_broadcast_partials,
+    split_broadcast_results,
+)
+
+
+# ------------------------------------------------------------ strategies
+def finite_floats():
+    return st.floats(
+        min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+    )
+
+
+@st.composite
+def source_result(draw, barrier):
+    result = {
+        "source": draw(
+            st.lists(
+                st.integers(min_value=0, max_value=15), min_size=3, max_size=3
+            )
+        ),
+        "network_latency": draw(finite_floats()),
+        "mean_latency": draw(finite_floats()),
+        "cv": draw(finite_floats()),
+        "delivered": draw(st.integers(min_value=0, max_value=4096)),
+    }
+    if barrier:
+        result["barrier_cv"] = draw(finite_floats())
+        result["barrier_network_latency"] = draw(finite_floats())
+    return result
+
+
+@st.composite
+def cell_and_cuts(draw):
+    barrier = draw(st.booleans())
+    results = draw(
+        st.lists(source_result(barrier), min_size=0, max_size=40)
+    )
+    n_cuts = draw(st.integers(min_value=0, max_value=8))
+    cuts = [
+        draw(st.integers(min_value=0, max_value=len(results)))
+        for _ in range(n_cuts)
+    ]
+    return results, cuts
+
+
+# ------------------------------------------------------------- properties
+@settings(max_examples=200, deadline=None)
+@given(cell_and_cuts())
+def test_merge_of_any_split_is_exact(case):
+    """merge(split(run)) == run, bit for bit, for every cut pattern —
+    i.e. across every shard count and slice shape a plan could pick."""
+    results, cuts = case
+    serial = BroadcastPartial.from_results(results)
+    parts = split_broadcast_results(results, cuts)
+    merged = merge_broadcast_partials(reversed(parts))  # order-free
+    assert merged == serial
+
+
+@settings(max_examples=100, deadline=None)
+@given(cell_and_cuts())
+def test_split_round_trips_per_source_results(case):
+    """Exploding the merged partial yields the very per-source dicts
+    the slices were built from, in replication order."""
+    results, cuts = case
+    merged = merge_broadcast_partials(split_broadcast_results(results, cuts))
+    assert merged.results() == [
+        {**r, "source": list(r["source"])} for r in results
+    ]
+    assert merged.count == len(results)
+    assert merged.offset == 0
+
+
+@settings(max_examples=100, deadline=None)
+@given(cell_and_cuts())
+def test_partial_round_trips_through_json(case):
+    results, _ = case
+    stat = BroadcastPartial.from_results(results, offset=3)
+    restored = BroadcastPartial.from_dict(
+        json.loads(json.dumps(stat.to_dict()))
+    )
+    assert restored == stat
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=1, max_value=40), st.integers(1, 40))
+def test_every_even_shard_count_merges_exactly(sources, shards):
+    """The shard planner's contiguous slices specifically: for every
+    (cell size, fan-out) pair the tiled slices merge back exactly."""
+    from repro.campaigns.shards import shard_source_slices
+
+    if shards > sources:
+        with pytest.raises(ValueError, match="--shards"):
+            shard_source_slices(sources, shards)
+        return
+    results = [
+        {
+            "source": [i, 0, 0],
+            "network_latency": float(i) * 1.25,
+            "mean_latency": float(i) * 0.5,
+            "cv": float(i) / 7.0,
+            "delivered": i,
+        }
+        for i in range(sources)
+    ]
+    slices = shard_source_slices(sources, shards)
+    assert [c for _, c in slices] == sorted(
+        (c for _, c in slices), reverse=True
+    )
+    assert sum(c for _, c in slices) == sources
+    parts = [
+        BroadcastPartial.from_results(results[o : o + c], offset=o)
+        for o, c in slices
+    ]
+    assert merge_broadcast_partials(parts) == BroadcastPartial.from_results(
+        results
+    )
+
+
+# ----------------------------------------------------------------- edges
+def _partial(n, offset=0, barrier=False):
+    return BroadcastPartial.from_results(
+        [
+            {
+                "source": [i, 0, 0],
+                "network_latency": 1.0,
+                "mean_latency": 0.5,
+                "cv": 0.1,
+                "delivered": 8,
+                **(
+                    {"barrier_cv": 0.2, "barrier_network_latency": 2.0}
+                    if barrier
+                    else {}
+                ),
+            }
+            for i in range(n)
+        ],
+        offset=offset,
+    )
+
+
+def test_merge_rejects_gaps_overlaps_and_mixed_barrier():
+    a = _partial(2, offset=0)
+    with pytest.raises(ValueError, match="gapped"):
+        merge_broadcast_partials([a, _partial(1, offset=5)])
+    with pytest.raises(ValueError, match="overlapping"):
+        merge_broadcast_partials([a, _partial(1, offset=1)])
+    with pytest.raises(ValueError, match="barrier"):
+        merge_broadcast_partials([a, _partial(1, offset=2, barrier=True)])
+    with pytest.raises(ValueError, match="nothing"):
+        merge_broadcast_partials([])
+
+
+def test_partial_validates_series_lengths_and_barrier_pairing():
+    with pytest.raises(ValueError, match="inconsistent"):
+        BroadcastPartial(
+            offset=0,
+            sources=((0, 0, 0),),
+            network_latency=(1.0, 2.0),  # wrong length
+            mean_latency=(0.5,),
+            cv=(0.1,),
+            delivered=(8,),
+        )
+    with pytest.raises(ValueError, match="together"):
+        BroadcastPartial(
+            offset=0,
+            sources=((0, 0, 0),),
+            network_latency=(1.0,),
+            mean_latency=(0.5,),
+            cv=(0.1,),
+            delivered=(8,),
+            barrier_cv=(0.2,),  # missing barrier_network_latency
+        )
+    with pytest.raises(ValueError, match="mix"):
+        BroadcastPartial.from_results(
+            [
+                {
+                    "source": [0, 0, 0],
+                    "network_latency": 1.0,
+                    "mean_latency": 0.5,
+                    "cv": 0.1,
+                    "delivered": 8,
+                },
+                {
+                    "source": [1, 0, 0],
+                    "network_latency": 1.0,
+                    "mean_latency": 0.5,
+                    "cv": 0.1,
+                    "delivered": 8,
+                    "barrier_cv": 0.2,
+                    "barrier_network_latency": 2.0,
+                },
+            ]
+        )
+
+
+def test_empty_slices_merge_away():
+    """A plan may cut twice at the same index; empty slices carry no
+    samples and must not break contiguity."""
+    results = _partial(3).results()
+    parts = split_broadcast_results(results, [1, 1, 3])
+    assert merge_broadcast_partials(parts) == BroadcastPartial.from_results(
+        results
+    )

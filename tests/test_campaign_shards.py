@@ -14,6 +14,7 @@ The contract under test (see `repro/campaigns/shards.py`):
   shorter than the unit.
 """
 
+import threading
 import time
 
 import pytest
@@ -25,14 +26,22 @@ from repro.campaigns import (
     execute_unit,
     freeze_params,
     merge_shard_records,
+    planned_shards,
     run_campaign,
     shard_specs,
     unit_shards,
 )
 from repro.campaigns.pool import estimate_unit_cost, lease_heartbeat
-from repro.campaigns.shards import SHARD_KIND, shard_batch_slices
+from repro.campaigns.shards import (
+    BROADCAST_CELL_KIND,
+    BROADCAST_SHARD_KIND,
+    SHARD_KIND,
+    shard_batch_slices,
+    shard_source_slices,
+)
 from repro.campaigns.store import JsonlStore
 from repro.cli import main
+from repro.experiments.runner import campaign_for
 from repro.experiments.traffic_sweep import run_traffic_sweep, traffic_campaign
 
 
@@ -218,8 +227,348 @@ def test_cli_status_reports_shard_progress(tmp_path, capsys, monkeypatch):
     assert "2/2 shards, merge pending" in capsys.readouterr().out
 
 
-def test_cli_shards_note_for_broadcast_grids(capsys, monkeypatch, tmp_path):
+# ------------------------------------------------------- broadcast cells
+def broadcast_cell(sources=5, barrier=False, **overrides):
+    fields = dict(
+        experiment="fig1",
+        kind=BROADCAST_CELL_KIND,
+        algorithm="DB",
+        dims=(4, 4, 4),
+        length_flits=64,
+        seed=0,
+        params=freeze_params(
+            sources_count=sources,
+            startup_latency=1.5,
+            barrier=barrier or None,
+        ),
+    )
+    fields.update(overrides)
+    return UnitSpec(**fields)
+
+
+def test_broadcast_cell_planning_is_pure():
+    cell = broadcast_cell(sources=5)
+    plan_a, plan_b = shard_specs(cell, 3), shard_specs(cell, 3)
+    assert [s.unit_hash for s in plan_a] == [s.unit_hash for s in plan_b]
+    assert [
+        (s.param("source_offset"), s.param("source_count")) for s in plan_a
+    ] == [(0, 2), (2, 2), (4, 1)]
+    for k, shard in enumerate(plan_a):
+        assert shard.kind == BROADCAST_SHARD_KIND
+        assert shard.shard_index == k
+        assert shard.param("sources_count") is None
+    assert shard_source_slices(5, 3) == [(0, 2), (2, 2), (4, 1)]
+    assert sum(c for _, c in shard_source_slices(40, 7)) == 40
+    with pytest.raises(ValueError, match="--shards"):
+        shard_source_slices(2, 3)
+    with pytest.raises(ValueError, match="fan-out"):
+        shard_specs(cell)  # a cell has no hashed fan-out to default to
+
+
+def test_broadcast_cell_hash_is_fan_out_free():
+    """The fan-out is work division, not protocol: requesting 4, 5 or
+    'auto' shards declares the *same* cell units, so any pool's merged
+    record satisfies any other pool's campaign."""
+    from repro.experiments.common import broadcast_units
+
+    grids = [
+        broadcast_units(
+            "fig1", [(4, 4, 4)], ["DB"], 64, "quick", 0, shards=shards
+        )
+        for shards in (4, 5, "auto")
+    ]
+    hashes = [[u.unit_hash for u in grid] for grid in grids]
+    assert hashes[0] == hashes[1] == hashes[2]
+    assert all(u.kind == BROADCAST_CELL_KIND for grid in grids for u in grid)
+    # while shards=1 keeps the PR-4 per-replication protocol, untouched
+    plain = broadcast_units("fig1", [(4, 4, 4)], ["DB"], 64, "quick", 0)
+    assert all(u.kind == "broadcast" for u in plain)
+    assert len(plain) == 5  # quick scale: one unit per source
+
+
+def test_planned_shards_resolution():
+    cell = broadcast_cell(sources=5)
+    assert planned_shards(cell, requested=3) == 3
+    assert planned_shards(cell, requested=8) == 5  # capped by sources
+    assert planned_shards(cell, requested=1) == 1
+    assert planned_shards(cell, requested="auto", workers=4) == 4
+    assert planned_shards(cell, requested="auto", workers=1) == 1
+    # traffic parents are self-describing; the request is ignored
+    parent = traffic_parent(shards=4)
+    assert planned_shards(parent, requested=2) == 4
+    assert planned_shards(parent, requested="auto") == 4
+    # per-replication broadcast units never shard
+    plain = broadcast_cell(kind="broadcast", params=freeze_params())
+    assert planned_shards(plain, requested="auto", workers=8) == 1
+
+
+def test_broadcast_cell_execution_paths_are_byte_identical(tmp_path):
+    """The cell acceptance diff: inline definition vs every fan-out,
+    serial or pooled — and a mid-merge resume — all byte-identical."""
+    cell = broadcast_cell(sources=5, barrier=True)
+    spec = CampaignSpec(name="cell-diff", seed=0, units=(cell,))
+
+    inline = execute_unit(cell)  # the definition: all sources in order
+    serial_k3 = run_campaign(spec, workers=1, shards=3)[0]
+    parallel_k5 = run_campaign(spec, workers=4, shards=5)[0]
+    assert serial_k3.result == inline.result == parallel_k5.result
+
+    # resumed from a store holding only a 2-way plan's shard records
+    # ("interrupted before the merge"): the merge is re-derived from a
+    # *different* fan-out than the request — still byte-identical.
+    store = JsonlStore(tmp_path / "cell-mid-merge.jsonl")
+    for shard in shard_specs(cell, 2):
+        store.append(execute_unit(shard))
+    resumed = run_campaign(spec, workers=1, store=store, shards=2)[0]
+    assert resumed.result == inline.result
+    merged = store.get(cell.unit_hash)
+    assert merged is not None and merged.result == inline.result
+
+
+def _fig1_rows(shards, workers, store=None):
+    from repro.experiments.common import broadcast_units, campaign, run_units
+
+    units = broadcast_units(
+        "fig1", [(4, 4, 4), (8, 8, 8)], ["RD", "DB"], 100, "quick", 0,
+        startup_latency=1.5, shards=shards,
+    )
+    spec = campaign("fig1", units, "quick", 0)
+    return run_units(
+        "fig1", spec, workers=workers, store=store, shards=shards
+    )
+
+
+def test_quick_fig1_rows_sharded_vs_serial_golden_diff(tmp_path, monkeypatch):
+    """The acceptance diff: quick-scale fig1 rows at --shards 4
+    --workers 4 and at --shards auto, byte-identical to the serial
+    unsharded run."""
+    monkeypatch.chdir(tmp_path)  # no ambient campaigns/cost_model.json
+    serial = _fig1_rows(shards=1, workers=1)
+    sharded = _fig1_rows(shards=4, workers=4)
+    auto = _fig1_rows(shards="auto", workers=2)
+    assert serial == sharded  # dataclass equality: every float equal
+    assert serial == auto
+    assert all(row.samples == 5 for row in serial)
+
+
+def test_quick_fig2_rows_sharded_vs_serial_golden_diff(monkeypatch, tmp_path):
+    """Same diff for a barrier-twin grid (fig2): each source's
+    event-driven run and its barrier twin shard as a pair."""
+    from repro.experiments.common import broadcast_units, campaign, run_units
+
     monkeypatch.chdir(tmp_path)
+
+    def rows(shards, workers):
+        units = broadcast_units(
+            "fig2", [(4, 4, 4), (4, 4, 16)], ["RD", "DB"], 100, "quick", 0,
+            barrier=True, startup_latency=1.5, shards=shards,
+        )
+        spec = campaign("fig2", units, "quick", 0)
+        return run_units("fig2", spec, workers=workers, shards=shards)
+
+    serial = rows(shards=1, workers=1)
+    sharded = rows(shards=4, workers=4)
+    auto = rows(shards="auto", workers=2)
+    assert serial == sharded
+    assert serial == auto
+    assert all(row.mean_cv_barrier > 0 for row in serial)
+
+
+def test_two_pools_share_one_broadcast_cell(tmp_path):
+    """Two pools with *different* fan-out requests on one sqlite store
+    still converge on one merged cell record, byte-identical to the
+    single-pool result (the cell's hash is fan-out-free)."""
+    cell = broadcast_cell(sources=5)
+    spec = CampaignSpec(name="cell-pools", seed=0, units=(cell,))
+    reference = execute_unit(cell)
+
+    store = SqliteStore(tmp_path / "cell-pools.sqlite")
+    first = run_campaign(spec, workers=2, store=store, shards=5)
+    second = run_campaign(spec, workers=2, store=store, shards=2)
+    assert first[0].result == second[0].result == reference.result
+
+
+def test_traffic_auto_resolves_at_declaration(tmp_path, monkeypatch):
+    """Traffic `auto` is protocol, so it pins per-point shard counts
+    into the hashed params when the grid is declared — identically on
+    every redeclaration — and stays unsharded without model evidence."""
+    import math
+
+    from repro.campaigns.costmodel import CostModel
+
+    monkeypatch.chdir(tmp_path)
+    kwargs = dict(scale="smoke", shards="auto", loads=[1.0],
+                  algorithms=["DB"])
+    [plain] = traffic_campaign("fig3", **kwargs).units
+    assert unit_shards(plain) == 1  # no fitted model, no protocol change
+
+    # A model predicting 5 s per observation makes every shard worth
+    # its budget; smoke retains 2 batches, so auto caps at 2.
+    CostModel(
+        weights=(math.log(5.0), 0.0, 0.0, 0.0, 1.0, 0.0, 0.0),
+        samples=8,
+        r_squared=1.0,
+    ).save()
+    spec = traffic_campaign("fig3", **kwargs)
+    [parent] = spec.units
+    assert unit_shards(parent) == 2
+    # status/aggregate redeclare the grid later: identical hashes.
+    assert traffic_campaign("fig3", **kwargs).unit_hashes() == (
+        spec.unit_hashes()
+    )
+
+
+def test_cli_shards_flag_rejects_junk(capsys):
+    for bad in ("0", "-2", "bogus"):
+        with pytest.raises(SystemExit):
+            main(["fig1", "--shards", bad])
+        assert "positive count" in capsys.readouterr().err
+
+
+# ----------------------------------------------------- failure-path leases
+def test_lease_heartbeat_stops_cleanly_when_shard_raises(
+    tmp_path, monkeypatch
+):
+    """A shard runner that raises mid-execution must not leave the
+    lease-heartbeat daemon running nor the shard's lease held."""
+    import repro.campaigns.units  # noqa: F401 — register built-in runners
+    from repro.campaigns import pool as pool_mod
+
+    def boom(spec):
+        raise RuntimeError("shard exploded")
+
+    monkeypatch.setitem(pool_mod._UNIT_RUNNERS, SHARD_KIND, boom)
+    parent = traffic_parent(shards=2)
+    spec = CampaignSpec(name="boom", seed=0, units=(parent,))
+    store = SqliteStore(tmp_path / "boom.sqlite")
+
+    def heartbeats():
+        return [
+            t for t in threading.enumerate()
+            if t.name.startswith("lease-heartbeat")
+        ]
+
+    with pytest.raises(RuntimeError, match="shard exploded"):
+        run_campaign(spec, workers=1, store=store)
+    deadline = time.time() + 5.0
+    while heartbeats() and time.time() < deadline:
+        time.sleep(0.01)
+    assert heartbeats() == []
+    assert store.leased_hashes() == set()  # released on the failure path
+
+
+# ------------------------------------------------------ merge idempotence
+class _PeerMergedStore(JsonlStore):
+    """Simulates the racing-pool interleaving: the parent's merged
+    record lands (via a peer) *after* this pool's startup snapshot, so
+    the snapshot misses it but point lookups see it."""
+
+    def __init__(self, path, hidden_hash):
+        super().__init__(path)
+        self._hidden = hidden_hash
+        self._scans = 0
+
+    def records(self):
+        records = super().records()
+        if self._scans == 0:
+            records.pop(self._hidden, None)
+        self._scans += 1
+        return records
+
+
+def test_second_pool_does_not_duplicate_a_peer_merged_parent(
+    tmp_path, capsys, monkeypatch
+):
+    """Satellite fix: a merged parent re-observed by a second pool must
+    be adopted, not re-merged-and-re-appended — the store keeps exactly
+    one parent record and `campaign status` counts the unit once."""
+    monkeypatch.chdir(tmp_path)
+    spec = traffic_campaign("fig3", scale="smoke", shards=2, loads=[1.0],
+                            algorithms=["DB"])
+    [parent] = spec.units
+    path = tmp_path / "campaigns" / f"{spec.name}.jsonl"
+    seed_store = JsonlStore(path)
+    for shard in shard_specs(parent):
+        seed_store.append(execute_unit(shard))
+    merged = merge_shard_records(
+        parent, [execute_unit(s) for s in shard_specs(parent)]
+    )
+    seed_store.append(merged)  # the peer pool's merge
+
+    def parent_lines():
+        return sum(
+            1 for line in path.read_text().splitlines()
+            if f'"{parent.unit_hash}"' in line
+        )
+
+    assert parent_lines() == 1
+    store = _PeerMergedStore(path, parent.unit_hash)
+    records = run_campaign(spec, workers=1, store=store)
+    assert records[0].result == merged.result
+    assert parent_lines() == 1  # adopted, not re-appended
+
+    # The full fig3 grid has 28 points; exactly the merged one counts
+    # complete — once — and it gets no shard-progress line.
+    assert main(["campaign", "status", "fig3", "--scale", "smoke",
+                 "--shards", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "1/28 units complete" in out
+    assert "fig3/DB@8x8x8 L=32 load=1 r0" not in out
+
+
+def test_cli_status_reports_broadcast_cell_progress(
+    capsys, monkeypatch, tmp_path
+):
+    """Broadcast grids shard now: a fixed --shards K prints per-cell
+    shard progress, and --shards auto (whose plan is whatever the
+    executing pools picked) infers progress from the stored shard
+    records."""
+    monkeypatch.chdir(tmp_path)
+    spec = campaign_for("fig1", "smoke", 0, shards=2)
+    [cell] = [
+        u for u in spec.units
+        if u.algorithm == "DB" and u.dims == (4, 4, 4)
+    ]
+    store = JsonlStore(tmp_path / "campaigns" / f"{spec.name}.jsonl")
+    store.append(execute_unit(shard_specs(cell, 2)[0]))
+
     assert main(["campaign", "status", "fig1", "--scale", "smoke",
-                 "--shards", "4"]) == 0
-    assert "runs unsharded" in capsys.readouterr().out
+                 "--shards", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "0/16 units complete" in out
+    assert "fig1/DB@4x4x4 L=100 r0: 1/2 shards, 1 to run" in out
+
+    # auto has no pre-agreed fan-out; the landed shard's slice is
+    # attributed to its cell through the store.  A slice from a
+    # larger-scale plan sharing the store (same cell key, but it
+    # reaches past this scale's replication count) must not inflate
+    # the coverage.
+    quick_cell = broadcast_cell(
+        experiment="fig1", algorithm="DB", dims=(4, 4, 4),
+        length_flits=100, sources=5,
+        params=freeze_params(sources_count=5, startup_latency=1.5),
+    )
+    store.append(execute_unit(shard_specs(quick_cell, 2)[0]))  # 0..3
+    assert main(["campaign", "status", "fig1", "--scale", "smoke",
+                 "--shards", "auto"]) == 0
+    out = capsys.readouterr().out
+    assert "fig1/DB@4x4x4 L=100 r0: 1/2 sources in 1 auto shard(s)" in out
+    assert "1 sources to run" in out
+
+    # Shards of *mixed* abandoned plans overlap; coverage is the
+    # interval union of distinct sources, never a double count.
+    [cell5] = [
+        u for u in campaign_for("fig1", "quick", 0, shards=2).units
+        if u.algorithm == "DB" and u.dims == (4, 4, 4)
+    ]
+    store5 = JsonlStore(
+        tmp_path / "campaigns" / "fig1-quick-s0.jsonl"
+    )
+    for shard in shard_specs(cell5, 3)[:2]:  # covers sources 0..4
+        store5.append(execute_unit(shard))
+    store5.append(execute_unit(shard_specs(cell5, 2)[0]))  # covers 0..3
+    assert main(["campaign", "status", "fig1", "--scale", "quick",
+                 "--shards", "auto"]) == 0
+    out = capsys.readouterr().out
+    assert "fig1/DB@4x4x4 L=100 r0: 4/5 sources in 3 auto shard(s)" in out
+    assert "1 sources to run" in out

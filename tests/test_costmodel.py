@@ -8,6 +8,7 @@ import pytest
 from repro.campaigns.costmodel import (
     FEATURE_NAMES,
     CostModel,
+    auto_shard_count,
     cost_features,
     fit_cost_model,
     load_cost_model,
@@ -130,6 +131,91 @@ def test_traffic_features_scale_with_batch_budget():
     assert names["log_batch_budget"] == pytest.approx(math.log(1000))
     model = CostModel(weights=(0.0, 0.0, 0.0, 0.0, 1.0, 0.0), samples=1, r_squared=1.0)
     assert model.predict(heavy) > model.predict(light)
+
+
+# ---------------------------------------------------------- --shards auto
+def _flat_model(seconds):
+    """A model predicting ``seconds`` per source/batch of budget.
+
+    Weights: only the intercept and the budget term are non-zero, so a
+    unit with budget B predicts ``seconds * B`` wall seconds — easy to
+    reason about in cap/inversion tests.
+    """
+    return CostModel(
+        weights=(math.log(seconds), 0.0, 0.0, 0.0, 1.0, 0.0, 0.0),
+        samples=8,
+        r_squared=1.0,
+    )
+
+
+def _cell(sources=8, **params):
+    return _unit(
+        (8, 8, 8), kind="broadcast-cell", sources_count=sources, **params
+    )
+
+
+def test_auto_caps_by_workers_and_replications():
+    # No model: a broadcast cell maximises parallelism within the caps.
+    assert auto_shard_count(_cell(sources=8), None, workers=4) == 4
+    assert auto_shard_count(_cell(sources=3), None, workers=8) == 3
+    assert auto_shard_count(_cell(sources=8), None) == 8  # no worker cap
+    assert auto_shard_count(_cell(sources=1), None, workers=8) == 1
+    assert auto_shard_count(_cell(sources=8), None, workers=1) == 1
+
+
+def test_auto_inverts_per_shard_budget():
+    # 1 s per source, 2 s minimum per shard: an 8-source cell supports
+    # at most 4 shards of >= 2 sources each.
+    model = _flat_model(1.0)
+    assert auto_shard_count(_cell(sources=8), model, workers=8) == 4
+    # Expensive sources justify the full fan-out...
+    assert auto_shard_count(_cell(sources=8), _flat_model(5.0), workers=8) == 8
+    # ...while cheap cells are not worth slicing at all.
+    assert auto_shard_count(_cell(sources=8), _flat_model(0.01), workers=8) == 1
+    # A custom per-shard budget moves the knee.
+    assert (
+        auto_shard_count(_cell(sources=8), model, workers=8, min_shard_s=4.0)
+        == 2
+    )
+
+
+def test_auto_traffic_needs_model_evidence():
+    """The shard count of a traffic point is measurement protocol, so
+    without a fitted model `auto` must leave it unsharded — unlike a
+    broadcast cell, whose fan-out cannot change the result."""
+    point = _unit(
+        (8, 8, 8), load=4.0, kind="traffic",
+        batch_size=25, num_batches=21, discard=1,
+    )
+    assert auto_shard_count(point, None, workers=8) == 1
+    # With evidence, the inversion applies (even the narrowest shard
+    # of the 8-way plan — 2 retained + 1 warm-up batch of 25 obs —
+    # clears the 2 s budget at 0.05 s per observation).
+    assert auto_shard_count(point, _flat_model(0.05), workers=8) == 8
+    # Capped by the retained batch budget, never beyond it.
+    narrow = _unit(
+        (8, 8, 8), load=4.0, kind="traffic",
+        batch_size=25, num_batches=4, discard=1,
+    )
+    assert auto_shard_count(narrow, _flat_model(10.0), workers=16) == 3
+
+
+def test_auto_other_kinds_never_shard():
+    assert auto_shard_count(_unit((8, 8, 8)), _flat_model(99.0), workers=8) == 1
+
+
+def test_broadcast_cell_features_scale_with_sources():
+    cell = _cell(sources=40)
+    names = dict(zip(FEATURE_NAMES, cost_features(cell)))
+    assert names["log_batch_budget"] == pytest.approx(math.log(40))
+    assert names["shard"] == 0.0
+    from repro.campaigns.shards import shard_specs
+
+    shard = shard_specs(cell, 4)[0]
+    shard_names = dict(zip(FEATURE_NAMES, cost_features(shard)))
+    assert shard_names["log_batch_budget"] == pytest.approx(math.log(10))
+    assert shard_names["shard"] == 1.0
+    assert estimate_unit_cost(shard) < estimate_unit_cost(cell)
 
 
 def test_cli_fit_cost_end_to_end(tmp_path, monkeypatch, capsys):
