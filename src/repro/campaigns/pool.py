@@ -58,18 +58,22 @@ from __future__ import annotations
 import math
 import threading
 import time
+import warnings
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from contextlib import contextmanager
-from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.campaigns.spec import CampaignSpec, UnitSpec
 from repro.campaigns.store import (
     DEFAULT_LEASE_TTL_S,
     CampaignStore,
+    TracedStore,
     UnitRecord,
     make_owner_id,
 )
+from repro.obs.trace import NULL_TRACER
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.campaigns.costmodel import CostModel
@@ -185,11 +189,18 @@ def order_units(
 
 
 # --------------------------------------------------------------- execution
-def execute_unit(spec: UnitSpec) -> UnitRecord:
+def execute_unit(spec: UnitSpec, tracer: Any = NULL_TRACER) -> UnitRecord:
     """Run one unit and wrap its result as a :class:`UnitRecord`."""
     runner = _runner_for(spec.kind)
     started = time.perf_counter()
-    result = runner(spec)
+    with tracer.span(
+        "unit.execute",
+        cat="unit",
+        unit=spec.unit_hash,
+        kind=spec.kind,
+        experiment=spec.experiment,
+    ):
+        result = runner(spec)
     return UnitRecord(
         unit_hash=spec.unit_hash,
         experiment=spec.experiment,
@@ -205,6 +216,7 @@ def lease_heartbeat(
     unit_hash: str,
     owner: str,
     ttl_s: float = DEFAULT_LEASE_TTL_S,
+    tracer: Any = NULL_TRACER,
 ):
     """Refresh a unit's lease from the process executing it.
 
@@ -213,7 +225,11 @@ def lease_heartbeat(
     unit's duration: a *live* worker keeps its lease fresh forever,
     while a crashed worker stops heartbeating and loses the unit one
     TTL later.  Best-effort by design — a failed refresh only means
-    peers may duplicate (never corrupt) the unit's work.
+    peers may duplicate (never corrupt) the unit's work — but never
+    *silent*: each failure emits a ``heartbeat.error`` trace event and
+    a :class:`RuntimeWarning`, so a store that keeps rejecting
+    refreshes shows up instead of manifesting as mystery duplicate
+    work minutes later.
 
     One deliberate race: a refresh that is already in flight when the
     unit finishes can re-create the lease *after* the pool released
@@ -234,8 +250,23 @@ def lease_heartbeat(
         while not stop.wait(ttl_s / 3.0):
             try:
                 store.try_claim(unit_hash, owner, ttl_s=ttl_s)
-            except Exception:  # pragma: no cover - e.g. store unreachable
-                pass  # the TTL still bounds how stale the lease can get
+            except Exception as exc:  # e.g. store unreachable
+                # The TTL still bounds how stale the lease can get, but
+                # surface the failure: peers may now duplicate the unit.
+                tracer.event(
+                    "heartbeat.error",
+                    cat="lease",
+                    unit=unit_hash,
+                    error=repr(exc),
+                )
+                warnings.warn(
+                    f"lease heartbeat for unit {unit_hash[:12]} failed"
+                    f" ({exc!r}); the lease may expire mid-run and a"
+                    f" concurrent pool may duplicate this unit's work",
+                    RuntimeWarning,
+                )
+            else:
+                tracer.event("heartbeat.beat", cat="lease", unit=unit_hash)
 
     thread = threading.Thread(
         target=beat, daemon=True, name=f"lease-heartbeat-{unit_hash[:8]}"
@@ -248,21 +279,49 @@ def lease_heartbeat(
         thread.join(timeout=1.0)
 
 
+#: (trace_dir, role) → this process's tracer.  Tracers hold open file
+#: handles and thread-local state, so they never cross process
+#: boundaries — the pool ships the spool *directory* instead and every
+#: process (coordinator and workers alike) lazily builds one tracer
+#: writing to its own ``<role>-<pid>.jsonl`` file.
+_PROCESS_TRACERS: Dict[Any, Any] = {}
+
+
+def _process_tracer(trace_dir: Optional[Union[str, Path]], role: str) -> Any:
+    """This process's tracer for a spool dir (``NULL_TRACER`` if none)."""
+    if trace_dir is None:
+        return NULL_TRACER
+    import os
+
+    from repro.obs.trace import JsonlSink, Tracer, worker_trace_path
+
+    key = (str(trace_dir), role)
+    tracer = _PROCESS_TRACERS.get(key)
+    if tracer is None:
+        path = worker_trace_path(trace_dir, role, os.getpid())
+        tracer = Tracer(JsonlSink(path), role=role)
+        _PROCESS_TRACERS[key] = tracer
+    return tracer
+
+
 def _execute_payload(
     payload: Dict[str, Any],
     store: Optional[CampaignStore] = None,
     owner: str = "",
     ttl_s: float = DEFAULT_LEASE_TTL_S,
+    trace_dir: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Worker-process entry point (module-level so it pickles).
 
     The worker refreshes its own unit's lease while executing it (see
     :func:`lease_heartbeat`); the coordinating pool only claims and
-    releases.
+    releases.  When the campaign is traced the worker spools its
+    ``unit.execute`` spans to its own per-pid file in ``trace_dir``.
     """
     spec = UnitSpec.from_dict(payload)
-    with lease_heartbeat(store, spec.unit_hash, owner, ttl_s):
-        return execute_unit(spec).to_dict()
+    tracer = _process_tracer(trace_dir, "worker")
+    with lease_heartbeat(store, spec.unit_hash, owner, ttl_s, tracer=tracer):
+        return execute_unit(spec, tracer=tracer).to_dict()
 
 
 def _warm_from_caches(
@@ -270,6 +329,7 @@ def _warm_from_caches(
     records: Dict[str, UnitRecord],
     store: Optional[CampaignStore],
     cache: Sequence[CampaignStore],
+    tracer: Any = NULL_TRACER,
 ) -> int:
     """Copy cache hits into ``records`` (and the primary store)."""
     hits = 0
@@ -280,6 +340,12 @@ def _warm_from_caches(
                 continue
             record = cached[unit_hash]
             records[unit_hash] = record
+            tracer.event(
+                "cache.hit",
+                cat="cache",
+                unit=unit_hash,
+                source=cache_store.describe(),
+            )
             if store is not None:
                 store.append(record)
             hits += 1
@@ -298,8 +364,75 @@ def run_campaign(
     shards: int | str = 1,
     lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
     poll_interval_s: float = 0.5,
+    trace_dir: Optional[Union[str, Path]] = None,
 ) -> List[UnitRecord]:
     """Execute a campaign and return its records in declaration order.
+
+    Parameters are documented on :func:`_run_campaign`'s body below,
+    except:
+
+    trace_dir:
+        When given, the run is traced: this pool process and every
+        worker spool span/event records (campaign → unit → merge
+        spans; claim / steal / heartbeat / cache-hit events; store op
+        latencies) into per-process JSONL files under this directory.
+        ``None`` (the default) traces nothing and costs nothing — the
+        producers all run against the shared no-op tracer.  Tracing is
+        pure observation: records, row order and stored bytes are
+        identical either way.
+    """
+    tracer = _process_tracer(trace_dir, "pool")
+    try:
+        with tracer.span(
+            "campaign",
+            cat="campaign",
+            campaign=spec.name,
+            units=len(spec),
+            workers=workers,
+            schedule=schedule,
+            shards=str(shards),
+        ):
+            return _run_campaign(
+                spec,
+                workers,
+                store,
+                progress,
+                schedule=schedule,
+                cache=cache,
+                cost_model=cost_model,
+                shards=shards,
+                lease_ttl_s=lease_ttl_s,
+                poll_interval_s=poll_interval_s,
+                trace_dir=None if trace_dir is None else str(trace_dir),
+                tracer=tracer,
+            )
+    finally:
+        # The pool's spool file lives exactly as long as its campaign:
+        # drop the cached tracer and close the handle (a resumed run
+        # re-opens the same file in append mode).  Worker tracers are
+        # closed implicitly when the worker processes exit with the
+        # executor.
+        if tracer.enabled:
+            _PROCESS_TRACERS.pop((str(trace_dir), "pool"), None)
+            tracer.close()
+
+
+def _run_campaign(
+    spec: CampaignSpec,
+    workers: int = 1,
+    store: Optional[CampaignStore] = None,
+    progress: Optional[ProgressFn] = None,
+    *,
+    schedule: str = "fifo",
+    cache: Sequence[CampaignStore] = (),
+    cost_model: Optional["CostModel"] = None,
+    shards: int | str = 1,
+    lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+    poll_interval_s: float = 0.5,
+    trace_dir: Optional[str] = None,
+    tracer: Any = NULL_TRACER,
+) -> List[UnitRecord]:
+    """The campaign engine (:func:`run_campaign` wraps it in a span).
 
     Parameters
     ----------
@@ -409,6 +542,13 @@ def run_campaign(
             for shard in plan:
                 shard_parent[shard.unit_hash] = unit.unit_hash
 
+    # Workers get the raw store (tracers hold file handles and never
+    # pickle); the coordinator's own store ops go through the traced
+    # wrapper so backend latencies land in the trace.
+    raw_store = store
+    if tracer.enabled and store is not None:
+        store = TracedStore(store, tracer)
+
     wanted = spec.unit_hashes()
     wanted += [s.unit_hash for plan in shard_plan.values() for s in plan]
     records: Dict[str, UnitRecord] = {}
@@ -417,7 +557,7 @@ def run_campaign(
         records = {
             h: rec for h, rec in store.records().items() if h in wanted_set
         }
-    cache_hits = _warm_from_caches(wanted, records, store, cache)
+    cache_hits = _warm_from_caches(wanted, records, store, cache, tracer)
 
     owner = make_owner_id()
     claiming = store is not None and store.supports_leases
@@ -433,6 +573,7 @@ def run_campaign(
     def absorb(record: UnitRecord) -> None:
         """Adopt a record a peer pool or cache already persisted."""
         records[record.unit_hash] = record
+        tracer.event("unit.absorbed", cat="campaign", unit=record.unit_hash)
         _after_land(record.unit_hash)
 
     def _after_land(unit_hash: str) -> None:
@@ -458,7 +599,11 @@ def run_campaign(
             if existing is not None:
                 absorb(existing)
                 return
-        finish(merge_shard_records(parent_by_hash[parent_hash], members))
+        with tracer.span(
+            "unit.merge", cat="unit", unit=parent_hash, shards=len(members)
+        ):
+            merged = merge_shard_records(parent_by_hash[parent_hash], members)
+        finish(merged)
 
     # Resume mid-merge: a prior run may have completed every shard of
     # a parent without persisting the merge (the merge is idempotent
@@ -497,6 +642,7 @@ def run_campaign(
 
     queue = deque(order_units(pending, schedule, cost_model))
     deferred: List[UnitSpec] = []  # leased by a concurrent pool
+    deferred_ever: set = set()  # a later claim of these is a steal/retry
     last_wait_note = -1  # dedupe "waiting on N" progress lines
     max_active = min(workers, max(len(queue), 1))
     pool = (
@@ -515,8 +661,22 @@ def run_campaign(
                     if not store.try_claim(
                         unit.unit_hash, owner, ttl_s=lease_ttl_s
                     ):
+                        tracer.event(
+                            "lease.deferred", cat="lease", unit=unit.unit_hash
+                        )
+                        deferred_ever.add(unit.unit_hash)
                         deferred.append(unit)
                         continue
+                    # A previously deferred unit claimed now means the
+                    # peer's lease expired without a record landing —
+                    # an effective steal of a stale lease.
+                    tracer.event(
+                        "lease.steal"
+                        if unit.unit_hash in deferred_ever
+                        else "lease.claim",
+                        cat="lease",
+                        unit=unit.unit_hash,
+                    )
                     # A peer may have completed-and-released this unit
                     # after our snapshot of the store; peers append
                     # before releasing, so a fresh claim with a stored
@@ -533,8 +693,9 @@ def run_campaign(
                             unit.unit_hash,
                             owner,
                             lease_ttl_s,
+                            tracer=tracer,
                         ):
-                            record = execute_unit(unit)
+                            record = execute_unit(unit, tracer=tracer)
                         finish(record)
                     except BaseException:
                         if claiming:  # don't strand the lease
@@ -543,14 +704,17 @@ def run_campaign(
                 else:
                     # Each worker heartbeats its own lease while the
                     # unit runs (see lease_heartbeat), so the TTL can
-                    # sit below the longest unit's duration.
+                    # sit below the longest unit's duration.  Workers
+                    # take the *raw* store — their own tracer (built
+                    # from trace_dir) covers their side.
                     active[
                         pool.submit(
                             _execute_payload,
                             unit.as_dict(),
-                            store if claiming else None,
+                            raw_store if claiming else None,
                             owner,
                             lease_ttl_s,
+                            trace_dir,
                         )
                     ] = unit
             if active:

@@ -54,6 +54,7 @@ __all__ = [
     "SharedDirStore",
     "BACKENDS",
     "DEFAULT_LEASE_TTL_S",
+    "TracedStore",
     "open_store",
     "default_store_path",
     "make_owner_id",
@@ -339,6 +340,7 @@ class SqliteStore(CampaignStore):
     def __init__(self, path: str | Path):
         self.path = Path(path)
         self._schema_ready = False
+        self._wal_ready = False
 
     @contextmanager
     def _connect(self) -> Iterator[sqlite3.Connection]:
@@ -352,8 +354,20 @@ class SqliteStore(CampaignStore):
         con = sqlite3.connect(self.path, timeout=30.0)
         try:
             con.execute("PRAGMA busy_timeout=30000")
+            if not self._wal_ready:
+                try:
+                    con.execute("PRAGMA journal_mode=WAL")
+                    self._wal_ready = True
+                except sqlite3.OperationalError:
+                    # Switching journal modes takes an exclusive lock
+                    # the busy handler cannot wait out while a peer
+                    # pool holds a shared lock mid-conversion (two
+                    # pools racing to open a fresh store).  WAL is a
+                    # throughput preference, not a correctness
+                    # requirement: proceed in the current mode and try
+                    # again on the next connection.
+                    pass
             if not self._schema_ready:
-                con.execute("PRAGMA journal_mode=WAL")
                 for statement in self._SCHEMA:
                     con.execute(statement)
                 self._schema_ready = True
@@ -630,6 +644,96 @@ class SharedDirStore(CampaignStore):
             if data is not None and data["expires_at"] > now:
                 live.add(entry.name[: -len(".lease")])
         return live
+
+
+class TracedStore(CampaignStore):
+    """A store wrapper that times every backend operation as a span.
+
+    Wraps any :class:`CampaignStore` and forwards each call, recording
+    a ``store.*`` span (category ``store``) with the backend id and —
+    where one applies — the unit hash, so a trace shows exactly how
+    much campaign wall time went to store I/O vs simulation.
+
+    The tracer is duck-typed (anything with ``span()``), which keeps
+    this module free of an ``repro.obs`` import; the campaign pool
+    wraps its store in one of these only when tracing is enabled, so
+    untraced runs never pay the indirection.
+    """
+
+    def __init__(self, inner: CampaignStore, tracer: Any):
+        self.inner = inner
+        self.tracer = tracer
+
+    @property
+    def backend(self) -> str:  # type: ignore[override]
+        return self.inner.backend
+
+    @property
+    def supports_leases(self) -> bool:  # type: ignore[override]
+        return self.inner.supports_leases
+
+    @property
+    def path(self) -> Path:  # type: ignore[override]
+        return self.inner.path
+
+    def describe(self) -> str:
+        return self.inner.describe()
+
+    def records(self) -> Dict[str, UnitRecord]:
+        with self.tracer.span(
+            "store.records", cat="store", backend=self.inner.backend
+        ) as span:
+            records = self.inner.records()
+            span.set(count=len(records))
+        return records
+
+    def append(self, record: UnitRecord) -> None:
+        with self.tracer.span(
+            "store.append",
+            cat="store",
+            backend=self.inner.backend,
+            unit=record.unit_hash,
+        ):
+            self.inner.append(record)
+
+    def get(self, unit_hash: str) -> Optional[UnitRecord]:
+        with self.tracer.span(
+            "store.get", cat="store", backend=self.inner.backend, unit=unit_hash
+        ) as span:
+            record = self.inner.get(unit_hash)
+            span.set(hit=record is not None)
+        return record
+
+    def completed_hashes(self) -> Set[str]:
+        return self.inner.completed_hashes()
+
+    def try_claim(
+        self, unit_hash: str, owner: str, ttl_s: float = DEFAULT_LEASE_TTL_S
+    ) -> bool:
+        with self.tracer.span(
+            "store.try_claim",
+            cat="store",
+            backend=self.inner.backend,
+            unit=unit_hash,
+        ) as span:
+            granted = self.inner.try_claim(unit_hash, owner, ttl_s=ttl_s)
+            span.set(granted=granted)
+        return granted
+
+    def release(self, unit_hash: str, owner: str) -> None:
+        with self.tracer.span(
+            "store.release",
+            cat="store",
+            backend=self.inner.backend,
+            unit=unit_hash,
+        ):
+            self.inner.release(unit_hash, owner)
+
+    def leased_hashes(self) -> Set[str]:
+        with self.tracer.span(
+            "store.leased_hashes", cat="store", backend=self.inner.backend
+        ):
+            return self.inner.leased_hashes()
 
 
 #: backend id → store class (the ``--store-backend`` choices).

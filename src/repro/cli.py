@@ -56,6 +56,12 @@ from repro.experiments.reporting import format_table
 from repro.experiments.runner import EXPERIMENTS, campaign_for, run_experiment
 from repro.network.network import NetworkConfig, NetworkSimulator
 from repro.network.topology import Mesh
+from repro.obs.trace import (
+    export_chrome_trace,
+    read_trace_dir,
+    summarize_trace,
+    trace_dir_for,
+)
 
 __all__ = ["main"]
 
@@ -122,6 +128,20 @@ def _add_experiment_options(
             " suffix, else jsonl)"
         ),
     )
+    parser.add_argument(
+        "--trace",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="DIR",
+        help=(
+            "spool span traces of the run (campaign/unit/merge spans,"
+            " lease and cache events, store op latencies) as per-process"
+            " JSONL files into DIR (default: the <store>.traces directory"
+            " next to the campaign store); export with"
+            " `repro campaign trace`"
+        ),
+    )
     if workers:
         parser.add_argument(
             "--workers",
@@ -182,10 +202,24 @@ def _build_parser() -> argparse.ArgumentParser:
             "fit-cost",
             "fit the adaptive scheduler's cost model from stored timings",
         ),
+        (
+            "trace",
+            "merge a traced run's span spools and export Perfetto JSON",
+        ),
     ):
         cp = camp_sub.add_parser(action, help=help_text)
         cp.add_argument("experiment", choices=sorted(EXPERIMENTS))
         _add_experiment_options(cp, workers=(action == "run"))
+        if action == "status":
+            cp.add_argument(
+                "--json",
+                action="store_true",
+                dest="as_json",
+                help=(
+                    "machine-readable status: units by state, per-unit"
+                    " elapsed time, shard progress and trace availability"
+                ),
+            )
         cp.add_argument(
             "--store",
             default=None,
@@ -226,12 +260,32 @@ def _build_parser() -> argparse.ArgumentParser:
                     " adaptive picks up automatically)"
                 ),
             )
+        if action == "trace":
+            cp.add_argument(
+                "--out",
+                default=None,
+                metavar="FILE",
+                help=(
+                    "where to write the Chrome-trace-event JSON (default:"
+                    " <trace-dir>/trace.json); load it in Perfetto"
+                    " (https://ui.perfetto.dev) or chrome://tracing"
+                ),
+            )
 
     b = sub.add_parser("broadcast", help="run one broadcast and print stats")
     b.add_argument("--algo", default="DB", choices=algorithm_names())
     b.add_argument("--dims", type=_parse_dims, default=(8, 8, 8))
     b.add_argument("--source", type=_parse_coord, default=None)
     b.add_argument("--flits", type=int, default=100)
+    b.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "also print the kernel's profiling counters (events by"
+            " category, heap high-water mark, pool hit rates, channel"
+            " wait time, wormhole batching ratio)"
+        ),
+    )
 
     c = sub.add_parser("compare", help="analytic comparison of all algorithms")
     c.add_argument("--dims", type=_parse_dims, default=(8, 8, 8))
@@ -272,6 +326,29 @@ def _cmd_broadcast(args) -> int:
     print(f"  network latency:  {outcome.network_latency:.3f} us")
     print(f"  mean latency:     {outcome.mean_latency:.3f} us")
     print(f"  CV of arrivals:   {outcome.coefficient_of_variation:.4f}")
+    if args.profile:
+        prof = network.env.profile()
+        print("kernel profile:")
+        print(
+            f"  events dispatched: {prof['dispatched']}"
+            f" (holds {prof['holds']}, timeouts {prof['timeouts']},"
+            f" other {prof['events']})"
+        )
+        print(f"  heap peak:         {prof['heap_peak']}")
+        print(
+            f"  timeout pool:      {prof['timeout_pool_hit_rate']:.1%} hit"
+            f" ({prof['timeout_pool_hits']} hits,"
+            f" {prof['timeout_pool_misses']} misses)"
+        )
+        print(
+            f"  channel waits:     {prof['channel_waits']}"
+            f" (mean {prof['mean_channel_wait_s']:.4f} us simulated)"
+        )
+        print(
+            f"  wormhole hops:     {prof['worm_batched_ratio']:.1%} batched"
+            f" ({prof['worm_hops_batched']} batched,"
+            f" {prof['worm_hops_slow']} per-hop)"
+        )
     return 0
 
 
@@ -302,6 +379,31 @@ def _campaign_store(args, spec) -> CampaignStore:
     return open_store(default_store_path(spec.name, backend), backend)
 
 
+def _trace_dir(args, spec, store: Optional[CampaignStore]) -> Optional[Path]:
+    """Resolve ``--trace[=DIR]`` for an executing command.
+
+    ``None`` means tracing is off.  A bare ``--trace`` spools next to
+    the campaign store (``<store>.traces``) or, with no store, into
+    the default campaigns/ layout.
+    """
+    trace = getattr(args, "trace", None)
+    if trace is None:
+        return None
+    if trace:
+        return Path(trace)
+    if store is not None:
+        return trace_dir_for(store)
+    return default_store_path(spec.name, "jsonl").with_suffix(".traces")
+
+
+def _status_trace_dir(args, store: CampaignStore) -> Path:
+    """Where ``campaign status``/``trace`` look for spooled traces."""
+    trace = getattr(args, "trace", None)
+    if trace:
+        return Path(trace)
+    return trace_dir_for(store)
+
+
 def _campaign_caches(args, spec) -> List[CampaignStore]:
     """Cache stores for ``campaign run``: explicit --cache paths plus
     any sibling-scale store of the same experiment/seed/backend found
@@ -322,7 +424,9 @@ def _campaign_caches(args, spec) -> List[CampaignStore]:
     return caches
 
 
-def _campaign_status(spec, store: CampaignStore, shards=1) -> str:
+def _campaign_status(
+    spec, store: CampaignStore, shards=1, trace_dir: Optional[Path] = None
+) -> str:
     """Status line(s) for ``spec`` in ``store``.
 
     Leased-but-unfinished units (claimed by a live worker pool but not
@@ -433,7 +537,102 @@ def _campaign_status(spec, store: CampaignStore, shards=1) -> str:
             if in_flight:
                 note += f", {in_flight} in flight"
         lines.append(f"  {unit}: {landed}/{len(plan)} shards, {note}")
+
+    # Per-unit timing/queueing breakdown from a traced run, when one
+    # exists.  Purely additive lines — the counts above are stable
+    # whether or not the campaign was traced.
+    if trace_dir is not None and trace_dir.is_dir():
+        traced = summarize_trace(read_trace_dir(trace_dir)).get("units", {})
+        execs = {
+            h: t["spans"]["unit.execute"]
+            for h, t in traced.items()
+            if t.get("spans", {}).get("unit.execute")
+        }
+        if execs:
+            queues = [
+                t["queued_s"] for t in traced.values() if "queued_s" in t
+            ]
+            line = (
+                f"  traced: {len(execs)} executed unit(s) in {trace_dir}"
+                f" — execute mean {sum(execs.values()) / len(execs):.2f}s,"
+                f" max {max(execs.values()):.2f}s"
+            )
+            if queues:
+                line += (
+                    f"; claim-to-start mean {sum(queues) / len(queues):.2f}s"
+                )
+            lines.append(line)
+            slowest = sorted(execs.items(), key=lambda kv: -kv[1])[:3]
+            for unit_hash, _ in slowest:
+                timing = traced[unit_hash]
+                parts = ", ".join(
+                    f"{name.split('.', 1)[-1]} {dur:.2f}s"
+                    for name, dur in sorted(timing["spans"].items())
+                )
+                if "queued_s" in timing:
+                    parts += f", queued {timing['queued_s']:.2f}s"
+                lines.append(f"    {unit_hash[:12]}: {parts}")
     return "\n".join(lines)
+
+
+def _campaign_status_dict(
+    spec, store: CampaignStore, shards=1, trace_dir: Optional[Path] = None
+) -> dict:
+    """Machine-readable status for one store (``campaign status --json``).
+
+    Mirrors :func:`_campaign_status`: units by state, per-unit elapsed
+    seconds from stored records, shard progress for planned fan-outs,
+    and — when a trace spool exists — per-unit span durations and
+    claim-to-start queueing delays.
+    """
+    from repro.campaigns.shards import planned_shards, shard_specs
+
+    records = store.records()
+    leased = store.leased_hashes()
+    traced = {}
+    trace_available = trace_dir is not None and trace_dir.is_dir()
+    if trace_available:
+        traced = summarize_trace(read_trace_dir(trace_dir)).get("units", {})
+
+    units = []
+    counts = {"completed": 0, "leased": 0, "pending": 0}
+    for unit in spec.units:
+        unit_hash = unit.unit_hash
+        record = records.get(unit_hash)
+        if record is not None:
+            state = "completed"
+        elif unit_hash in leased:
+            state = "leased"
+        else:
+            state = "pending"
+        counts[state] += 1
+        entry: dict = {"unit": str(unit), "hash": unit_hash, "state": state}
+        if record is not None:
+            entry["elapsed_s"] = record.elapsed_s
+        fan_out = planned_shards(unit, requested=shards)
+        if fan_out > 1:
+            plan = shard_specs(unit, fan_out)
+            entry["shards"] = {
+                "planned": len(plan),
+                "landed": sum(1 for s in plan if s.unit_hash in records),
+            }
+        timing = traced.get(unit_hash)
+        if timing:
+            entry["trace"] = timing
+        units.append(entry)
+
+    return {
+        "campaign": spec.name,
+        "backend": store.backend,
+        "store": str(store.path),
+        "total": len(spec.units),
+        **counts,
+        "trace": {
+            "dir": str(trace_dir) if trace_dir is not None else None,
+            "available": trace_available,
+        },
+        "units": units,
+    }
 
 
 def _fit_cost_stores(args, spec) -> List[CampaignStore]:
@@ -485,12 +684,46 @@ def _cmd_fit_cost(args, spec) -> int:
     return 0
 
 
+def _cmd_campaign_trace(args, spec) -> int:
+    """Merge a traced campaign's spool files and export Perfetto JSON."""
+    store = _campaign_store(args, spec)
+    trace_dir = _status_trace_dir(args, store)
+    if not trace_dir.is_dir():
+        print(
+            f"campaign trace: no trace spool at {trace_dir};"
+            f" run the campaign with --trace first"
+        )
+        return 1
+    records = read_trace_dir(trace_dir)
+    if not records:
+        print(f"campaign trace: {trace_dir} holds no trace records")
+        return 1
+    out = Path(args.out) if args.out else trace_dir / "trace.json"
+    export_chrome_trace(records, out)
+    summary = summarize_trace(records)
+    roles = list(summary["processes"].values())
+    print(
+        f"campaign {spec.name}: {summary['spans']} spans,"
+        f" {summary['events']} events from {len(roles)} process(es)"
+        f" ({roles.count('pool')} pool, {roles.count('worker')} worker)"
+        f" over {summary['wall_s']:.2f}s"
+    )
+    print(f"  units traced: {len(summary['units'])}")
+    print(
+        f"  exported {out} — open it in Perfetto (https://ui.perfetto.dev)"
+        f" or chrome://tracing"
+    )
+    return 0
+
+
 def _cmd_campaign(args) -> int:
     spec = campaign_for(
         args.experiment, args.scale, args.seed, shards=args.shards
     )
     if args.campaign_command == "fit-cost":
         return _cmd_fit_cost(args, spec)
+    if args.campaign_command == "trace":
+        return _cmd_campaign_trace(args, spec)
     if args.campaign_command == "status":
         # No explicit store: report every backend found in the default
         # layout (per-backend totals), not just the jsonl one.
@@ -503,12 +736,34 @@ def _cmd_campaign(args) -> int:
                 for path in [default_store_path(spec.name, backend)]
                 if path.exists()
             ] or [_campaign_store(args, spec)]
+        if args.as_json:
+            import json
+
+            payload = [
+                _campaign_status_dict(
+                    spec,
+                    store,
+                    shards=args.shards,
+                    trace_dir=_status_trace_dir(args, store),
+                )
+                for store in stores
+            ]
+            print(json.dumps(payload, indent=2))
+            return 0
         for store in stores:
-            print(_campaign_status(spec, store, shards=args.shards))
+            print(
+                _campaign_status(
+                    spec,
+                    store,
+                    shards=args.shards,
+                    trace_dir=_status_trace_dir(args, store),
+                )
+            )
         return 0
 
     store = _campaign_store(args, spec)
     if args.campaign_command == "run":
+        trace_dir = _trace_dir(args, spec, store)
         records = run_campaign(
             spec,
             workers=args.workers,
@@ -517,7 +772,14 @@ def _cmd_campaign(args) -> int:
             schedule=args.schedule,
             cache=_campaign_caches(args, spec),
             shards=args.shards,
+            trace_dir=trace_dir,
         )
+        if trace_dir is not None:
+            print(
+                f"trace spooled to {trace_dir} — export with"
+                f" `repro campaign trace {args.experiment}"
+                f" --scale {args.scale}`"
+            )
     else:  # aggregate
         stored = store.records_for(spec)
         records = [r for r in stored if r is not None]
@@ -570,6 +832,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 store = open_store(
                     default_store_path(spec.name, backend), backend
                 )
+        trace_dir = _trace_dir(args, spec, store)
         rows, text = run_experiment(
             args.command,
             args.scale,
@@ -579,8 +842,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             schedule=args.schedule,
             shards=args.shards,
             spec=spec,
+            trace_dir=trace_dir,
         )
         print(text)
+        if trace_dir is not None:
+            print(f"\ntrace spooled to {trace_dir}")
         _save(rows, getattr(args, "out", None))
         return 0
     except BrokenPipeError:  # e.g. `repro fig1 | head`

@@ -310,15 +310,17 @@ def run_units(
     cache: Sequence[CampaignStore] = (),
     shards: int | str = 1,
     progress: Optional[ProgressFn] = None,
+    trace_dir: Optional[Any] = None,
 ) -> List[Any]:
     """Execute a declared campaign and aggregate it into result rows.
 
     The one shared execution path behind every ``run_*`` experiment
     function: dispatch through :func:`repro.campaigns.run_campaign`
     (which honours workers, store backend, scheduling policy, cache
-    stores and the broadcast-cell fan-out request ``shards``) and fold
-    the records back into the experiment's row dataclasses.  Rows are
-    identical for any combination of the dispatch knobs.
+    stores, the broadcast-cell fan-out request ``shards`` and the
+    ``trace_dir`` span spool) and fold the records back into the
+    experiment's row dataclasses.  Rows are identical for any
+    combination of the dispatch knobs — tracing included.
     """
     records = run_campaign(
         spec,
@@ -328,6 +330,7 @@ def run_units(
         cache=cache,
         shards=shards,
         progress=progress,
+        trace_dir=trace_dir,
     )
     return aggregate(experiment, records)
 

@@ -144,12 +144,14 @@ def run_experiment(
     cache: Sequence[CampaignStore] = (),
     shards: int | str = 1,
     spec: Optional[CampaignSpec] = None,
+    trace_dir: Optional[Any] = None,
 ) -> Tuple[List[Any], str]:
     """Regenerate one table/figure; returns (rows, rendered text).
 
     ``spec`` lets a caller that already declared the campaign (e.g.
     the CLI, which needs it for store naming and advisories) pass it
-    through instead of rebuilding the grid.
+    through instead of rebuilding the grid.  ``trace_dir`` spools
+    span/event traces of the run there (see :mod:`repro.obs.trace`).
     """
     experiment_id = experiment_id.lower()
     if spec is None:
@@ -163,5 +165,6 @@ def run_experiment(
         cache=cache,
         shards=shards,
         progress=progress,
+        trace_dir=trace_dir,
     )
     return rows, FORMATTERS[experiment_id](rows)

@@ -220,6 +220,7 @@ class PathTransmission:
         batching = self.batch_hops and env._fastpath
         heap = env._heap
         channels = net.channels
+        profile = env._profile
         # Pre-built paths walk their node tuple by index — no generator
         # machinery on the per-hop fast path; adaptive waypoint routes
         # resolve lazily through _next_nodes() as before.
@@ -259,6 +260,7 @@ class PathTransmission:
                     resource = channel.resource
                     if not resource.claim(claim_token, t):
                         break  # busy: the slow path queues at this hop
+                    profile.worm_hops_batched += 1
                     held.append((resource, claim_token))
                     t = t + hop_time
                     current = nxt
@@ -304,6 +306,7 @@ class PathTransmission:
             if not request.consume_inline():
                 yield request
             held.append((channel.resource, request))
+            profile.worm_hops_slow += 1
             yield env.hold(hop_time)
             current = nxt
             visited.append(current)

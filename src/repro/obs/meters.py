@@ -1,0 +1,500 @@
+"""Mergeable run metrics built on the ``PartialStat`` algebra.
+
+Campaign metrics have the same shape as campaign results: every worker
+and shard accumulates its own piece, and a reducer must stitch the
+pieces into exactly the metrics a single serial run would have
+produced.  The meters here reuse the machinery that already guarantees
+that for results (:mod:`repro.metrics.partial`):
+
+:class:`Counter`
+    An integer count.  Merging sums — exact.
+:class:`Gauge`
+    A last/min/max tracker over a slice of an update stream.  Updates
+    carry a global ``offset`` like observation chunks do, so merging
+    re-orders slices and reproduces ``last`` deterministically.
+:class:`Histogram`
+    Bucketed counts (exact integers) **plus** the observation stream
+    as :class:`~repro.metrics.partial.PartialStat` chunks.  Merging
+    sums buckets element-wise and coalesces contiguous chunk runs with
+    :func:`~repro.metrics.partial.merge_partials`, so a histogram
+    split across shards merges back bit-for-bit on the batching fields
+    (``head``/``batch_means``/``tail``/``count``/``offset``) — the
+    identity ``tests/test_obs_meters.py`` holds under hypothesis.
+
+A :class:`MeterRegistry` is a named bag of meters with dict round-trip
+and a :func:`merge_registries` reducer, mirroring how unit records
+travel through the campaign store.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.metrics.partial import PartialStat, _batch_mean, merge_partials
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MeterRegistry",
+    "merge_counters",
+    "merge_gauges",
+    "merge_histograms",
+    "merge_registries",
+    "coalesce_partials",
+]
+
+
+class Counter:
+    """A monotonically growing integer count; merge = sum (exact)."""
+
+    kind = "counter"
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: int = 0):
+        self.name = name
+        self.value = int(value)
+
+    def inc(self, n: int = 1) -> None:
+        self.value += int(n)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "name": self.name, "value": self.value}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Counter":
+        return cls(data["name"], int(data["value"]))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Counter {self.name}={self.value}>"
+
+
+def merge_counters(counters: Iterable[Counter]) -> Counter:
+    counters = list(counters)
+    if not counters:
+        raise ValueError("nothing to merge")
+    name = counters[0].name
+    if any(c.name != name for c in counters):
+        raise ValueError("cannot merge counters with different names")
+    return Counter(name, sum(c.value for c in counters))
+
+
+class Gauge:
+    """Last/min/max over one contiguous slice of an update stream.
+
+    ``offset`` is the global index of the slice's first update, exactly
+    like a :class:`~repro.metrics.partial.PartialStat` chunk: merging
+    sorts slices by offset and requires them to tile without gaps or
+    overlaps, which is what makes the merged ``last`` the true final
+    update rather than whichever worker reported most recently.
+    """
+
+    kind = "gauge"
+
+    __slots__ = ("name", "offset", "updates", "last", "low", "high")
+
+    def __init__(
+        self,
+        name: str,
+        offset: int = 0,
+        updates: int = 0,
+        last: Optional[float] = None,
+        low: Optional[float] = None,
+        high: Optional[float] = None,
+    ):
+        if offset < 0:
+            raise ValueError("offset must be >= 0")
+        if (updates == 0) != (last is None):
+            raise ValueError("empty gauges carry no last value")
+        self.name = name
+        self.offset = int(offset)
+        self.updates = int(updates)
+        self.last = last
+        self.low = low
+        self.high = high
+
+    @property
+    def end(self) -> int:
+        """Global index one past the slice's final update."""
+        return self.offset + self.updates
+
+    def set(self, value: float) -> None:
+        value = float(value)
+        self.updates += 1
+        self.last = value
+        self.low = value if self.low is None else min(self.low, value)
+        self.high = value if self.high is None else max(self.high, value)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "offset": self.offset,
+            "updates": self.updates,
+            "last": self.last,
+            "low": self.low,
+            "high": self.high,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Gauge":
+        return cls(
+            data["name"],
+            offset=int(data.get("offset", 0)),
+            updates=int(data.get("updates", 0)),
+            last=data.get("last"),
+            low=data.get("low"),
+            high=data.get("high"),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Gauge {self.name}={self.last} [{self.low}, {self.high}]>"
+
+
+def merge_gauges(gauges: Iterable[Gauge]) -> Gauge:
+    """Stitch tiling gauge slices back into one (exact)."""
+    parts = sorted(gauges, key=lambda g: g.offset)
+    if not parts:
+        raise ValueError("nothing to merge")
+    name = parts[0].name
+    if any(g.name != name for g in parts):
+        raise ValueError("cannot merge gauges with different names")
+    filled = [g for g in parts if g.updates]
+    if not filled:
+        return Gauge(name, offset=parts[0].offset)
+    pos = filled[0].offset
+    low = high = None
+    for part in filled:
+        if part.offset != pos:
+            kind = "overlapping" if part.offset < pos else "gapped"
+            raise ValueError(
+                f"{kind} gauges: expected offset {pos}, got {part.offset}"
+            )
+        low = part.low if low is None else min(low, part.low)
+        high = part.high if high is None else max(high, part.high)
+        pos = part.end
+    return Gauge(
+        name,
+        offset=filled[0].offset,
+        updates=pos - filled[0].offset,
+        last=filled[-1].last,
+        low=low,
+        high=high,
+    )
+
+
+def coalesce_partials(partials: Iterable[PartialStat]) -> Tuple[PartialStat, ...]:
+    """Merge every contiguous run of chunks; keep gaps as separate chunks.
+
+    Sorting and stitching mirrors :func:`merge_partials`, but a gap
+    between runs is not an error here — per-worker meter slices may
+    legitimately leave holes (a crashed worker's lost chunk) and the
+    histogram stays lossless by carrying the runs separately.
+    """
+    parts = sorted((p for p in partials if p.count), key=lambda p: p.offset)
+    if not parts:
+        return ()
+    runs: List[List[PartialStat]] = [[parts[0]]]
+    for part in parts[1:]:
+        if part.offset == runs[-1][-1].end:
+            runs[-1].append(part)
+        else:
+            runs.append([part])
+    return tuple(
+        run[0] if len(run) == 1 else merge_partials(run) for run in runs
+    )
+
+
+class Histogram:
+    """Bucketed counts plus the exact mergeable observation stream.
+
+    Parameters
+    ----------
+    name:
+        Metric name.
+    bounds:
+        Ascending finite bucket upper edges; a value ``v`` lands in
+        the first bucket with ``v <= bound``, values above the last
+        bound land in the overflow bucket (so there are
+        ``len(bounds) + 1`` buckets).
+    batch_size:
+        Batching grid of the underlying ``PartialStat`` chunks.
+    offset:
+        Global index of this instance's first observation — shards
+        recording disjoint slices of one logical stream set it just
+        like they do for result partials.
+
+    Bucket counts are integers (merge = element-wise sum, exact); the
+    full-precision stream state rides along as ``PartialStat`` chunks,
+    which is what quantile-grade consumers (e.g. a future live-service
+    p95) merge instead of the lossy buckets.
+    """
+
+    kind = "histogram"
+
+    __slots__ = (
+        "name",
+        "bounds",
+        "batch_size",
+        "bucket_counts",
+        "_chunks",
+        "_offset",
+        "_count",
+        "_total",
+        "_head",
+        "_means",
+        "_tail",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        bounds: Sequence[float],
+        batch_size: int = 32,
+        offset: int = 0,
+    ):
+        bounds = tuple(float(b) for b in bounds)
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError("bounds must be strictly ascending")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if offset < 0:
+            raise ValueError("offset must be >= 0")
+        self.name = name
+        self.bounds = bounds
+        self.batch_size = batch_size
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self._chunks: List[PartialStat] = []
+        self._offset = int(offset)
+        self._count = 0
+        self._total = 0.0
+        self._head: List[float] = []
+        self._means: List[float] = []
+        self._tail: List[float] = []
+
+    # -- streaming ----------------------------------------------------------
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self._total += value
+        # Mirror merge_partials' feed(): raw values before the first
+        # global batch boundary go to head, then batches close on the
+        # global grid — identical floats in identical order to the
+        # unsplit stream, which is what keeps merges bit-exact.
+        pos = self._offset + self._count
+        if pos < self._offset + ((-self._offset) % self.batch_size):
+            self._head.append(value)
+        else:
+            self._tail.append(value)
+            if len(self._tail) == self.batch_size:
+                self._means.append(_batch_mean(self._tail))
+                self._tail.clear()
+        self._count += 1
+
+    # -- views --------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Total observations recorded (all chunks)."""
+        return sum(p.count for p in self._chunks) + self._count
+
+    @property
+    def total(self) -> float:
+        """Sum of every observation (deterministic running sums)."""
+        return sum(p.total for p in self._chunks) + self._total
+
+    @property
+    def mean(self) -> float:
+        count = self.count
+        if not count:
+            raise ValueError("empty histogram has no mean")
+        return self.total / count
+
+    def partials(self) -> Tuple[PartialStat, ...]:
+        """The stream state as ``PartialStat`` chunks (offset order)."""
+        live = self._live_partial()
+        chunks = list(self._chunks) + ([live] if live is not None else [])
+        return tuple(sorted(chunks, key=lambda p: p.offset))
+
+    def _live_partial(self) -> Optional[PartialStat]:
+        if not self._count:
+            return None
+        return PartialStat(
+            batch_size=self.batch_size,
+            offset=self._offset,
+            count=self._count,
+            total=self._total,
+            head=tuple(self._head),
+            batch_means=tuple(self._means),
+            tail=tuple(self._tail),
+        )
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile: the edge covering rank ``q``.
+
+        Exact to bucket granularity (the classic histogram-quantile
+        trade-off); returns ``inf`` when the rank falls in the
+        overflow bucket.  Full-precision consumers merge
+        :meth:`partials` instead.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        count = self.count
+        if not count:
+            raise ValueError("empty histogram has no quantiles")
+        rank = q * count
+        seen = 0
+        for i, bucket in enumerate(self.bucket_counts):
+            seen += bucket
+            if seen >= rank and bucket:
+                return self.bounds[i] if i < len(self.bounds) else float("inf")
+        return float("inf")
+
+    # -- serialisation ------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "bounds": list(self.bounds),
+            "batch_size": self.batch_size,
+            "bucket_counts": list(self.bucket_counts),
+            "chunks": [p.to_dict() for p in self.partials()],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Histogram":
+        hist = cls(
+            data["name"],
+            data["bounds"],
+            batch_size=int(data["batch_size"]),
+        )
+        counts = [int(c) for c in data["bucket_counts"]]
+        if len(counts) != len(hist.bucket_counts):
+            raise ValueError("bucket_counts does not match bounds")
+        hist.bucket_counts = counts
+        hist._chunks = [PartialStat.from_dict(c) for c in data.get("chunks", [])]
+        if hist._chunks:
+            hist._offset = max(p.end for p in hist._chunks)
+        return hist
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Histogram {self.name} n={self.count}>"
+
+
+def merge_histograms(histograms: Iterable[Histogram]) -> Histogram:
+    """Merge shard/worker histograms: exact buckets, coalesced chunks."""
+    parts = list(histograms)
+    if not parts:
+        raise ValueError("nothing to merge")
+    first = parts[0]
+    for other in parts[1:]:
+        if other.name != first.name:
+            raise ValueError("cannot merge histograms with different names")
+        if other.bounds != first.bounds:
+            raise ValueError("cannot merge histograms with different bounds")
+        if other.batch_size != first.batch_size:
+            raise ValueError(
+                "cannot merge histograms with different batch_size"
+            )
+    merged = Histogram(first.name, first.bounds, batch_size=first.batch_size)
+    merged.bucket_counts = [
+        sum(counts) for counts in zip(*(h.bucket_counts for h in parts))
+    ]
+    chunks = coalesce_partials(
+        p for hist in parts for p in hist.partials()
+    )
+    merged._chunks = list(chunks)
+    if merged._chunks:
+        merged._offset = max(p.end for p in merged._chunks)
+    return merged
+
+
+_KINDS = {
+    Counter.kind: Counter,
+    Gauge.kind: Gauge,
+    Histogram.kind: Histogram,
+}
+
+_MERGERS = {
+    Counter.kind: merge_counters,
+    Gauge.kind: merge_gauges,
+    Histogram.kind: merge_histograms,
+}
+
+
+class MeterRegistry:
+    """A named bag of meters with dict round-trip and exact merging."""
+
+    __slots__ = ("meters",)
+
+    def __init__(self) -> None:
+        self.meters: Dict[str, Any] = {}
+
+    def _get_or_create(self, name: str, factory) -> Any:
+        meter = self.meters.get(name)
+        if meter is None:
+            meter = self.meters[name] = factory()
+        return meter
+
+    def counter(self, name: str) -> Counter:
+        meter = self._get_or_create(name, lambda: Counter(name))
+        if meter.kind != Counter.kind:
+            raise TypeError(f"{name!r} is a {meter.kind}, not a counter")
+        return meter
+
+    def gauge(self, name: str, offset: int = 0) -> Gauge:
+        meter = self._get_or_create(name, lambda: Gauge(name, offset=offset))
+        if meter.kind != Gauge.kind:
+            raise TypeError(f"{name!r} is a {meter.kind}, not a gauge")
+        return meter
+
+    def histogram(
+        self,
+        name: str,
+        bounds: Sequence[float],
+        batch_size: int = 32,
+        offset: int = 0,
+    ) -> Histogram:
+        meter = self._get_or_create(
+            name,
+            lambda: Histogram(name, bounds, batch_size=batch_size, offset=offset),
+        )
+        if meter.kind != Histogram.kind:
+            raise TypeError(f"{name!r} is a {meter.kind}, not a histogram")
+        return meter
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            name: meter.to_dict() for name, meter in sorted(self.meters.items())
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "MeterRegistry":
+        registry = cls()
+        for name, payload in data.items():
+            kind = payload.get("kind")
+            if kind not in _KINDS:
+                raise ValueError(f"unknown meter kind {kind!r} for {name!r}")
+            registry.meters[name] = _KINDS[kind].from_dict(payload)
+        return registry
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MeterRegistry {sorted(self.meters)}>"
+
+
+def merge_registries(registries: Iterable[MeterRegistry]) -> MeterRegistry:
+    """Merge registries name-by-name with each kind's exact reducer."""
+    registries = list(registries)
+    merged = MeterRegistry()
+    by_name: Dict[str, List[Any]] = {}
+    for registry in registries:
+        for name, meter in registry.meters.items():
+            by_name.setdefault(name, []).append(meter)
+    for name, meters in sorted(by_name.items()):
+        kinds = {m.kind for m in meters}
+        if len(kinds) > 1:
+            raise ValueError(f"meter {name!r} has conflicting kinds {kinds}")
+        merged.meters[name] = _MERGERS[kinds.pop()](meters)
+    return merged

@@ -30,8 +30,9 @@ from __future__ import annotations
 from heapq import heappop, heappush
 from itertools import count
 from sys import getrefcount
-from typing import Any, Generator, Iterable, Optional
+from typing import Any, Dict, Generator, Iterable, Optional
 
+from repro.obs.simprof import SimProfile
 from repro.sim.event import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import HOLD, Process, _HoldEntry
 
@@ -84,6 +85,9 @@ class Environment:
         self._active_process: Optional[Process] = None
         self._fastpath = bool(fastpath)
         self._timeout_pool: list = []
+        # Always-on kernel counters (observers only — nothing in the
+        # kernel reads them back, so they cannot perturb event order).
+        self._profile = SimProfile()
 
     # -- clock ------------------------------------------------------------
     @property
@@ -101,6 +105,16 @@ class Environment:
         """Whether the zero-allocation fast paths are enabled."""
         return self._fastpath
 
+    def profile(self) -> Dict[str, Any]:
+        """Snapshot of the kernel profiling counters.
+
+        Events dispatched by category (holds / timeouts / other),
+        heap high-water mark, timeout-pool hit rate, channel wait
+        time and the wormhole batched-vs-fallback ratio; see
+        :class:`~repro.obs.simprof.SimProfile` for the field list.
+        """
+        return self._profile.as_dict()
+
     # -- event factories ----------------------------------------------------
     def event(self) -> Event:
         """Create a new pending :class:`Event`."""
@@ -110,9 +124,11 @@ class Environment:
         """Create an event that triggers ``delay`` time units from now."""
         pool = self._timeout_pool
         if pool:
+            self._profile.timeout_pool_hits += 1
             timeout = pool.pop()
             timeout._reuse(delay, value)
             return timeout
+        self._profile.timeout_pool_misses += 1
         return Timeout(self, delay, value)
 
     def hold(self, delay: float):
@@ -181,15 +197,23 @@ class Environment:
         """Process the next event on the heap."""
         if not self._heap:
             raise SimulationError("step() on an empty event heap")
+        prof = self._profile
+        if len(self._heap) > prof.heap_peak:
+            prof.heap_peak = len(self._heap)
         when, _prio, eid, event = heappop(self._heap)
         if when < self._now:  # pragma: no cover - defensive
             raise SimulationError("event scheduled in the past")
         self._now = when
         if event.__class__ is _HoldEntry:
+            prof.holds += 1
             if event.active and event.eid == eid:
                 event.active = False
                 event.process._advance(False, None)
             return  # else: stale marker of an interrupted hold
+        if event.__class__ is Timeout:
+            prof.timeouts += 1
+        else:
+            prof.events += 1
         if not event._triggered:  # pragma: no cover - defensive
             return  # stale entry of a process that was preempted
         callbacks, event.callbacks = event.callbacks, None
@@ -231,42 +255,65 @@ class Environment:
         heap = self._heap
         pool = self._timeout_pool
         pooling = self._fastpath
+        prof = self._profile
         bounded = stop_time != float("inf")
-        while heap:
-            if stop_event is not None and stop_event.callbacks is None:
-                break
-            if bounded and heap[0][0] > stop_time:
-                self._now = stop_time
-                break
-            when, _prio, eid, event = heappop(heap)
-            if when < self._now:  # pragma: no cover - defensive
-                raise SimulationError("event scheduled in the past")
-            self._now = when
-            if event.__class__ is _HoldEntry:
-                if event.active and event.eid == eid:
-                    event.active = False
-                    event.process._advance(False, None)
-                continue
-            if not event._triggered:  # pragma: no cover - defensive
-                continue
-            callbacks = event.callbacks
-            event.callbacks = None
-            if callbacks is None:  # pragma: no cover - defensive
-                raise SimulationError("event processed twice")
-            for callback in callbacks:
-                callback(event)
-            if not event._ok and not event._defused:
-                raise event._value
-            if (
-                pooling
-                and event.__class__ is Timeout
-                and getrefcount(event) == 2  # only this loop sees it
-                and len(pool) < _TIMEOUT_POOL_MAX
-            ):
-                pool.append(event)
-        else:
-            if bounded:
-                self._now = stop_time
+        # Profile counters live in locals for the duration of the loop
+        # (STORE_FAST, not STORE_ATTR on a slotted object) and are
+        # folded back once on exit; the heap high-water mark is sampled
+        # on every 64th event id, which keeps the hot loop at one cheap
+        # int test per dispatch.  See SimProfile for the accuracy
+        # contract this buys.
+        holds = timeouts = others = 0
+        peak = prof.heap_peak
+        try:
+            while heap:
+                if stop_event is not None and stop_event.callbacks is None:
+                    break
+                if bounded and heap[0][0] > stop_time:
+                    self._now = stop_time
+                    break
+                when, _prio, eid, event = heappop(heap)
+                if not eid & 63:
+                    size = len(heap)
+                    if size >= peak:
+                        peak = size + 1  # include the entry just popped
+                if when < self._now:  # pragma: no cover - defensive
+                    raise SimulationError("event scheduled in the past")
+                self._now = when
+                if event.__class__ is _HoldEntry:
+                    holds += 1
+                    if event.active and event.eid == eid:
+                        event.active = False
+                        event.process._advance(False, None)
+                    continue
+                if not event._triggered:  # pragma: no cover - defensive
+                    continue
+                callbacks = event.callbacks
+                event.callbacks = None
+                if callbacks is None:  # pragma: no cover - defensive
+                    raise SimulationError("event processed twice")
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
+                if event.__class__ is Timeout:
+                    timeouts += 1
+                    if (
+                        pooling
+                        and getrefcount(event) == 2  # only this loop sees it
+                        and len(pool) < _TIMEOUT_POOL_MAX
+                    ):
+                        pool.append(event)
+                else:
+                    others += 1
+            else:
+                if bounded:
+                    self._now = stop_time
+        finally:
+            prof.holds += holds
+            prof.timeouts += timeouts
+            prof.events += others
+            prof.heap_peak = peak
 
         if stop_event is not None:
             if not stop_event.triggered:

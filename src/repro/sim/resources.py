@@ -52,7 +52,7 @@ class Request(Event):
             yield env.timeout(service_time)
     """
 
-    __slots__ = ("resource", "priority", "_order", "_fast_eid")
+    __slots__ = ("resource", "priority", "_order", "_fast_eid", "_queued_at")
 
     def __init__(self, resource: "Resource", priority: float = 0.0):
         # Inlined Event.__init__ — one request per channel per hop makes
@@ -260,6 +260,7 @@ class Resource:
 
     # -- internals ------------------------------------------------------------
     def _enqueue(self, req: Request) -> None:
+        req._queued_at = self.env._now
         self.queue.append(req)
 
     def _next_waiter(self) -> Optional[Request]:
@@ -269,6 +270,13 @@ class Resource:
         self._mark()
         self.users.append(req)
         self._grants += 1
+        # Profile the wait of requests that had to queue (the slot is
+        # unset — and the counters untouched — for immediate grants).
+        queued_at = getattr(req, "_queued_at", None)
+        if queued_at is not None:
+            profile = self.env._profile
+            profile.channel_waits += 1
+            profile.channel_wait_s += self.env._now - queued_at
         req.succeed(self)
 
     def _dispatch(self) -> None:
@@ -311,6 +319,7 @@ class PriorityResource(Resource):
         return super().claim(token, at)
 
     def _enqueue(self, req: Request) -> None:
+        req._queued_at = self.env._now
         heapq.heappush(self._pqueue, (req.priority, req._order, req))
 
     def _next_waiter(self) -> Optional[Request]:

@@ -77,3 +77,59 @@ def test_cli_requires_command():
 def test_cli_rejects_unknown_algo():
     with pytest.raises(SystemExit):
         main(["broadcast", "--algo", "XYZ"])
+
+
+def test_cli_broadcast_profile(capsys):
+    assert main(
+        ["broadcast", "--algo", "DB", "--dims", "4x4x4", "--profile"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "kernel profile" in out
+    assert "events dispatched" in out
+    assert "wormhole hops" in out
+
+
+def test_cli_campaign_traced_run_trace_and_status(tmp_path, capsys):
+    store = str(tmp_path / "fig1.sqlite")
+    spool = str(tmp_path / "spool")
+    args = ["fig1", "--scale", "smoke", "--store", store]
+
+    # trace before any run: nothing to export
+    assert main(["campaign", "trace"] + args) == 1
+    assert "no trace" in capsys.readouterr().out
+
+    assert main(["campaign", "run", "--trace", spool] + args) == 0
+    out = capsys.readouterr().out
+    assert "trace spooled to " + spool in out
+
+    assert main(["campaign", "trace", "--trace", spool] + args) == 0
+    out = capsys.readouterr().out
+    assert "units traced: 32" in out and "exported" in out
+    assert (tmp_path / "spool" / "trace.json").is_file()
+
+    assert main(["campaign", "status", "--trace", spool] + args) == 0
+    out = capsys.readouterr().out
+    assert "32/32" in out  # the pinned headline is untouched
+    assert "traced: 32 executed unit(s)" in out
+
+    # Untraced runs print no trace line at all.
+    assert main(["campaign", "run"] + args) == 0
+    assert "trace" not in capsys.readouterr().out
+
+
+def test_cli_campaign_status_json(tmp_path, capsys):
+    import json
+
+    store = str(tmp_path / "fig1.jsonl")
+    args = ["fig1", "--scale", "smoke", "--store", store]
+    assert main(["campaign", "run"] + args) == 0
+    capsys.readouterr()
+    assert main(["campaign", "status", "--json"] + args) == 0
+    (payload,) = json.loads(capsys.readouterr().out)
+    assert payload["campaign"] == "fig1-smoke-s0"
+    assert payload["completed"] == payload["total"] == 32
+    assert payload["trace"]["available"] is False
+    assert len(payload["units"]) == 32
+    unit = payload["units"][0]
+    assert set(unit) >= {"unit", "hash", "state", "elapsed_s"}
+    assert unit["state"] == "completed"
