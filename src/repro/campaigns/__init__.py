@@ -14,9 +14,14 @@ Core pieces:
   (``fifo`` / ``adaptive`` largest-cost-first), byte-identical across
   worker counts and schedules;
 * :mod:`repro.campaigns.store` — the :class:`CampaignStore` contract and
-  its three backends (append-only JSONL, SQLite in WAL mode, and a
+  its local backends (append-only JSONL, SQLite in WAL mode, and a
   lease-arbitrated shared directory for multi-host fleets), giving
   crash-resumable and shareable campaigns;
+* :mod:`repro.campaigns.remote` — the distributed fabric: a thin HTTP
+  coordinator (``repro campaign serve``) exposing any local backend's
+  operations as API calls, and :class:`HttpStore`, the client backend
+  (``--store http://host:port``) with bounded retry and idempotent
+  appends, so hosts sharing nothing but a URL drain one campaign;
 * :mod:`repro.campaigns.units` — the unit runners ("broadcast",
   "broadcast-cell", "broadcast-shard", "traffic", "traffic-shard")
   that turn one :class:`UnitSpec` into a result record;
@@ -65,6 +70,11 @@ from repro.campaigns.shards import (
     shard_specs,
     unit_shards,
 )
+from repro.campaigns.remote import (
+    CampaignCoordinator,
+    HttpStore,
+    StoreUnreachableError,
+)
 from repro.campaigns.spec import CampaignSpec, UnitSpec, freeze_params
 from repro.campaigns.store import (
     BACKENDS,
@@ -80,14 +90,17 @@ from repro.campaigns.store import (
 
 __all__ = [
     "BACKENDS",
+    "CampaignCoordinator",
     "CampaignSpec",
     "CampaignStore",
     "CostModel",
+    "HttpStore",
     "JsonlStore",
     "ResultStore",
     "SCHEDULES",
     "SharedDirStore",
     "SqliteStore",
+    "StoreUnreachableError",
     "UnitRecord",
     "UnitSpec",
     "aggregate",

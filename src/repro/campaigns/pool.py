@@ -320,6 +320,11 @@ def _execute_payload(
     """
     spec = UnitSpec.from_dict(payload)
     tracer = _process_tracer(trace_dir, "worker")
+    if tracer.enabled and store is not None and hasattr(store, "set_tracer"):
+        # Remote stores emit rpc.* events (heartbeat claims, retries)
+        # through whatever tracer their process carries; the pickled
+        # copy arrived bare, so hand it this worker's.
+        store.set_tracer(tracer)
     with lease_heartbeat(store, spec.unit_hash, owner, ttl_s, tracer=tracer):
         return execute_unit(spec, tracer=tracer).to_dict()
 
@@ -544,9 +549,13 @@ def _run_campaign(
 
     # Workers get the raw store (tracers hold file handles and never
     # pickle); the coordinator's own store ops go through the traced
-    # wrapper so backend latencies land in the trace.
+    # wrapper so backend latencies land in the trace.  Remote stores
+    # additionally emit their own rpc.* events (calls, retries) through
+    # this pool's tracer.
     raw_store = store
     if tracer.enabled and store is not None:
+        if hasattr(store, "set_tracer"):
+            store.set_tracer(tracer)
         store = TracedStore(store, tracer)
 
     wanted = spec.unit_hashes()

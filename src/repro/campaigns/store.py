@@ -17,6 +17,13 @@ share one store without executing a unit twice.  The contract is
     claim units by atomically creating per-unit lease files
     (``O_CREAT | O_EXCL``), so a fleet can drain one campaign together.
 
+A fourth backend lives in :mod:`repro.campaigns.remote`:
+
+``http``   (:class:`~repro.campaigns.remote.HttpStore`)
+    A network client for a ``repro campaign serve`` coordinator —
+    ``open_store("http://host:8931")`` — so hosts sharing nothing but
+    a URL drain one campaign (no shared mount required).
+
 Usage::
 
     from repro.campaigns.store import open_store
@@ -767,23 +774,48 @@ def default_store_path(
         return root / f"{name}.sqlite"
     if backend == "shared":
         return root / name
+    if backend == "http":
+        raise ValueError(
+            "the http backend has no default store location; pass the"
+            " coordinator's URL explicitly (--store http://host:port)"
+        )
     raise ValueError(f"unknown backend {backend!r}; choose from {sorted(BACKENDS)}")
 
 
 def open_store(path: str | Path, backend: Optional[str] = None) -> CampaignStore:
     """Open a campaign store, inferring the backend when not given.
 
-    Inference: a known file suffix (``.jsonl``/``.json`` → jsonl,
-    ``.sqlite``/``.sqlite3``/``.db`` → sqlite) wins; an existing
-    directory or a suffix-less path means ``shared``; anything else
-    falls back to ``jsonl``.
+    Inference: an ``http(s)://`` URL means the :class:`HttpStore`
+    client for a ``repro campaign serve`` coordinator; a known file
+    suffix (``.jsonl``/``.json`` → jsonl, ``.sqlite``/``.sqlite3``/
+    ``.db`` → sqlite) wins next; an existing directory or a
+    suffix-less path means ``shared``; anything else falls back to
+    ``jsonl``.
     """
+    text = str(path)
+    is_url = text.startswith(("http://", "https://"))
+    if backend == "http" or (backend is None and is_url):
+        if not is_url:
+            raise ValueError(
+                "the http backend needs a coordinator URL"
+                f" (http://host:port), got {text!r}"
+            )
+        # Imported lazily: remote depends on this module, not vice versa.
+        from repro.campaigns.remote import HttpStore
+
+        return HttpStore(text)
+    if is_url:
+        raise ValueError(
+            f"backend {backend!r} cannot open a URL store ({text!r});"
+            " use --store-backend http"
+        )
     if backend is not None:
         try:
             cls = BACKENDS[backend]
         except KeyError:
             raise ValueError(
-                f"unknown backend {backend!r}; choose from {sorted(BACKENDS)}"
+                f"unknown backend {backend!r}; choose from"
+                f" {sorted(BACKENDS) + ['http']}"
             ) from None
         return cls(path)
     p = Path(path)

@@ -25,6 +25,15 @@ fan-out; status reports per-unit shard progress)::
     repro campaign status fig4 --scale full --shards 8
     repro campaign run fig1 --scale full --shards auto --workers 8
 
+serve a store over HTTP so a fleet of hosts sharing nothing but a URL
+drains one campaign (claim/heartbeat/append become API calls with
+bounded retry and idempotent appends)::
+
+    repro campaign serve --store campaigns/fig4-full-s0.sqlite --port 8931
+    repro campaign run fig4 --scale full --workers 8 \
+        --store http://coordinator:8931            # any number of hosts
+    repro campaign status fig4 --scale full --store http://coordinator:8931
+
 or run a one-off broadcast and print its profile::
 
     repro broadcast --algo AB --dims 8x8x8 --source 3,4,5
@@ -43,6 +52,7 @@ from typing import List, Optional
 from repro.analysis.comparison import compare_algorithms
 from repro.campaigns.aggregate import aggregate
 from repro.campaigns.pool import SCHEDULES, run_campaign
+from repro.campaigns.remote import DEFAULT_PORT, StoreUnreachableError
 from repro.campaigns.store import (
     BACKENDS,
     CampaignStore,
@@ -122,10 +132,11 @@ def _add_experiment_options(
     parser.add_argument(
         "--store-backend",
         default=None,
-        choices=sorted(BACKENDS),
+        choices=sorted(BACKENDS) + ["http"],
         help=(
             "campaign store backend (default: inferred from --store's"
-            " suffix, else jsonl)"
+            " suffix or URL scheme, else jsonl; http needs --store"
+            " http://host:port pointing at `repro campaign serve`)"
         ),
     )
     parser.add_argument(
@@ -272,6 +283,49 @@ def _build_parser() -> argparse.ArgumentParser:
                 ),
             )
 
+    sv = camp_sub.add_parser(
+        "serve",
+        help=(
+            "serve a campaign store over HTTP so remote pools"
+            " (--store http://host:port) can drain it"
+        ),
+    )
+    sv.add_argument(
+        "--store",
+        required=True,
+        metavar="PATH",
+        help="the local backing store to serve (.jsonl/.sqlite/directory)",
+    )
+    sv.add_argument(
+        "--store-backend",
+        default=None,
+        choices=sorted(BACKENDS),
+        help="backing store backend (default: inferred from --store)",
+    )
+    sv.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to bind (0.0.0.0 to accept remote pools)",
+    )
+    sv.add_argument(
+        "--port",
+        type=int,
+        default=DEFAULT_PORT,
+        help=f"port to listen on (default {DEFAULT_PORT}; 0 = ephemeral)",
+    )
+    sv.add_argument(
+        "--trace",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="DIR",
+        help=(
+            "also spool the coordinator's rpc.* events (claims granted,"
+            " appends deduped) as a server-<pid>.jsonl file into DIR"
+            " (default: the backing store's trace directory)"
+        ),
+    )
+
     b = sub.add_parser("broadcast", help="run one broadcast and print stats")
     b.add_argument("--algo", default="DB", choices=algorithm_names())
     b.add_argument("--dims", type=_parse_dims, default=(8, 8, 8))
@@ -369,13 +423,21 @@ def _save(rows, out: Optional[str]) -> None:
 def _campaign_store(args, spec) -> CampaignStore:
     """Resolve --store/--store-backend to a concrete store.
 
-    An explicit path wins (backend inferred from its suffix unless
-    --store-backend pins it); otherwise the backend's conventional
-    ``campaigns/<name>.<ext>`` location is used (jsonl by default).
+    An explicit path or URL wins (backend inferred from its suffix /
+    scheme unless --store-backend pins it); otherwise the backend's
+    conventional ``campaigns/<name>.<ext>`` location is used (jsonl by
+    default).  The http backend has no conventional location — it
+    always needs the coordinator's URL.
     """
     if args.store:
         return open_store(args.store, args.store_backend)
     backend = args.store_backend or "jsonl"
+    if backend == "http":
+        raise SystemExit(
+            "repro: --store-backend http needs the coordinator's URL:"
+            " --store http://host:port (start one with"
+            " `repro campaign serve`)"
+        )
     return open_store(default_store_path(spec.name, backend), backend)
 
 
@@ -709,6 +771,14 @@ def _cmd_campaign_trace(args, spec) -> int:
         f" over {summary['wall_s']:.2f}s"
     )
     print(f"  units traced: {len(summary['units'])}")
+    rpc = summary.get("rpc", {})
+    if rpc:
+        retries = rpc.get("rpc.retry", 0)
+        calls = sum(n for name, n in rpc.items() if name != "rpc.retry")
+        print(
+            f"  coordinator rpc: {calls} call event(s),"
+            f" {retries} retry(ies) — distributed run"
+        )
     print(
         f"  exported {out} — open it in Perfetto (https://ui.perfetto.dev)"
         f" or chrome://tracing"
@@ -716,7 +786,49 @@ def _cmd_campaign_trace(args, spec) -> int:
     return 0
 
 
+def _cmd_campaign_serve(args) -> int:
+    """Run the campaign coordinator until interrupted.
+
+    The service is stateless beyond its append-dedup set: every record
+    and lease lives in the backing store, so killing and restarting the
+    coordinator mid-campaign is safe — clients retry, then resume.
+    """
+    import os
+
+    from repro.campaigns.remote import CampaignCoordinator
+    from repro.obs.trace import NULL_TRACER, JsonlSink, Tracer, worker_trace_path
+
+    backing = open_store(args.store, args.store_backend)
+    tracer = NULL_TRACER
+    if args.trace is not None:
+        spool_dir = Path(args.trace) if args.trace else trace_dir_for(backing)
+        tracer = Tracer(
+            JsonlSink(worker_trace_path(spool_dir, "server", os.getpid())),
+            role="server",
+        )
+        print(f"rpc events spooling to {spool_dir}")
+    coordinator = CampaignCoordinator(
+        backing, host=args.host, port=args.port, tracer=tracer
+    )
+    print(f"campaign coordinator listening on {coordinator.url}")
+    print(f"  backing store: {backing.describe()}")
+    print(
+        f"  point worker pools at it with: --store {coordinator.url}",
+        flush=True,
+    )
+    try:
+        coordinator.serve_forever()
+    except KeyboardInterrupt:
+        print("campaign coordinator: shutting down")
+    finally:
+        coordinator.close()
+        tracer.close()
+    return 0
+
+
 def _cmd_campaign(args) -> int:
+    if args.campaign_command == "serve":
+        return _cmd_campaign_serve(args)
     spec = campaign_for(
         args.experiment, args.scale, args.seed, shards=args.shards
     )
@@ -828,6 +940,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             backend = args.store_backend
             if args.store:
                 store = open_store(args.store, backend)
+            elif backend == "http":
+                raise SystemExit(
+                    "repro: --store-backend http needs the coordinator's"
+                    " URL: --store http://host:port (start one with"
+                    " `repro campaign serve`)"
+                )
             else:
                 store = open_store(
                     default_store_path(spec.name, backend), backend
@@ -849,6 +967,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"\ntrace spooled to {trace_dir}")
         _save(rows, getattr(args, "out", None))
         return 0
+    except StoreUnreachableError as exc:
+        # A down/unreachable coordinator is an operational condition,
+        # not a bug: one actionable line, not a traceback.
+        print(f"repro: {exc}", file=sys.stderr)
+        return 1
     except BrokenPipeError:  # e.g. `repro fig1 | head`
         import os
 

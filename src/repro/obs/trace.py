@@ -329,9 +329,21 @@ def trace_dir_for(store_or_path: Any) -> Path:
 
     Directory-backed stores keep traces inside (``<store>/traces``);
     file-backed stores get a sibling directory (``<store>.traces``) so
-    the spool always travels with the campaign it describes.
+    the spool always travels with the campaign it describes.  Remote
+    stores (an ``http://host:port`` coordinator URL) have no local
+    footprint, so their spool lands in the conventional campaigns/
+    layout under a name derived from the coordinator address —
+    deterministic, so ``campaign status`` finds what ``campaign run``
+    spooled on the same machine.
     """
-    path = Path(getattr(store_or_path, "path", store_or_path))
+    raw = getattr(store_or_path, "path", store_or_path)
+    text = str(raw)
+    if text.startswith(("http://", "https://")):
+        from urllib.parse import urlsplit
+
+        address = urlsplit(text).netloc.replace(":", "-").replace("@", "-")
+        return Path("campaigns") / f"remote-{address}.traces"
+    path = Path(raw)
     if path.is_dir() or not path.suffix:
         return path / "traces"
     return path.with_name(path.name + ".traces")
@@ -455,6 +467,7 @@ def summarize_trace(records: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
     t_hi = float("-inf")
     units: Dict[str, Dict[str, Any]] = {}
     claims: Dict[str, float] = {}
+    rpc: Dict[str, int] = {}
 
     for record in records:
         kind = record.get("type")
@@ -482,6 +495,9 @@ def summarize_trace(records: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
             t_lo = min(t_lo, record["ts_s"])
             t_hi = max(t_hi, record["ts_s"])
             args = record.get("args", {})
+            if record.get("cat") == "rpc":
+                name = record["name"]
+                rpc[name] = rpc.get(name, 0) + 1
             unit = args.get("unit")
             if unit is not None and record["name"] == "lease.claim":
                 claims.setdefault(unit, record["ts_s"])
@@ -502,4 +518,6 @@ def summarize_trace(records: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
         "processes": {pid: roles.get(pid, "proc") for pid in sorted(pids)},
         "wall_s": (t_hi - t_lo) if spans + events else 0.0,
         "units": units,
+        #: per-name counts of rpc.* events; empty for local-only runs.
+        "rpc": rpc,
     }

@@ -1,0 +1,188 @@
+"""Backend-agnostic conformance suite for the `CampaignStore` contract.
+
+`StoreContract` is a plain mixin: a test module inherits from it and
+provides a ``store_factory`` fixture — a zero-argument callable that
+returns a NEW store handle onto the SAME backing state each time it is
+called (two handles model two cooperating worker pools).  Every test
+here must pass for every backend — jsonl, sqlite, shared-dir, and the
+HTTP network store — which is what makes the lease/merge invariants in
+`run_campaign` backend-independent facts rather than per-backend luck.
+
+The contract being pinned down:
+
+* records/append/get round-trip every field; ``get`` of an unknown
+  hash is ``None``; re-appending a hash is last-record-wins.
+* ``try_claim`` is exclusive while a lease is live (for backends with
+  ``supports_leases``), refreshable by its owner, released only by its
+  owner, stolen after the TTL expires or immediately when the owner is
+  a dead local process.
+* append-then-release ordering: once a unit's hash is claimable again,
+  either its record is visible or the unit never ran.
+* parent merges are idempotent across handles: the second pool to
+  observe a completed parent adopts the stored record instead of
+  appending a duplicate.
+"""
+
+import socket
+import subprocess
+import time
+
+from repro.campaigns.pool import register_unit_runner
+from repro.campaigns.spec import CampaignSpec, UnitSpec, freeze_params
+from repro.campaigns.store import DEFAULT_LEASE_TTL_S, UnitRecord
+
+
+@register_unit_runner("contract-noop")
+def _run_contract_noop(spec):
+    return {"replication": spec.replication}
+
+
+def _record(unit_hash, value, experiment="contract"):
+    """A minimal well-formed unit record."""
+    return UnitRecord(
+        unit_hash=unit_hash,
+        experiment=experiment,
+        spec={"algorithm": "DB", "dims": [4, 4, 4]},
+        result={"value": value},
+    )
+
+
+class StoreContract:
+    """Mixin of contract tests; parametrize via a `store_factory` fixture."""
+
+    # ----------------------------------------------------------- records
+    def test_append_get_records_round_trip(self, store_factory):
+        store = store_factory()
+        assert store.records() == {}
+        assert store.get("missing" * 2) is None
+        rec = _record("a" * 16, 1.5)
+        store.append(rec)
+        assert store.get("a" * 16) == rec
+        assert store.records() == {"a" * 16: rec}
+        assert store.completed_hashes() == {"a" * 16}
+
+    def test_records_visible_through_second_handle(self, store_factory):
+        writer, reader = store_factory(), store_factory()
+        writer.append(_record("b" * 16, 2.0))
+        assert reader.get("b" * 16) == _record("b" * 16, 2.0)
+        assert reader.completed_hashes() == {"b" * 16}
+
+    def test_reappend_is_last_record_wins(self, store_factory):
+        store = store_factory()
+        store.append(_record("c" * 16, 1.0))
+        store.append(_record("c" * 16, 9.0))
+        assert store.get("c" * 16).result["value"] == 9.0
+        assert len(store.records()) == 1
+
+    def test_duplicate_identical_append_is_idempotent(self, store_factory):
+        # A retried append (same bytes, possibly through another handle)
+        # must leave exactly one logical record with unchanged content.
+        first, second = store_factory(), store_factory()
+        rec = _record("d" * 16, 3.0)
+        first.append(rec)
+        second.append(rec)
+        assert first.records() == {"d" * 16: rec}
+        assert second.records() == {"d" * 16: rec}
+
+    # ------------------------------------------------------------ leases
+    def test_claim_exclusivity(self, store_factory):
+        alice, bob = store_factory(), store_factory()
+        assert alice.try_claim("h1", "alice", ttl_s=30)
+        if not alice.supports_leases:
+            # Leaseless backends grant everything and report no leases:
+            # correctness then rests on idempotent merges alone.
+            assert bob.try_claim("h1", "bob", ttl_s=30)
+            assert alice.leased_hashes() == set()
+            return
+        assert not bob.try_claim("h1", "bob", ttl_s=30)
+        assert alice.try_claim("h1", "alice", ttl_s=30)  # refresh own lease
+        assert bob.leased_hashes() == {"h1"}
+
+    def test_release_is_owner_only(self, store_factory):
+        store = store_factory()
+        if not store.supports_leases:
+            store.release("h1", "anyone")  # must not raise
+            return
+        assert store.try_claim("h1", "alice", ttl_s=30)
+        store.release("h1", "bob")  # not the owner: no-op
+        assert store.leased_hashes() == {"h1"}
+        store.release("h1", "alice")
+        assert store.leased_hashes() == set()
+        assert store.try_claim("h1", "bob", ttl_s=30)
+
+    def test_stale_lease_is_stolen(self, store_factory):
+        store = store_factory()
+        if not store.supports_leases:
+            return
+        assert store.try_claim("h1", "crashed", ttl_s=0.01)
+        time.sleep(0.05)
+        assert store.leased_hashes() == set()  # expired
+        assert store.try_claim("h1", "successor", ttl_s=30)
+        assert not store.try_claim("h1", "crashed", ttl_s=30)
+
+    def test_heartbeat_refresh_extends_lease(self, store_factory):
+        store = store_factory()
+        if not store.supports_leases:
+            return
+        assert store.try_claim("h1", "alice", ttl_s=0.25)
+        for _ in range(4):  # keep beating past the original deadline
+            time.sleep(0.08)
+            assert store.try_claim("h1", "alice", ttl_s=0.25)
+        assert not store.try_claim("h1", "bob", ttl_s=30)
+
+    def test_dead_local_owner_lease_is_stolen_immediately(
+        self, store_factory
+    ):
+        store = store_factory()
+        if not store.supports_leases:
+            return
+        proc = subprocess.Popen(["true"])
+        proc.wait()  # a pid that certainly no longer exists
+        dead_owner = f"{socket.gethostname()}:{proc.pid}:deadbeef"
+        assert store.try_claim("h1", dead_owner, ttl_s=3600)
+        # Long TTL, but the owner process is gone: steal without waiting.
+        assert store.try_claim("h1", "successor", ttl_s=30)
+        # A live lease from another *host* is untouchable until the TTL.
+        assert store.try_claim("h2", f"otherhost:{proc.pid}:cafe", ttl_s=3600)
+        assert not store.try_claim("h2", "successor", ttl_s=30)
+
+    def test_default_ttl_accepted(self, store_factory):
+        store = store_factory()
+        assert store.try_claim("h1", "alice", ttl_s=DEFAULT_LEASE_TTL_S)
+
+    # ----------------------------------------------- ordering / handoff
+    def test_append_then_release_visibility(self, store_factory):
+        # Pool A lands a unit and releases its lease; pool B, on winning
+        # the subsequent claim, must already see the record via get().
+        a, b = store_factory(), store_factory()
+        assert a.try_claim("e" * 16, "pool-a", ttl_s=30)
+        a.append(_record("e" * 16, 7.0))
+        a.release("e" * 16, "pool-a")
+        assert b.try_claim("e" * 16, "pool-b", ttl_s=30)
+        assert b.get("e" * 16) == _record("e" * 16, 7.0)
+        b.release("e" * 16, "pool-b")
+
+    def test_idempotent_parent_merge_across_handles(self, store_factory):
+        # Two pools sharing the backend both finish a sharded parent;
+        # `run_campaign` adopts the stored record on the second merge,
+        # so both runs return identical records and the store holds one.
+        from repro.campaigns import run_campaign
+
+        units = tuple(
+            UnitSpec(
+                experiment="contract",
+                kind="contract-noop",
+                algorithm="DB",
+                dims=(4, 4, 4),
+                length_flits=8,
+                seed=0,
+                replication=replication,
+                params=freeze_params(),
+            )
+            for replication in range(3)
+        )
+        spec = CampaignSpec(name="contract-merge", seed=0, units=units)
+        first = run_campaign(spec, store=store_factory())
+        second = run_campaign(spec, store=store_factory())
+        assert first == second
+        assert len(store_factory().records()) == len(units)

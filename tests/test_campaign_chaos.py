@@ -1,0 +1,290 @@
+"""Chaos tests for the distributed campaign fabric.
+
+An in-process flaky HTTP proxy sits between `HttpStore` and a live
+`CampaignCoordinator` and injects faults from a *deterministic* plan —
+dropped calls (502 without forwarding), duplicated calls (forwarded
+twice upstream, modelling a retry racing its own first attempt), and
+delayed calls.  The invariants under test:
+
+* a campaign run through a lossy, duplicating transport still
+  completes, executes each unit exactly once, and produces records
+  byte-identical to a serial fault-free run;
+* a duplicated append never double-lands — the coordinator dedups by
+  record content hash, so an append-only jsonl backing store gains
+  exactly one line per unit;
+* a worker killed mid-execute loses its lease to a successor pool
+  (dead-local-owner steal, no TTL wait) and the campaign still
+  finishes byte-identical.
+"""
+
+import json
+import multiprocessing
+import os
+import socket
+import threading
+import time
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.campaigns import (
+    CampaignSpec,
+    HttpStore,
+    UnitSpec,
+    freeze_params,
+    open_store,
+    run_campaign,
+)
+from repro.campaigns.pool import register_unit_runner
+from repro.campaigns.remote import CampaignCoordinator
+from repro.obs.trace import ListSink, Tracer
+
+
+@register_unit_runner("counted-chaos")
+def _run_counted_chaos(spec):
+    with open(spec.param("log"), "a", encoding="utf-8") as handle:
+        handle.write(spec.unit_hash + "\n")
+    time.sleep(0.005)
+    return {"replication": spec.replication}
+
+
+def counting_campaign(log_path, n_units=8):
+    units = tuple(
+        UnitSpec(
+            experiment="chaos",
+            kind="counted-chaos",
+            algorithm="DB",
+            dims=(4, 4, 4),
+            length_flits=8,
+            seed=0,
+            replication=replication,
+            params=freeze_params(log=str(log_path)),
+        )
+        for replication in range(n_units)
+    )
+    return CampaignSpec(name="chaos", seed=0, units=units)
+
+
+# ------------------------------------------------------------ the proxy
+class _ProxyHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, fmt, *args):  # keep test output clean
+        pass
+
+    def _reply(self, status, body):
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _relay(self):
+        proxy = self.server
+        with proxy.lock:
+            proxy.seq += 1
+            seq = proxy.seq
+        action = proxy.plan(seq, self.command, self.path)
+        proxy.actions[action] = proxy.actions.get(action, 0) + 1
+        if action == "drop":
+            self._reply(
+                502, json.dumps({"error": "injected fault: dropped"}).encode()
+            )
+            return
+        if action == "delay":
+            time.sleep(0.02)
+        length = int(self.headers.get("Content-Length") or 0)
+        data = self.rfile.read(length) if length else None
+        repeats = 2 if action == "dup" else 1
+        for _ in range(repeats):
+            status, body = proxy.forward(self.command, self.path, data)
+        self._reply(status, body)
+
+    do_GET = _relay
+    do_POST = _relay
+
+
+class FlakyProxy(ThreadingHTTPServer):
+    """Forwards requests to ``upstream``, applying a fault plan.
+
+    ``plan(seq, method, path)`` returns one of ``"ok"``, ``"drop"``,
+    ``"dup"``, ``"delay"`` for the ``seq``-th request (1-based); being
+    a pure function of the sequence number it makes every chaos run
+    reproducible.  ``actions`` counts what was actually injected.
+    """
+
+    daemon_threads = True
+
+    def __init__(self, upstream, plan):
+        super().__init__(("127.0.0.1", 0), _ProxyHandler)
+        self.upstream = upstream.rstrip("/")
+        self.plan = plan
+        self.seq = 0
+        self.lock = threading.Lock()
+        self.actions = {}
+        self._thread = threading.Thread(
+            target=self.serve_forever, kwargs={"poll_interval": 0.05},
+            daemon=True,
+        )
+        self._thread.start()
+
+    @property
+    def url(self):
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def forward(self, method, path, data):
+        req = urllib.request.Request(
+            self.upstream + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=10.0) as resp:
+                return resp.status, resp.read()
+        except urllib.error.HTTPError as exc:
+            return exc.code, exc.read()
+
+    def close(self):
+        self.shutdown()
+        self._thread.join(timeout=5.0)
+        self.server_close()
+
+
+@pytest.fixture
+def backing(tmp_path):
+    return open_store(tmp_path / "backing.jsonl", "jsonl")
+
+
+@pytest.fixture
+def coordinator(backing):
+    with CampaignCoordinator(backing, port=0) as coord:
+        yield coord
+
+
+# --------------------------------------------------------------- chaos
+def lossy_plan(seq, method, path):
+    """Drop every 7th call, delay every 5th, duplicate every append."""
+    if seq % 7 == 3:
+        return "drop"
+    if path.endswith("/append"):
+        return "dup"
+    if seq % 5 == 2:
+        return "delay"
+    return "ok"
+
+
+def test_campaign_survives_lossy_duplicating_transport(
+    coordinator, backing, tmp_path
+):
+    log = tmp_path / "executions.log"
+    spec = counting_campaign(log)
+    proxy = FlakyProxy(coordinator.url, lossy_plan)
+    sink = ListSink()
+    try:
+        store = HttpStore(proxy.url, retries=4, backoff_s=0.01)
+        store.set_tracer(Tracer(sink, pid=1, role="pool"))
+        records = run_campaign(
+            spec, store=store, poll_interval_s=0.01, lease_ttl_s=60.0
+        )
+    finally:
+        proxy.close()
+
+    # Faults were really injected, and the client really retried.
+    assert proxy.actions.get("drop", 0) > 0
+    assert proxy.actions.get("dup", 0) >= len(spec)
+    retries = [
+        r for r in sink.records
+        if r.get("type") == "event" and r.get("name") == "rpc.retry"
+    ]
+    assert retries
+
+    # ... yet each unit executed exactly once, results byte-identical.
+    executed = log.read_text().split()
+    assert sorted(executed) == sorted(spec.unit_hashes())
+    assert records == run_campaign(spec)  # serial baseline (re-logs)
+    assert backing.completed_hashes() == set(spec.unit_hashes())
+
+
+def test_duplicated_append_never_double_merges(
+    coordinator, backing, tmp_path
+):
+    # Duplicate *every* append at the transport. The backing store is
+    # append-only jsonl: double-landing would be visible as extra
+    # lines. The coordinator's content-hash dedup absorbs them all.
+    spec = counting_campaign(tmp_path / "log", n_units=5)
+    proxy = FlakyProxy(
+        coordinator.url,
+        lambda seq, method, path: (
+            "dup" if path.endswith("/append") else "ok"
+        ),
+    )
+    try:
+        store = HttpStore(proxy.url, retries=3, backoff_s=0.01)
+        run_campaign(spec, store=store)
+        assert store.status()["appends_deduped"] >= len(spec)
+    finally:
+        proxy.close()
+
+    lines = [
+        json.loads(line)
+        for line in backing.path.read_text().splitlines()
+        if line
+    ]
+    hashes = [line["unit_hash"] for line in lines]
+    assert sorted(hashes) == sorted(spec.unit_hashes())  # one line each
+
+
+# -------------------------------------------------------- killed worker
+def _claim_and_hang(url, unit_hash):
+    """Subprocess body: win a long lease, then never come back."""
+    store = HttpStore(url, retries=3, backoff_s=0.01)
+    owner = f"{socket.gethostname()}:{os.getpid()}:chaos"
+    assert store.try_claim(unit_hash, owner, ttl_s=3600)
+    time.sleep(600)  # killed long before this expires
+
+
+def test_killed_worker_lease_is_stolen_and_unit_rerun(tmp_path):
+    # Needs a lease-arbitrating backing store (jsonl grants every
+    # claim), so this test runs its own sqlite-backed coordinator.
+    log = tmp_path / "executions.log"
+    spec = counting_campaign(log, n_units=4)
+    victim_hash = spec.unit_hashes()[0]
+    sqlite_backing = open_store(tmp_path / "backing.sqlite", "sqlite")
+
+    with CampaignCoordinator(sqlite_backing, port=0) as coord:
+        ctx = multiprocessing.get_context("spawn")
+        worker = ctx.Process(
+            target=_claim_and_hang, args=(coord.url, victim_hash)
+        )
+        worker.start()
+        try:
+            store = HttpStore(coord.url, retries=3, backoff_s=0.01)
+            deadline = time.monotonic() + 30.0
+            while victim_hash not in store.leased_hashes():
+                assert time.monotonic() < deadline, "worker never claimed"
+                time.sleep(0.02)
+            worker.kill()  # mid-"execute", lease still live for an hour
+            worker.join(timeout=10.0)
+            assert not worker.is_alive()
+
+            # A successor pool steals the dead owner's lease
+            # immediately (no TTL wait: the owner token names a dead
+            # local pid) and finishes the campaign.
+            records = run_campaign(
+                spec,
+                store=store,
+                poll_interval_s=0.01,
+                lease_ttl_s=3600.0,
+            )
+        finally:
+            if worker.is_alive():  # pragma: no cover - cleanup on failure
+                worker.kill()
+                worker.join(timeout=5.0)
+
+    executed = log.read_text().split()
+    assert sorted(executed) == sorted(spec.unit_hashes())  # once each
+    assert records == run_campaign(spec)  # serial baseline (re-logs)

@@ -1,0 +1,347 @@
+"""Tests for the distributed campaign fabric: coordinator + HttpStore.
+
+Covers the headline distributed guarantee (two client pools draining
+one coordinator produce records and aggregates byte-identical to a
+serial run, each unit executed exactly once), the CLI surface
+(``campaign run/status --store http://...``, ``status --json``, the
+friendly unreachable-coordinator error), lease heartbeats carried
+over HTTP, coordinator restart mid-campaign resuming from the backing
+store, and rpc.* trace events from both sides of the wire.
+
+Chaos-level fault injection (dropped/duplicated/delayed calls, killed
+workers) lives in ``test_campaign_chaos.py``; the per-backend store
+contract — which the http backend also passes — in
+``test_store_conformance.py``.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.campaigns import (
+    CampaignSpec,
+    HttpStore,
+    UnitSpec,
+    aggregate,
+    freeze_params,
+    open_store,
+    run_campaign,
+)
+from repro.campaigns.pool import lease_heartbeat, register_unit_runner
+from repro.campaigns.remote import (
+    CampaignCoordinator,
+    StoreUnreachableError,
+    record_content_hash,
+)
+from repro.cli import main
+from repro.experiments.common import broadcast_units
+from repro.obs.trace import ListSink, Tracer, read_trace_dir, summarize_trace
+
+# A port from the discard range: nothing listens there, connections
+# fail fast, so the retry loop exercises its full backoff quickly.
+DEAD_URL = "http://127.0.0.1:9"
+
+
+def small_campaign(seed=0):
+    units = broadcast_units(
+        "fig1", [(4, 4, 4)], ["RD", "DB"], 64, "smoke", seed=seed
+    )
+    return CampaignSpec(name=f"small-s{seed}", seed=seed, units=tuple(units))
+
+
+@register_unit_runner("counted-remote")
+def _run_counted_remote(spec):
+    with open(spec.param("log"), "a", encoding="utf-8") as handle:
+        handle.write(spec.unit_hash + "\n")
+    time.sleep(0.005)  # widen the contention window
+    return {"replication": spec.replication}
+
+
+def counting_campaign(log_path, n_units=12):
+    units = tuple(
+        UnitSpec(
+            experiment="contention",
+            kind="counted-remote",
+            algorithm="DB",
+            dims=(4, 4, 4),
+            length_flits=8,
+            seed=0,
+            replication=replication,
+            params=freeze_params(log=str(log_path)),
+        )
+        for replication in range(n_units)
+    )
+    return CampaignSpec(name="contention-http", seed=0, units=units)
+
+
+@pytest.fixture
+def coordinator(tmp_path):
+    backing = open_store(tmp_path / "backing.sqlite", "sqlite")
+    with CampaignCoordinator(backing, port=0) as coord:
+        yield coord
+
+
+def fast_store(url):
+    return HttpStore(url, retries=2, backoff_s=0.01)
+
+
+# ---------------------------------------------------- distributed runs
+def test_two_client_pools_byte_identical_to_serial(coordinator, tmp_path):
+    log = tmp_path / "executions.log"
+    spec = counting_campaign(log)
+    results = {}
+
+    def pool(name):
+        results[name] = run_campaign(
+            spec,
+            store=fast_store(coordinator.url),
+            poll_interval_s=0.01,
+            lease_ttl_s=60.0,
+        )
+
+    threads = [
+        threading.Thread(target=pool, args=(name,)) for name in ("a", "b")
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+        assert not thread.is_alive()
+
+    # Every unit executed exactly once, by whichever pool won its lease.
+    executed = log.read_text().split()
+    assert sorted(executed) == sorted(spec.unit_hashes())
+    # ... and byte-identical to a serial, storeless run (executed
+    # after the once-each assertion — it also writes to the log).
+    assert results["a"] == results["b"] == run_campaign(spec)
+
+
+def test_distributed_aggregates_match_serial(coordinator):
+    spec = small_campaign()
+    serial = run_campaign(spec)
+    remote = run_campaign(spec, store=fast_store(coordinator.url))
+    assert remote == serial
+    assert aggregate("fig1", remote) == aggregate("fig1", serial)
+    # the records persisted through the coordinator's backing store
+    assert coordinator.store.completed_hashes() == set(spec.unit_hashes())
+
+
+def test_resume_over_http_recomputes_nothing(coordinator):
+    spec = small_campaign()
+    first = run_campaign(spec, store=fast_store(coordinator.url))
+    lines = []
+    second = run_campaign(
+        spec, store=fast_store(coordinator.url), progress=lines.append
+    )
+    assert second == first
+    assert f"({len(spec)} cached, 0 to run" in lines[0]
+
+
+def test_coordinator_restart_resumes_from_backing_store(tmp_path):
+    log = tmp_path / "executions.log"
+    spec = counting_campaign(log, n_units=6)
+    backing_path = tmp_path / "backing.sqlite"
+
+    # First coordinator: land half the campaign, then go down.
+    half = CampaignSpec(name=spec.name, seed=spec.seed, units=spec.units[:3])
+    with CampaignCoordinator(
+        open_store(backing_path, "sqlite"), port=0
+    ) as coord:
+        run_campaign(half, store=fast_store(coord.url))
+
+    # Second coordinator on the same backing store: the campaign
+    # resumes where it stopped (the dedup set is gone — that is safe,
+    # backends key by unit hash).
+    with CampaignCoordinator(
+        open_store(backing_path, "sqlite"), port=0
+    ) as coord:
+        lines = []
+        records = run_campaign(
+            spec, store=fast_store(coord.url), progress=lines.append
+        )
+    assert "(3 cached, 3 to run" in lines[0]
+    executed = log.read_text().split()
+    assert sorted(executed) == sorted(spec.unit_hashes())  # once each
+    assert records == run_campaign(spec)  # (re-logs; checked above)
+
+
+# -------------------------------------------------------------- leases
+def test_heartbeat_over_http_keeps_lease_alive(coordinator):
+    store = fast_store(coordinator.url)
+    assert store.try_claim("h1", "alice", ttl_s=0.3)
+    with lease_heartbeat(store, "h1", "alice", ttl_s=0.3):
+        time.sleep(0.8)  # several TTLs: only the heartbeat keeps it
+        assert not fast_store(coordinator.url).try_claim(
+            "h1", "bob", ttl_s=30
+        )
+    store.release("h1", "alice")
+    assert fast_store(coordinator.url).try_claim("h1", "bob", ttl_s=30)
+
+
+def test_heartbeat_failure_when_coordinator_down_warns_and_traces():
+    sink = ListSink()
+    tracer = Tracer(sink, pid=1, role="worker")
+    store = fast_store(DEAD_URL)
+    with pytest.warns(RuntimeWarning, match="lease heartbeat .* failed"):
+        with lease_heartbeat(store, "a" * 40, "owner", ttl_s=0.1,
+                             tracer=tracer):
+            time.sleep(0.4)  # several beat attempts at ttl/3 cadence
+    errors = [
+        r for r in sink.records
+        if r.get("type") == "event" and r.get("name") == "heartbeat.error"
+    ]
+    assert errors
+    assert "unreachable" in errors[0]["args"]["error"]
+
+
+# ------------------------------------------------------------- tracing
+def test_rpc_events_spool_from_both_sides(coordinator, tmp_path):
+    spec = small_campaign()
+    trace_dir = tmp_path / "spool"
+    run_campaign(
+        spec, store=fast_store(coordinator.url), trace_dir=trace_dir
+    )
+    records = read_trace_dir(trace_dir)
+    names = {r["name"] for r in records if r.get("type") == "event"}
+    assert {"rpc.claim", "rpc.append", "rpc.release"} <= names
+    rpc = summarize_trace(records)["rpc"]
+    assert rpc["rpc.append"] == len(spec)
+    assert rpc["rpc.claim"] >= len(spec)
+
+
+def test_retry_emits_rpc_retry_then_gives_up():
+    sink = ListSink()
+    store = HttpStore(DEAD_URL, retries=3, backoff_s=0.001)
+    store.set_tracer(Tracer(sink, pid=1, role="pool"))
+    with pytest.raises(StoreUnreachableError) as err:
+        store.records()
+    assert "3 attempt(s)" in str(err.value)
+    assert "repro campaign serve" in str(err.value)
+    retries = [
+        r for r in sink.records
+        if r.get("type") == "event" and r.get("name") == "rpc.retry"
+    ]
+    assert [r["args"]["attempt"] for r in retries] == [1, 2, 3]
+
+
+def test_idempotency_key_is_stable_content_hash():
+    from repro.campaigns.store import UnitRecord
+
+    rec = UnitRecord(
+        unit_hash="a" * 16, experiment="x", spec={}, result={"v": 1}
+    )
+    same = UnitRecord(
+        unit_hash="a" * 16, experiment="x", spec={}, result={"v": 1}
+    )
+    other = UnitRecord(
+        unit_hash="a" * 16, experiment="x", spec={}, result={"v": 2}
+    )
+    assert record_content_hash(rec.to_dict()) == record_content_hash(
+        same.to_dict()
+    )
+    assert record_content_hash(rec.to_dict()) != record_content_hash(
+        other.to_dict()
+    )
+
+
+def test_coordinator_dedups_retried_append(coordinator):
+    from repro.campaigns.store import UnitRecord
+
+    store = fast_store(coordinator.url)
+    rec = UnitRecord(
+        unit_hash="f" * 16, experiment="x", spec={}, result={"v": 1}
+    )
+    store.append(rec)
+    store.append(rec)  # the retried duplicate
+    assert store.status()["appends_deduped"] == 1
+    assert len(store.records()) == 1
+
+
+# ----------------------------------------------------------------- CLI
+def test_cli_run_and_status_against_coordinator(coordinator, capsys):
+    url = coordinator.url
+    assert main(
+        [
+            "campaign", "run", "fig1", "--scale", "smoke",
+            "--workers", "2", "--store", url,
+        ]
+    ) == 0
+    capsys.readouterr()
+    assert main(
+        ["campaign", "status", "fig1", "--scale", "smoke", "--store", url]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "[http]" in out
+    assert "32/32 units complete" in out
+    assert url in out
+
+
+def test_cli_status_json_against_coordinator(coordinator, capsys):
+    from repro.experiments import campaign_for
+
+    # Land exactly one smoke-grid unit and claim another, so the JSON
+    # report has every state represented.
+    spec = campaign_for("fig1", "smoke", 0)
+    store = fast_store(coordinator.url)
+    run_campaign(
+        CampaignSpec(name="one", seed=0, units=spec.units[:1]), store=store
+    )
+    assert store.try_claim(spec.unit_hashes()[1], "worker-elsewhere",
+                           ttl_s=60)
+    assert main(
+        [
+            "campaign", "status", "fig1", "--scale", "smoke",
+            "--json", "--store", coordinator.url,
+        ]
+    ) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload[0]["backend"] == "http"
+    assert payload[0]["store"] == coordinator.url
+    assert payload[0]["total"] == len(spec)
+    assert payload[0]["completed"] == 1
+    assert payload[0]["leased"] == 1
+    assert payload[0]["pending"] == len(spec) - 2
+
+
+def test_cli_unreachable_coordinator_is_a_clean_error(capsys):
+    code = main(
+        [
+            "campaign", "status", "fig1", "--scale", "smoke",
+            "--store", DEAD_URL,
+        ]
+    )
+    assert code == 1
+    err = capsys.readouterr().err
+    assert "repro:" in err
+    assert "unreachable" in err
+    assert "repro campaign serve" in err
+    assert "Traceback" not in err
+
+
+def test_cli_http_backend_requires_url(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(
+            [
+                "campaign", "run", "fig1", "--scale", "smoke",
+                "--store-backend", "http",
+            ]
+        )
+    assert "--store http://host:port" in str(exc.value)
+
+
+def test_cli_serve_rejects_url_backing_store(tmp_path):
+    # A coordinator must own a *local* store — chaining coordinators
+    # would hide the durability story.
+    with pytest.raises(ValueError, match="local"):
+        CampaignCoordinator(fast_store(DEAD_URL))
+
+
+def test_open_store_url_inference(tmp_path):
+    store = open_store("http://127.0.0.1:9")
+    assert isinstance(store, HttpStore)
+    with pytest.raises(ValueError, match="http"):
+        open_store(tmp_path / "x.jsonl", "http")
+    with pytest.raises(ValueError, match="store-backend http"):
+        open_store("http://127.0.0.1:9", "sqlite")

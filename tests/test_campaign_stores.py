@@ -1,10 +1,15 @@
 """Tests for the pluggable store backends and the adaptive scheduler.
 
-Covers the `CampaignStore` contract across jsonl/sqlite/shared-dir
-backends (parity: identical records and aggregates), the lease
-protocol (claim/refresh/steal, and two concurrent pools draining one
-campaign with no unit executed twice), adaptive-order determinism, the
+Covers backend parity (identical records and aggregates across
+jsonl/sqlite/shared-dir), two concurrent pools draining one campaign
+with no unit executed twice, adaptive-order determinism, the
 cross-scale cache, and the backend-aware CLI surface.
+
+The per-backend `CampaignStore` contract itself (claim exclusivity,
+refresh, stale/dead-owner steal, append-then-release visibility, ...)
+lives in the backend-agnostic suite in ``store_contract.py``, run
+against all four backends — including http — by
+``test_store_conformance.py``.
 """
 
 import threading
@@ -103,56 +108,6 @@ def test_backends_produce_identical_records_and_aggregates(tmp_path):
 
 
 # --------------------------------------------------------------- leases
-@pytest.mark.parametrize("backend", ["sqlite", "shared"])
-def test_lease_claim_refresh_release(backend, tmp_path):
-    store = make_store(backend, tmp_path)
-    assert store.supports_leases
-    assert store.try_claim("h1", "alice", ttl_s=30)
-    assert not store.try_claim("h1", "bob", ttl_s=30)
-    assert store.try_claim("h1", "alice", ttl_s=30)  # refresh own lease
-    assert store.leased_hashes() == {"h1"}
-    store.release("h1", "bob")  # not the owner: no-op
-    assert store.leased_hashes() == {"h1"}
-    store.release("h1", "alice")
-    assert store.leased_hashes() == set()
-    assert store.try_claim("h1", "bob", ttl_s=30)
-
-
-@pytest.mark.parametrize("backend", ["sqlite", "shared"])
-def test_dead_local_owner_lease_is_stolen_immediately(backend, tmp_path):
-    import socket
-    import subprocess
-
-    proc = subprocess.Popen(["true"])
-    proc.wait()  # a pid that certainly no longer exists
-    dead_owner = f"{socket.gethostname()}:{proc.pid}:deadbeef"
-    store = make_store(backend, tmp_path)
-    assert store.try_claim("h1", dead_owner, ttl_s=3600)
-    # Long TTL, but the owner process is gone: steal without waiting.
-    assert store.try_claim("h1", "successor", ttl_s=30)
-    # A live lease from another *host* is untouchable until the TTL.
-    assert store.try_claim("h2", f"otherhost:{proc.pid}:cafe", ttl_s=3600)
-    assert not store.try_claim("h2", "successor", ttl_s=30)
-
-
-@pytest.mark.parametrize("backend", ["sqlite", "shared"])
-def test_stale_lease_is_stolen(backend, tmp_path):
-    store = make_store(backend, tmp_path)
-    assert store.try_claim("h1", "crashed", ttl_s=0.01)
-    time.sleep(0.05)
-    assert store.leased_hashes() == set()  # expired
-    assert store.try_claim("h1", "successor", ttl_s=30)
-    assert not store.try_claim("h1", "crashed", ttl_s=30)
-
-
-def test_jsonl_grants_every_claim(tmp_path):
-    store = JsonlStore(tmp_path / "c.jsonl")
-    assert not store.supports_leases
-    assert store.try_claim("h1", "alice")
-    assert store.try_claim("h1", "bob")
-    assert store.leased_hashes() == set()
-
-
 # Counting runner for the contention test: records every execution in
 # an append-only log so a double execution is observable.
 @register_unit_runner("counted")

@@ -1,0 +1,55 @@
+"""Run the `CampaignStore` conformance suite against every backend.
+
+One parametrized fixture builds a `store_factory` per backend — the
+three local stores plus an `HttpStore` talking to a live in-process
+`CampaignCoordinator` over real sockets — and `StoreContract` supplies
+the tests.  Adding a backend means adding a fixture param, not a test
+copy; a backend that cannot pass this module cannot safely back
+`run_campaign`.
+"""
+
+import pytest
+from store_contract import StoreContract
+
+from repro.campaigns import BACKENDS, HttpStore, open_store
+from repro.campaigns.remote import CampaignCoordinator
+
+CONFORMANCE_BACKENDS = sorted(BACKENDS) + ["http"]
+
+
+@pytest.fixture(params=CONFORMANCE_BACKENDS)
+def store_factory(request, tmp_path):
+    """Zero-arg callable: a fresh handle onto one shared backing store."""
+    backend = request.param
+    if backend == "http":
+        backing = open_store(tmp_path / "backing.sqlite", "sqlite")
+        coordinator = CampaignCoordinator(backing, port=0)
+        coordinator.start()
+        try:
+            yield lambda: HttpStore(
+                coordinator.url, retries=2, backoff_s=0.01
+            )
+        finally:
+            coordinator.close()
+        return
+    paths = {
+        "jsonl": tmp_path / "store.jsonl",
+        "sqlite": tmp_path / "store.sqlite",
+        "shared": tmp_path / "store-dir",
+    }
+    yield lambda: open_store(paths[backend], backend)
+
+
+class TestStoreConformance(StoreContract):
+    """`StoreContract` × {jsonl, sqlite, shared, http}."""
+
+
+def test_http_store_reports_backend_and_leases(tmp_path):
+    backing = open_store(tmp_path / "b.sqlite", "sqlite")
+    with CampaignCoordinator(backing, port=0) as coordinator:
+        store = HttpStore(coordinator.url, retries=2, backoff_s=0.01)
+        assert store.backend == "http"
+        assert store.supports_leases
+        assert store.describe() == f"http:{coordinator.url}"
+        status = store.status()
+        assert status["ok"] and status["backend"] == "sqlite"

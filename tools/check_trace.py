@@ -16,6 +16,8 @@ schema of :mod:`repro.obs.trace`:
   executed unit was claimed or stolen first, and the claim precedes
   the execute span's start;
 * every ``unit.merge`` span names its unit and a shard count;
+* every ``rpc.*`` event (a distributed run through the HTTP
+  coordinator) names the operation it carries;
 * an exported Chrome trace (``--chrome``) parses and contains only
   well-formed ``X``/``i``/``M`` events with non-negative durations.
 
@@ -155,12 +157,23 @@ def check_structure(records):
             if not args.get("shards"):
                 problems.append("unit.merge span without a shard count")
 
+    rpc_events = [e for e in events if e.get("cat") == "rpc"]
+    for event in rpc_events:
+        if not event.get("args", {}).get("op"):
+            problems.append(
+                f"rpc event {event.get('name')!r} without an op argument"
+            )
+
     return problems, {
         "spans": len(spans),
         "events": len(events),
         "executed": len(executes),
         "claimed": len(claims),
         "merged": sum(1 for s in spans if s.get("name") == "unit.merge"),
+        "rpc": len(rpc_events),
+        "rpc_retries": sum(
+            1 for e in rpc_events if e.get("name") == "rpc.retry"
+        ),
     }
 
 
@@ -231,10 +244,16 @@ def main(argv=None) -> int:
     for problem in problems:
         print(f"FAIL: {problem}")
     verdict = "FAIL" if problems else "ok"
+    rpc_note = ""
+    if counts["rpc"]:
+        rpc_note = (
+            f", {counts['rpc']} rpc ({counts['rpc_retries']} retried)"
+        )
     print(
         f"{verdict}: {trace_dir} — {counts['spans']} span(s),"
         f" {counts['events']} event(s), {counts['executed']} executed,"
         f" {counts['claimed']} claimed, {counts['merged']} merged"
+        + rpc_note
         + (f"; {len(problems)} problem(s)" if problems else "")
     )
     return 1 if problems else 0
