@@ -48,7 +48,11 @@ protocol and a multi-host walkthrough, and ``docs/architecture.md``
 for how the campaigns layer sits atop the rest of the stack.
 """
 
-from repro.campaigns.aggregate import aggregate, register_aggregator
+from repro.campaigns.aggregate import (
+    aggregate,
+    failed_records,
+    register_aggregator,
+)
 from repro.campaigns.costmodel import (
     CostModel,
     auto_shard_count,
@@ -58,6 +62,8 @@ from repro.campaigns.costmodel import (
 )
 from repro.campaigns.pool import (
     SCHEDULES,
+    TooManyFailuresError,
+    WorkerCrashError,
     estimate_unit_cost,
     execute_unit,
     order_units,
@@ -85,6 +91,7 @@ from repro.campaigns.store import (
     SqliteStore,
     UnitRecord,
     default_store_path,
+    make_failure_record,
     open_store,
 )
 
@@ -101,15 +108,19 @@ __all__ = [
     "SharedDirStore",
     "SqliteStore",
     "StoreUnreachableError",
+    "TooManyFailuresError",
     "UnitRecord",
     "UnitSpec",
+    "WorkerCrashError",
     "aggregate",
     "auto_shard_count",
     "default_store_path",
     "estimate_unit_cost",
     "execute_unit",
+    "failed_records",
     "fit_cost_model",
     "freeze_params",
+    "make_failure_record",
     "load_cost_model",
     "load_default_cost_model",
     "merge_shard_records",

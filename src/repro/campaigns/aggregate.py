@@ -34,7 +34,7 @@ import numpy as np
 from repro.campaigns.spec import UnitSpec
 from repro.campaigns.store import UnitRecord
 
-__all__ = ["aggregate", "register_aggregator", "cells"]
+__all__ = ["aggregate", "failed_records", "register_aggregator", "cells"]
 
 Aggregator = Callable[[Sequence[UnitRecord]], List[Any]]
 
@@ -91,6 +91,11 @@ def cells(
     grouped: Dict[str, List[UnitRecord]] = {}
     specs: Dict[str, UnitSpec] = {}
     for record in records:
+        if record.failed:
+            # A failure record carries exception metadata, not
+            # simulation output — it can never contribute to a row.
+            # Callers announce the gap via failed_records().
+            continue
         spec = record.unit_spec
         if is_shard(spec):
             continue
@@ -109,6 +114,18 @@ def cells(
         members.sort(key=lambda r: r.unit_spec.replication)
         out.append((specs[key], members))
     return out
+
+
+def failed_records(records: Sequence[UnitRecord]) -> List[UnitRecord]:
+    """The failure records in ``records``, in input order.
+
+    :func:`cells` silently drops failed units from the row build (they
+    have no floats to contribute); callers that surface results to a
+    human are expected to pair ``aggregate()`` with this helper and
+    emit one explicit warning line per failed cell, so a partial table
+    is never mistaken for a complete one.
+    """
+    return [record for record in records if record.failed]
 
 
 def _series(members: Sequence[UnitRecord], field: str) -> List[float]:

@@ -61,6 +61,7 @@ import time
 import warnings
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Union
@@ -68,9 +69,11 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence,
 from repro.campaigns.spec import CampaignSpec, UnitSpec
 from repro.campaigns.store import (
     DEFAULT_LEASE_TTL_S,
+    STATUS_FAILED,
     CampaignStore,
     TracedStore,
     UnitRecord,
+    make_failure_record,
     make_owner_id,
 )
 from repro.obs.trace import NULL_TRACER
@@ -81,6 +84,8 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = [
     "ProgressFn",
     "SCHEDULES",
+    "TooManyFailuresError",
+    "WorkerCrashError",
     "estimate_unit_cost",
     "lease_heartbeat",
     "order_units",
@@ -88,6 +93,21 @@ __all__ = [
     "execute_unit",
     "run_campaign",
 ]
+
+
+class TooManyFailuresError(RuntimeError):
+    """Quarantined-unit count exceeded the campaign's ``max_failures``."""
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker process died mid-execute (OOM kill, SIGKILL, segfault).
+
+    Synthesised by the pool's crash supervision: the broken executor's
+    in-flight units are each charged one attempt with this error, so a
+    unit that reliably kills its worker exhausts its retry budget and
+    quarantines instead of crash-looping the pool, while innocent
+    bystanders re-run and their ok record overwrites the charge.
+    """
 
 #: kind → runner(spec) -> result dict.
 _UNIT_RUNNERS: Dict[str, Callable[[UnitSpec], Dict[str, Any]]] = {}
@@ -200,6 +220,14 @@ def execute_unit(spec: UnitSpec, tracer: Any = NULL_TRACER) -> UnitRecord:
         kind=spec.kind,
         experiment=spec.experiment,
     ):
+        import os
+
+        if os.environ.get("REPRO_FAIL_UNITS"):
+            # Deterministic fault injection for failure-path drills;
+            # free when the variable is unset (no import, one getenv).
+            from repro.campaigns.units import raise_injected_failure
+
+            raise_injected_failure(spec)
         result = runner(spec)
     return UnitRecord(
         unit_hash=spec.unit_hash,
@@ -344,6 +372,8 @@ def _warm_from_caches(
             if unit_hash in records or unit_hash not in cached:
                 continue
             record = cached[unit_hash]
+            if not record.ok:
+                continue  # a cache's failure record is not a result
             records[unit_hash] = record
             tracer.event(
                 "cache.hit",
@@ -370,6 +400,9 @@ def run_campaign(
     lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
     poll_interval_s: float = 0.5,
     trace_dir: Optional[Union[str, Path]] = None,
+    retries: int = 2,
+    max_failures: Optional[int] = None,
+    retry_backoff_s: float = 0.5,
 ) -> List[UnitRecord]:
     """Execute a campaign and return its records in declaration order.
 
@@ -385,8 +418,27 @@ def run_campaign(
         producers all run against the shared no-op tracer.  Tracing is
         pure observation: records, row order and stored bytes are
         identical either way.
+
+    When called from the main thread, SIGINT/SIGTERM are rerouted to
+    ``KeyboardInterrupt`` for the duration of the run so both unwind
+    identically: active futures are cancelled, every held lease is
+    released, and a one-line summary is emitted — a peer pool sharing
+    the store takes over immediately instead of waiting out lease
+    TTLs.  The previous handlers are restored on exit.
     """
     tracer = _process_tracer(trace_dir, "pool")
+    restore_signals: List[Any] = []
+    if threading.current_thread() is threading.main_thread():
+        import signal
+
+        def _graceful(signum: int, frame: Any) -> None:
+            raise KeyboardInterrupt(f"signal {signum}")
+
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                restore_signals.append((sig, signal.signal(sig, _graceful)))
+            except (ValueError, OSError):  # pragma: no cover - platform
+                pass
     try:
         with tracer.span(
             "campaign",
@@ -410,8 +462,16 @@ def run_campaign(
                 poll_interval_s=poll_interval_s,
                 trace_dir=None if trace_dir is None else str(trace_dir),
                 tracer=tracer,
+                retries=retries,
+                max_failures=max_failures,
+                retry_backoff_s=retry_backoff_s,
             )
     finally:
+        if restore_signals:
+            import signal
+
+            for sig, previous in restore_signals:
+                signal.signal(sig, previous)
         # The pool's spool file lives exactly as long as its campaign:
         # drop the cached tracer and close the handle (a resumed run
         # re-opens the same file in append mode).  Worker tracers are
@@ -436,6 +496,9 @@ def _run_campaign(
     poll_interval_s: float = 0.5,
     trace_dir: Optional[str] = None,
     tracer: Any = NULL_TRACER,
+    retries: int = 2,
+    max_failures: Optional[int] = None,
+    retry_backoff_s: float = 0.5,
 ) -> List[UnitRecord]:
     """The campaign engine (:func:`run_campaign` wraps it in a span).
 
@@ -496,9 +559,36 @@ def _run_campaign(
     poll_interval_s:
         Sleep between re-checks while waiting on units leased by a
         concurrent pool.
+    retries:
+        Failed-unit re-execution budget: a raising unit is retried up
+        to this many times (``retries + 1`` attempts total) with
+        exponential backoff (``retry_backoff_s * 2**attempt``), its
+        failure persisted to the store as a ``status="failed"`` record
+        after every attempt.  The attempt count rides in the record,
+        so racing pools sharing a store honour *one* budget: whoever
+        claims the unit next reads the ledger back and continues it.
+        After exhaustion the unit is **quarantined** — skipped by this
+        run and every peer/resume until ``campaign retry-failed``
+        clears its record (or a successful re-run overwrites it).
+    max_failures:
+        Abort the campaign (raising :class:`TooManyFailuresError`)
+        once more than this many units have quarantined.  ``None``
+        (the default) never aborts — failures are data, healthy units
+        all complete.  ``0`` restores strict fail-fast: the first
+        failing attempt re-raises immediately (no retries), as the
+        engine behaved before failure domains existed.
+    retry_backoff_s:
+        Base of the exponential retry backoff (attempt ``n`` waits
+        ``retry_backoff_s * 2**(n-1)`` before re-queueing).
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    if max_failures is not None and max_failures < 0:
+        raise ValueError(
+            f"max_failures must be >= 0 or None, got {max_failures}"
+        )
     if schedule not in SCHEDULES:
         raise ValueError(
             f"unknown schedule {schedule!r}; choose from {SCHEDULES}"
@@ -561,23 +651,128 @@ def _run_campaign(
     wanted = spec.unit_hashes()
     wanted += [s.unit_hash for plan in shard_plan.values() for s in plan]
     records: Dict[str, UnitRecord] = {}
+    failures: Dict[str, UnitRecord] = {}  # unit hash → latest failure
+    attempts: Dict[str, int] = {}  # unit hash → attempts charged so far
     if store is not None:
         wanted_set = set(wanted)
-        records = {
-            h: rec for h, rec in store.records().items() if h in wanted_set
-        }
+        for h, rec in store.records().items():
+            if h not in wanted_set:
+                continue
+            if rec.ok:
+                records[h] = rec
+            else:
+                # A prior run's (or racing pool's) failure record: its
+                # attempt count seeds the shared retry ledger.
+                failures[h] = rec
+                attempts[h] = rec.attempts
     cache_hits = _warm_from_caches(wanted, records, store, cache, tracer)
 
     owner = make_owner_id()
     claiming = store is not None and store.supports_leases
+    quarantined: set = set()  # unit hashes past their retry budget
+    cooldown: List[Any] = []  # (monotonic ready time, unit) backoff queue
+
+    def release_quietly(unit_hash: str) -> None:
+        """Best-effort release — never mask the error being handled.
+
+        Used on every error path: if the *store* is what failed (e.g.
+        an unreachable coordinator), releasing would raise the same
+        error again and bury the original; the lease TTL bounds the
+        cost of leaving it behind.
+        """
+        if not claiming:
+            return
+        try:
+            store.release(unit_hash, owner)
+        except Exception:
+            pass
 
     def finish(record: UnitRecord) -> None:
         records[record.unit_hash] = record
         if store is not None:
-            store.append(record)
-            if claiming:
-                store.release(record.unit_hash, owner)
+            try:
+                store.append(record)
+                if claiming:
+                    store.release(record.unit_hash, owner)
+            except BaseException:
+                # Append failed (store unreachable mid-campaign):
+                # don't strand the lease behind the dead store — the
+                # release is best-effort and the original error
+                # surfaces as the CLI's one-line store error.
+                release_quietly(record.unit_hash)
+                raise
         _after_land(record.unit_hash)
+
+    def quarantine(unit: UnitSpec, record: UnitRecord) -> None:
+        """Mark a unit permanently failed (budget exhausted)."""
+        if unit.unit_hash in quarantined:
+            return
+        quarantined.add(unit.unit_hash)
+        failures[unit.unit_hash] = record
+        tracer.event(
+            "unit.quarantine",
+            cat="unit",
+            unit=unit.unit_hash,
+            attempts=record.attempts,
+            error=record.failure_reason,
+        )
+        if progress:
+            progress(
+                f"campaign {spec.name}: unit {unit.unit_hash[:12]}"
+                f" quarantined after {record.attempts} attempt(s) —"
+                f" {record.failure_reason}"
+            )
+        if max_failures is not None and len(quarantined) > max_failures:
+            raise TooManyFailuresError(
+                f"campaign {spec.name}: {len(quarantined)} unit(s) failed"
+                f" permanently (max_failures={max_failures}); `campaign"
+                f" status` lists the reasons, `campaign retry-failed`"
+                f" clears the quarantine records"
+            )
+
+    def unit_failed(unit: UnitSpec, exc: BaseException) -> None:
+        """Charge one failed attempt; retry, quarantine, or re-raise."""
+        unit_hash = unit.unit_hash
+        attempt = attempts.get(unit_hash, 0) + 1
+        attempts[unit_hash] = attempt
+        reason = f"{type(exc).__name__}: {exc}"
+        tracer.event(
+            "unit.error",
+            cat="unit",
+            unit=unit_hash,
+            error=reason,
+            attempt=attempt,
+        )
+        record = make_failure_record(unit, exc, attempts=attempt, owner=owner)
+        failures[unit_hash] = record
+        if store is not None:
+            try:
+                # Persist the attempt *before* releasing: a racing pool
+                # that claims next reads the ledger and continues the
+                # shared budget instead of restarting its own.
+                store.append(record)
+            finally:
+                release_quietly(unit_hash)
+        if max_failures == 0:
+            raise exc  # strict fail-fast: pre-failure-domain semantics
+        if attempt >= retries + 1:
+            quarantine(unit, record)
+            return
+        backoff = retry_backoff_s * (2.0 ** (attempt - 1))
+        tracer.event(
+            "unit.retry",
+            cat="unit",
+            unit=unit_hash,
+            attempt=attempt,
+            backoff_s=round(backoff, 3),
+        )
+        if progress:
+            progress(
+                f"campaign {spec.name}: unit {unit_hash[:12]} failed"
+                f" (attempt {attempt}/{retries + 1}: {reason});"
+                f" retrying in {backoff:.1f}s"
+            )
+        cooldown.append((time.monotonic() + backoff, unit))
 
     def absorb(record: UnitRecord) -> None:
         """Adopt a record a peer pool or cache already persisted."""
@@ -621,20 +816,34 @@ def _run_campaign(
         if parent_hash not in records:
             _after_land(plan[0].unit_hash)
 
+    def retryable(unit: UnitSpec) -> bool:
+        """Queue-or-quarantine triage for a not-yet-completed unit."""
+        if unit.unit_hash in records:
+            return False
+        stored_failure = failures.get(unit.unit_hash)
+        if (
+            stored_failure is not None
+            and attempts.get(unit.unit_hash, 0) >= retries + 1
+        ):
+            quarantine(unit, stored_failure)
+            return False
+        return True
+
     pending: List[UnitSpec] = []
     for unit in spec.pending(records):
         if unit.unit_hash in shard_plan:
             pending.extend(
-                s
-                for s in shard_plan[unit.unit_hash]
-                if s.unit_hash not in records
+                s for s in shard_plan[unit.unit_hash] if retryable(s)
             )
-        else:
+        elif retryable(unit):
             pending.append(unit)
     if progress:
         cached_note = (
             f"{len(records)} cached"
             + (f" ({cache_hits} from cache stores)" if cache_hits else "")
+        )
+        quarantine_note = (
+            f", {len(quarantined)} quarantined" if quarantined else ""
         )
         shard_note = (
             f" [{len(shard_plan)} sharded unit(s),"
@@ -644,7 +853,7 @@ def _run_campaign(
         )
         progress(
             f"campaign {spec.name}: {len(spec)} units{shard_note}"
-            f" ({cached_note}, {len(pending)} to run,"
+            f" ({cached_note}{quarantine_note}, {len(pending)} to run,"
             f" workers={min(workers, max(len(pending), 1))},"
             f" schedule={schedule})"
         )
@@ -660,11 +869,48 @@ def _run_campaign(
         else None
     )
     active: Dict[Any, UnitSpec] = {}
+
+    def respawn_pool(lost: List[UnitSpec]) -> None:
+        """Replace a broken executor and charge its in-flight units.
+
+        A dead worker (OOM kill, SIGKILL, segfault) breaks the whole
+        ``ProcessPoolExecutor``; every queued-or-running future is
+        lost.  Respawn it and put each lost unit through the normal
+        failure path — the worker-killer is among them, so it burns
+        budget and eventually quarantines instead of crash-looping the
+        pool, while innocents re-run and overwrite their charge.
+        """
+        nonlocal pool
+        active.clear()
+        pool.shutdown(wait=False, cancel_futures=True)
+        pool = ProcessPoolExecutor(max_workers=max_active)
+        tracer.event(
+            "pool.respawn", cat="pool", lost=len(lost), workers=max_active
+        )
+        if progress:
+            progress(
+                f"campaign {spec.name}: worker pool crashed; respawned"
+                f" {max_active} worker(s), retrying {len(lost)}"
+                f" in-flight unit(s)"
+            )
+        crash = WorkerCrashError(
+            "worker process died mid-execute (process pool broken)"
+        )
+        for lost_unit in lost:
+            unit_failed(lost_unit, crash)
+
+    interrupted = False
     try:
-        while queue or active or deferred:
+        while queue or active or deferred or cooldown:
+            if cooldown:
+                now = time.monotonic()
+                ready = [u for t, u in cooldown if t <= now]
+                if ready:
+                    cooldown[:] = [(t, u) for t, u in cooldown if t > now]
+                    queue.extend(ready)
             while queue and len(active) < max_active:
                 unit = queue.popleft()
-                if unit.unit_hash in records:
+                if unit.unit_hash in records or unit.unit_hash in quarantined:
                     continue
                 if claiming:
                     if not store.try_claim(
@@ -689,12 +935,24 @@ def _run_campaign(
                     # A peer may have completed-and-released this unit
                     # after our snapshot of the store; peers append
                     # before releasing, so a fresh claim with a stored
-                    # record means the work is already done.
+                    # record means the work is already done — or, for a
+                    # failure record, tells us how much of the shared
+                    # retry budget is already spent.
                     existing = store.get(unit.unit_hash)
                     if existing is not None:
-                        store.release(unit.unit_hash, owner)
-                        absorb(existing)
-                        continue
+                        if existing.ok:
+                            store.release(unit.unit_hash, owner)
+                            absorb(existing)
+                            continue
+                        attempts[unit.unit_hash] = max(
+                            attempts.get(unit.unit_hash, 0),
+                            existing.attempts,
+                        )
+                        failures[unit.unit_hash] = existing
+                        if attempts[unit.unit_hash] >= retries + 1:
+                            store.release(unit.unit_hash, owner)
+                            quarantine(unit, existing)
+                            continue
                 if pool is None:
                     try:
                         with lease_heartbeat(
@@ -705,19 +963,23 @@ def _run_campaign(
                             tracer=tracer,
                         ):
                             record = execute_unit(unit, tracer=tracer)
-                        finish(record)
+                    except Exception as exc:
+                        # Per-unit fault isolation: record the failure
+                        # (which releases the lease) and keep draining.
+                        unit_failed(unit, exc)
+                        continue
                     except BaseException:
-                        if claiming:  # don't strand the lease
-                            store.release(unit.unit_hash, owner)
+                        release_quietly(unit.unit_hash)  # don't strand it
                         raise
+                    finish(record)
                 else:
                     # Each worker heartbeats its own lease while the
                     # unit runs (see lease_heartbeat), so the TTL can
                     # sit below the longest unit's duration.  Workers
                     # take the *raw* store — their own tracer (built
                     # from trace_dir) covers their side.
-                    active[
-                        pool.submit(
+                    try:
+                        future = pool.submit(
                             _execute_payload,
                             unit.as_dict(),
                             raw_store if claiming else None,
@@ -725,7 +987,14 @@ def _run_campaign(
                             lease_ttl_s,
                             trace_dir,
                         )
-                    ] = unit
+                    except BrokenProcessPool:
+                        # The pool broke between batches; this unit
+                        # never started, so requeue it uncharged.
+                        release_quietly(unit.unit_hash)
+                        queue.appendleft(unit)
+                        respawn_pool(list(active.values()))
+                        continue
+                    active[future] = unit
             if active:
                 done, _ = wait(
                     active,
@@ -733,11 +1002,17 @@ def _run_campaign(
                     return_when=FIRST_COMPLETED,
                 )
                 for future in done:
-                    # Take the result while the unit is still in
-                    # `active`: a runner exception propagates with the
-                    # lease release covered by the finally block below.
-                    record = UnitRecord.from_dict(future.result())
-                    active.pop(future)
+                    unit = active.pop(future)
+                    try:
+                        record = UnitRecord.from_dict(future.result())
+                    except BrokenProcessPool:
+                        # Everything still in `active` died with the
+                        # executor; respawn charges them all.
+                        respawn_pool([unit] + list(active.values()))
+                        break
+                    except Exception as exc:
+                        unit_failed(unit, exc)
+                        continue
                     finish(record)
                 continue
             if deferred:
@@ -747,13 +1022,28 @@ def _run_campaign(
                 # a full store scan — this loop runs on every poll.
                 missing = []
                 for unit in deferred:
-                    if unit.unit_hash in records:
+                    if (
+                        unit.unit_hash in records
+                        or unit.unit_hash in quarantined
+                    ):
                         continue
                     peer_record = store.get(unit.unit_hash)
-                    if peer_record is not None:
+                    if peer_record is None:
+                        missing.append(unit)
+                    elif peer_record.ok:
                         absorb(peer_record)
                     else:
-                        missing.append(unit)
+                        # The peer's attempt failed: continue the
+                        # shared budget from its ledger.
+                        attempts[unit.unit_hash] = max(
+                            attempts.get(unit.unit_hash, 0),
+                            peer_record.attempts,
+                        )
+                        failures[unit.unit_hash] = peer_record
+                        if attempts[unit.unit_hash] >= retries + 1:
+                            quarantine(unit, peer_record)
+                        else:
+                            missing.append(unit)
                 deferred = []
                 if missing:
                     if progress and len(missing) != last_wait_note:
@@ -765,12 +1055,70 @@ def _run_campaign(
                         )
                     time.sleep(poll_interval_s)
                     queue.extend(order_units(missing, schedule, cost_model))
+            elif not queue and not active and cooldown:
+                # Nothing runnable until a backoff expires: sleep to
+                # the earliest deadline (bounded by the poll interval).
+                wake = min(t for t, _ in cooldown)
+                pause = min(max(wake - time.monotonic(), 0.0), poll_interval_s)
+                if pause > 0.0:
+                    time.sleep(pause)
+    except KeyboardInterrupt:
+        interrupted = True
+        raise
     finally:
         if pool is not None:
             pool.shutdown(wait=False, cancel_futures=True)
-        if claiming:
-            for unit in active.values():
-                store.release(unit.unit_hash, owner)
+        for unit in active.values():
+            release_quietly(unit.unit_hash)
+        if interrupted:
+            # Graceful shutdown (SIGINT/SIGTERM): leases just released
+            # above, so a peer pool takes over immediately instead of
+            # waiting out lease TTLs.
+            tracer.event(
+                "campaign.interrupt",
+                cat="campaign",
+                campaign=spec.name,
+                released=len(active),
+            )
+            if progress:
+                done_units = sum(
+                    1 for u in spec.units if u.unit_hash in records
+                )
+                progress(
+                    f"campaign {spec.name}: interrupted —"
+                    f" {done_units}/{len(spec)} units complete,"
+                    f" released {len(active)} lease(s); a peer pool can"
+                    f" take over immediately"
+                )
+
+    # A parent whose shards quarantined can never merge: surface it to
+    # the caller as a synthesised (unpersisted) failure record.
+    for parent_hash, plan in shard_plan.items():
+        if parent_hash in records or parent_hash in failures:
+            continue
+        bad = [
+            failures[s.unit_hash]
+            for s in plan
+            if s.unit_hash in failures and s.unit_hash not in records
+        ]
+        if bad:
+            parent = parent_by_hash[parent_hash]
+            failures[parent_hash] = UnitRecord(
+                unit_hash=parent_hash,
+                experiment=parent.experiment,
+                spec=parent.as_dict(),
+                result={
+                    "error": "ShardFailure",
+                    "message": (
+                        f"{len(bad)}/{len(plan)} shard(s) failed"
+                        f" ({bad[0].failure_reason})"
+                    ),
+                    "traceback_digest": "",
+                    "attempts": max(b.attempts for b in bad),
+                    "owner": owner,
+                },
+                status=STATUS_FAILED,
+            )
 
     if progress:
         # Merged parents report the sum of their shards' times, so
@@ -781,8 +1129,18 @@ def _run_campaign(
             if h not in shard_parent
         )
         done = sum(1 for u in spec.units if u.unit_hash in records)
+        failed_count = sum(
+            1
+            for u in spec.units
+            if u.unit_hash not in records and u.unit_hash in failures
+        )
+        failed_note = f", {failed_count} failed" if failed_count else ""
         progress(
             f"campaign {spec.name}: complete"
-            f" ({done}/{len(spec)} units, {total:.2f}s simulated work)"
+            f" ({done}/{len(spec)} units{failed_note},"
+            f" {total:.2f}s simulated work)"
         )
-    return [records[unit.unit_hash] for unit in spec.units]
+    return [
+        records.get(unit.unit_hash) or failures[unit.unit_hash]
+        for unit in spec.units
+    ]

@@ -335,11 +335,17 @@ class CampaignCoordinator:
             if op == "leases":
                 return {"leased": sorted(self.store.leased_hashes())}
             if op in ("status", "health"):
+                # Failure records relay through append/record/records
+                # like any other record (status rides in the payload);
+                # "records" counts only completed units, "failed" the
+                # persisted failure records awaiting retry/quarantine.
+                stored = self.store.records()
                 return {
                     "ok": True,
                     "backend": self.store.backend,
                     "store": str(self.store.path),
-                    "records": len(self.store.completed_hashes()),
+                    "records": sum(1 for r in stored.values() if r.ok),
+                    "failed": sum(1 for r in stored.values() if r.failed),
                     "leased": len(self.store.leased_hashes()),
                     "requests": self._requests,
                     "appends_deduped": self._deduped,

@@ -53,6 +53,8 @@ from typing import Any, Dict, Iterable, Iterator, List, Optional, Set
 from repro.campaigns.spec import CampaignSpec, UnitSpec
 
 __all__ = [
+    "STATUS_FAILED",
+    "STATUS_OK",
     "UnitRecord",
     "CampaignStore",
     "JsonlStore",
@@ -64,6 +66,7 @@ __all__ = [
     "TracedStore",
     "open_store",
     "default_store_path",
+    "make_failure_record",
     "make_owner_id",
 ]
 
@@ -78,10 +81,27 @@ _REQUIRED_KEYS = ("unit_hash", "experiment", "spec", "result")
 #: must agree to well within TTL/3.
 DEFAULT_LEASE_TTL_S = 120.0
 
+#: record status values — ``"ok"`` is a completed result, ``"failed"``
+#: a persisted failure (exception metadata in ``result``; see
+#: :func:`make_failure_record`).  Failure records make unit failure
+#: *data*: they resume, replicate across backends, arbitrate retry
+#: budgets between racing pools, and quarantine poison units.
+STATUS_OK = "ok"
+STATUS_FAILED = "failed"
+
 
 @dataclass(frozen=True)
 class UnitRecord:
     """The persisted outcome of one executed unit.
+
+    A record is either a completed result (``status == "ok"``, the
+    default) or a persisted *failure* (``status == "failed"``), whose
+    ``result`` carries the exception metadata instead of simulation
+    output: ``{"error", "message", "traceback_digest", "attempts",
+    "owner"}`` (see :func:`make_failure_record`).  Failure records are
+    what lets a campaign treat a raising unit as data — they survive
+    restarts, replicate through every backend, and carry the shared
+    attempt count racing pools use to honour one retry budget.
 
     Example::
 
@@ -101,20 +121,56 @@ class UnitRecord:
     #: wall-clock metadata; excluded from equality so serial, parallel
     #: and store-resumed records with identical results compare equal.
     elapsed_s: float = field(default=0.0, compare=False)
+    #: ``"ok"`` or ``"failed"`` (:data:`STATUS_OK` / :data:`STATUS_FAILED`).
+    status: str = STATUS_OK
 
     @property
     def unit_spec(self) -> UnitSpec:
         """The record's spec, reconstructed as a :class:`UnitSpec`."""
         return UnitSpec.from_dict(self.spec)
 
+    @property
+    def ok(self) -> bool:
+        """True iff this record is a completed result."""
+        return self.status == STATUS_OK
+
+    @property
+    def failed(self) -> bool:
+        """True iff this record is a persisted failure."""
+        return self.status == STATUS_FAILED
+
+    @property
+    def attempts(self) -> int:
+        """Execution attempts recorded so far (0 for ok records)."""
+        if not self.failed:
+            return 0
+        try:
+            return int(self.result.get("attempts", 1))
+        except (TypeError, ValueError):
+            return 1
+
+    @property
+    def failure_reason(self) -> str:
+        """Human-readable ``Type: message`` for a failure record."""
+        if not self.failed:
+            return ""
+        error = str(self.result.get("error", "Error"))
+        message = str(self.result.get("message", ""))
+        return f"{error}: {message}" if message else error
+
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "unit_hash": self.unit_hash,
             "experiment": self.experiment,
             "spec": self.spec,
             "result": self.result,
             "elapsed_s": self.elapsed_s,
         }
+        # Emitted only when set, so ok records keep their historical
+        # byte layout (resume/golden-diff paths hash stored bytes).
+        if self.status != STATUS_OK:
+            data["status"] = self.status
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "UnitRecord":
@@ -124,7 +180,43 @@ class UnitRecord:
             spec=dict(data["spec"]),
             result=dict(data["result"]),
             elapsed_s=float(data.get("elapsed_s", 0.0)),
+            status=str(data.get("status", STATUS_OK)),
         )
+
+
+def make_failure_record(
+    spec: UnitSpec, exc: BaseException, attempts: int, owner: str = ""
+) -> UnitRecord:
+    """A :data:`STATUS_FAILED` record describing one unit's failure.
+
+    The exception is flattened to data — type name, message, and a
+    16-hex digest of the traceback (enough to tell two failure *sites*
+    apart without persisting unbounded text) — plus the attempt count,
+    which is the cross-pool retry ledger: racing pools read it back
+    under the unit's lease and resume the shared budget instead of
+    restarting their own.
+    """
+    import hashlib
+    import traceback
+
+    tb_text = "".join(
+        traceback.format_exception(type(exc), exc, exc.__traceback__)
+    )
+    return UnitRecord(
+        unit_hash=spec.unit_hash,
+        experiment=spec.experiment,
+        spec=spec.as_dict(),
+        result={
+            "error": type(exc).__name__,
+            "message": str(exc),
+            "traceback_digest": hashlib.sha256(
+                tb_text.encode("utf-8")
+            ).hexdigest()[:16],
+            "attempts": int(attempts),
+            "owner": owner,
+        },
+        status=STATUS_FAILED,
+    )
 
 
 def make_owner_id() -> str:
@@ -235,8 +327,14 @@ class CampaignStore(abc.ABC):
         return self.records().get(unit_hash)
 
     def completed_hashes(self) -> Set[str]:
-        """Hashes of every unit with a stored result."""
-        return set(self.records())
+        """Hashes of every unit with a stored *ok* result.
+
+        Failure records (``status == "failed"``) are deliberately
+        excluded: a failed unit is not complete — it is retryable (or
+        quarantined), and resume/status logic must see it as such.
+        Use :meth:`records` to observe failure records.
+        """
+        return {h for h, record in self.records().items() if record.ok}
 
     def records_for(self, spec: CampaignSpec) -> List[Optional[UnitRecord]]:
         """Stored records for a campaign's units, in declaration order
@@ -338,7 +436,8 @@ class SqliteStore(CampaignStore):
         "CREATE TABLE IF NOT EXISTS records ("
         " unit_hash TEXT PRIMARY KEY, experiment TEXT NOT NULL,"
         " spec TEXT NOT NULL, result TEXT NOT NULL,"
-        " elapsed_s REAL NOT NULL DEFAULT 0.0)",
+        " elapsed_s REAL NOT NULL DEFAULT 0.0,"
+        " status TEXT NOT NULL DEFAULT 'ok')",
         "CREATE TABLE IF NOT EXISTS leases ("
         " unit_hash TEXT PRIMARY KEY, owner TEXT NOT NULL,"
         " expires_at REAL NOT NULL)",
@@ -377,6 +476,16 @@ class SqliteStore(CampaignStore):
             if not self._schema_ready:
                 for statement in self._SCHEMA:
                     con.execute(statement)
+                try:
+                    # Databases created before failure records existed
+                    # lack the status column; CREATE IF NOT EXISTS
+                    # leaves them untouched, so migrate in place.
+                    con.execute(
+                        "ALTER TABLE records ADD COLUMN"
+                        " status TEXT NOT NULL DEFAULT 'ok'"
+                    )
+                except sqlite3.OperationalError:
+                    pass  # column already present (fresh schema)
                 self._schema_ready = True
             with con:
                 yield con
@@ -388,8 +497,8 @@ class SqliteStore(CampaignStore):
             return {}
         with self._connect() as con:
             rows = con.execute(
-                "SELECT unit_hash, experiment, spec, result, elapsed_s"
-                " FROM records"
+                "SELECT unit_hash, experiment, spec, result, elapsed_s,"
+                " status FROM records"
             ).fetchall()
         return {
             unit_hash: UnitRecord(
@@ -398,8 +507,9 @@ class SqliteStore(CampaignStore):
                 spec=json.loads(spec),
                 result=json.loads(result),
                 elapsed_s=elapsed_s,
+                status=status,
             )
-            for unit_hash, experiment, spec, result, elapsed_s in rows
+            for unit_hash, experiment, spec, result, elapsed_s, status in rows
         }
 
     def get(self, unit_hash: str) -> Optional[UnitRecord]:
@@ -407,8 +517,8 @@ class SqliteStore(CampaignStore):
             return None
         with self._connect() as con:
             row = con.execute(
-                "SELECT unit_hash, experiment, spec, result, elapsed_s"
-                " FROM records WHERE unit_hash = ?",
+                "SELECT unit_hash, experiment, spec, result, elapsed_s,"
+                " status FROM records WHERE unit_hash = ?",
                 (unit_hash,),
             ).fetchone()
         if row is None:
@@ -419,18 +529,22 @@ class SqliteStore(CampaignStore):
             spec=json.loads(row[2]),
             result=json.loads(row[3]),
             elapsed_s=row[4],
+            status=row[5],
         )
 
     def append(self, record: UnitRecord) -> None:
         with self._connect() as con:
             con.execute(
-                "INSERT OR REPLACE INTO records VALUES (?, ?, ?, ?, ?)",
+                "INSERT OR REPLACE INTO records"
+                " (unit_hash, experiment, spec, result, elapsed_s, status)"
+                " VALUES (?, ?, ?, ?, ?, ?)",
                 (
                     record.unit_hash,
                     record.experiment,
                     json.dumps(record.spec, sort_keys=True),
                     json.dumps(record.result, sort_keys=True),
                     record.elapsed_s,
+                    record.status,
                 ),
             )
 

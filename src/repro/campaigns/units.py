@@ -48,18 +48,53 @@ module level and return picklable plain data.
 
 from __future__ import annotations
 
+import os
 from typing import Any, Dict
 
 from repro.campaigns.pool import register_unit_runner
 from repro.campaigns.spec import UnitSpec
 
 __all__ = [
+    "FAIL_UNITS_ENV",
+    "InjectedFailureError",
+    "raise_injected_failure",
     "run_broadcast_unit",
     "run_broadcast_cell_unit",
     "run_broadcast_shard_unit",
     "run_traffic_unit",
     "run_traffic_shard_unit",
 ]
+
+#: Deterministic fault injection for failure-path drills (CI, chaos
+#: tests, docs examples): a comma-separated list of unit-hash prefixes
+#: (or ``*`` for every unit, or ``kind=<kind>``) whose execution raises
+#: :class:`InjectedFailureError` instead of running the unit.  Worker
+#: processes inherit the environment, so the injection reaches pooled
+#: runs too.  Unset (the default) costs nothing — the pool only
+#: consults this module when the variable is present.
+FAIL_UNITS_ENV = "REPRO_FAIL_UNITS"
+
+
+class InjectedFailureError(RuntimeError):
+    """Raised in place of running a unit matched by ``REPRO_FAIL_UNITS``."""
+
+
+def raise_injected_failure(spec: UnitSpec) -> None:
+    """Raise iff ``spec`` matches the ``REPRO_FAIL_UNITS`` patterns."""
+    patterns = os.environ.get(FAIL_UNITS_ENV, "")
+    for pattern in patterns.split(","):
+        pattern = pattern.strip()
+        if not pattern:
+            continue
+        if (
+            pattern == "*"
+            or spec.unit_hash.startswith(pattern)
+            or pattern == f"kind={spec.kind}"
+        ):
+            raise InjectedFailureError(
+                f"injected failure for unit {spec.unit_hash}"
+                f" ({FAIL_UNITS_ENV} matched {pattern!r})"
+            )
 
 
 def _broadcast_source_results(

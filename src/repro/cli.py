@@ -50,8 +50,8 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis.comparison import compare_algorithms
-from repro.campaigns.aggregate import aggregate
-from repro.campaigns.pool import SCHEDULES, run_campaign
+from repro.campaigns.aggregate import aggregate, failed_records
+from repro.campaigns.pool import SCHEDULES, TooManyFailuresError, run_campaign
 from repro.campaigns.remote import DEFAULT_PORT, StoreUnreachableError
 from repro.campaigns.store import (
     BACKENDS,
@@ -109,6 +109,15 @@ def _shards_arg(text: str):
     return _positive_int(text)
 
 
+def _nonneg_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative integer, got {text!r}"
+        )
+    return value
+
+
 def _add_experiment_options(
     parser: argparse.ArgumentParser, workers: bool = True
 ) -> None:
@@ -151,6 +160,30 @@ def _add_experiment_options(
             " JSONL files into DIR (default: the <store>.traces directory"
             " next to the campaign store); export with"
             " `repro campaign trace`"
+        ),
+    )
+    parser.add_argument(
+        "--retries",
+        type=_nonneg_int,
+        default=2,
+        metavar="N",
+        help=(
+            "re-execute a failing unit up to N times with exponential"
+            " backoff before quarantining it via its persisted failure"
+            " record (default 2; racing pools share one budget through"
+            " the store)"
+        ),
+    )
+    parser.add_argument(
+        "--max-failures",
+        type=_nonneg_int,
+        default=None,
+        metavar="N",
+        help=(
+            "abort the run once more than N units are quarantined"
+            " (default: never abort — healthy units all complete and"
+            " failed cells are reported; 0 = strict fail-fast on the"
+            " first error, the pre-failure-domain behaviour)"
         ),
     )
     if workers:
@@ -216,6 +249,11 @@ def _build_parser() -> argparse.ArgumentParser:
         (
             "trace",
             "merge a traced run's span spools and export Perfetto JSON",
+        ),
+        (
+            "retry-failed",
+            "clear quarantined/failed unit records so the next run"
+            " retries them with a fresh budget",
         ),
     ):
         cp = camp_sub.add_parser(action, help=help_text)
@@ -487,7 +525,11 @@ def _campaign_caches(args, spec) -> List[CampaignStore]:
 
 
 def _campaign_status(
-    spec, store: CampaignStore, shards=1, trace_dir: Optional[Path] = None
+    spec,
+    store: CampaignStore,
+    shards=1,
+    trace_dir: Optional[Path] = None,
+    retries: int = 2,
 ) -> str:
     """Status line(s) for ``spec`` in ``store``.
 
@@ -500,6 +542,11 @@ def _campaign_status(
     no pre-agreed plan (the executing pools pick the fan-out), so
     their progress is inferred from whatever shard records the store
     already holds.
+
+    Units with a persisted failure record get their own section with
+    the attempt count and reason; a unit whose stored attempts exceed
+    ``retries`` is flagged ``[quarantined]`` — a re-run with this
+    budget will skip it until ``campaign retry-failed`` clears it.
     """
     from repro.campaigns.shards import (
         BROADCAST_CELL_KIND,
@@ -515,18 +562,42 @@ def _campaign_status(
     completed = wanted & stored
     leased = store.leased_hashes()
     leased_units = (leased & wanted) - completed
-    pending = len(spec) - len(completed) - len(leased_units)
+    failures = {
+        h: r
+        for h, r in store.records().items()
+        if h in wanted and r.failed
+    }
+    quarantined = {h for h, r in failures.items() if r.attempts > retries}
+    failed_idle = set(failures) - leased_units
+    pending = (
+        len(spec) - len(completed) - len(leased_units) - len(failed_idle)
+    )
     state = (
         "complete"
-        if pending == 0 and not leased_units
+        if pending == 0 and not leased_units and not failures
         else f"{pending} pending"
+    )
+    failed_note = (
+        f" {len(failures)} failed ({len(quarantined)} quarantined),"
+        if failures
+        else ""
     )
     lines = [
         f"campaign {spec.name} [{store.backend}]:"
         f" {len(completed)}/{len(spec)} units complete,"
+        f"{failed_note}"
         f" {len(leased_units)} leased (in flight) ({state})"
         f" — store: {store.path}"
     ]
+    for unit in spec.units:
+        record = failures.get(unit.unit_hash)
+        if record is None:
+            continue
+        tag = " [quarantined]" if unit.unit_hash in quarantined else ""
+        lines.append(
+            f"  {unit}: failed after {record.attempts} attempt(s){tag}"
+            f" — {record.failure_reason}"
+        )
 
     auto_cells = shards == "auto" and any(
         u.kind == BROADCAST_CELL_KIND and u.unit_hash not in completed
@@ -638,14 +709,20 @@ def _campaign_status(
 
 
 def _campaign_status_dict(
-    spec, store: CampaignStore, shards=1, trace_dir: Optional[Path] = None
+    spec,
+    store: CampaignStore,
+    shards=1,
+    trace_dir: Optional[Path] = None,
+    retries: int = 2,
 ) -> dict:
     """Machine-readable status for one store (``campaign status --json``).
 
-    Mirrors :func:`_campaign_status`: units by state, per-unit elapsed
-    seconds from stored records, shard progress for planned fan-outs,
-    and — when a trace spool exists — per-unit span durations and
-    claim-to-start queueing delays.
+    Mirrors :func:`_campaign_status`: units by state (``completed`` /
+    ``failed`` / ``leased`` / ``pending``), per-unit elapsed seconds
+    from stored records, failure details (error, attempts, quarantined
+    under the given retry budget), shard progress for planned
+    fan-outs, and — when a trace spool exists — per-unit span
+    durations and claim-to-start queueing delays.
     """
     from repro.campaigns.shards import planned_shards, shard_specs
 
@@ -657,26 +734,43 @@ def _campaign_status_dict(
         traced = summarize_trace(read_trace_dir(trace_dir)).get("units", {})
 
     units = []
-    counts = {"completed": 0, "leased": 0, "pending": 0}
+    counts = {"completed": 0, "failed": 0, "leased": 0, "pending": 0}
+    quarantined = 0
     for unit in spec.units:
         unit_hash = unit.unit_hash
         record = records.get(unit_hash)
-        if record is not None:
+        if record is not None and record.ok:
             state = "completed"
+        elif record is not None:
+            state = "failed"
         elif unit_hash in leased:
             state = "leased"
         else:
             state = "pending"
         counts[state] += 1
         entry: dict = {"unit": str(unit), "hash": unit_hash, "state": state}
-        if record is not None:
+        if record is not None and record.ok:
             entry["elapsed_s"] = record.elapsed_s
+        elif record is not None:
+            in_quarantine = record.attempts > retries
+            quarantined += in_quarantine
+            entry["failure"] = {
+                "error": record.result.get("error", ""),
+                "message": record.result.get("message", ""),
+                "attempts": record.attempts,
+                "quarantined": in_quarantine,
+            }
         fan_out = planned_shards(unit, requested=shards)
         if fan_out > 1:
             plan = shard_specs(unit, fan_out)
             entry["shards"] = {
                 "planned": len(plan),
-                "landed": sum(1 for s in plan if s.unit_hash in records),
+                "landed": sum(
+                    1
+                    for s in plan
+                    if records.get(s.unit_hash) is not None
+                    and records[s.unit_hash].ok
+                ),
             }
         timing = traced.get(unit_hash)
         if timing:
@@ -689,6 +783,7 @@ def _campaign_status_dict(
         "store": str(store.path),
         "total": len(spec.units),
         **counts,
+        "quarantined": quarantined,
         "trace": {
             "dir": str(trace_dir) if trace_dir is not None else None,
             "available": trace_available,
@@ -771,6 +866,15 @@ def _cmd_campaign_trace(args, spec) -> int:
         f" over {summary['wall_s']:.2f}s"
     )
     print(f"  units traced: {len(summary['units'])}")
+    failures = summary.get("failures", {})
+    if failures:
+        print(
+            "  failure events: "
+            + ", ".join(
+                f"{name} x{count}"
+                for name, count in sorted(failures.items())
+            )
+        )
     rpc = summary.get("rpc", {})
     if rpc:
         retries = rpc.get("rpc.retry", 0)
@@ -857,6 +961,7 @@ def _cmd_campaign(args) -> int:
                     store,
                     shards=args.shards,
                     trace_dir=_status_trace_dir(args, store),
+                    retries=args.retries,
                 )
                 for store in stores
             ]
@@ -869,11 +974,14 @@ def _cmd_campaign(args) -> int:
                     store,
                     shards=args.shards,
                     trace_dir=_status_trace_dir(args, store),
+                    retries=args.retries,
                 )
             )
         return 0
 
     store = _campaign_store(args, spec)
+    if args.campaign_command == "retry-failed":
+        return _cmd_retry_failed(spec, store)
     if args.campaign_command == "run":
         trace_dir = _trace_dir(args, spec, store)
         records = run_campaign(
@@ -885,6 +993,8 @@ def _cmd_campaign(args) -> int:
             cache=_campaign_caches(args, spec),
             shards=args.shards,
             trace_dir=trace_dir,
+            retries=args.retries,
+            max_failures=args.max_failures,
         )
         if trace_dir is not None:
             print(
@@ -912,11 +1022,52 @@ def _cmd_campaign(args) -> int:
                 f" units in {store.path}; run `{resume}` to finish it first"
             )
             return 1
+    failed = failed_records(records)
     rows = aggregate(args.experiment, records)
     from repro.experiments.runner import FORMATTERS
 
     print(FORMATTERS[args.experiment](rows))
+    for record in failed:
+        print(
+            f"warning: skipping failed cell {record.unit_hash[:12]}"
+            f" ({record.attempts} attempt(s)): {record.failure_reason}",
+            file=sys.stderr,
+        )
+    if failed:
+        print(
+            f"campaign {spec.name}: {len(failed)} unit(s) failed —"
+            f" inspect with `repro campaign status {args.experiment}"
+            f" --scale {args.scale}`, reset budgets with"
+            f" `repro campaign retry-failed {args.experiment}"
+            f" --scale {args.scale}`",
+            file=sys.stderr,
+        )
     _save(rows, getattr(args, "out", None))
+    return 1 if failed else 0
+
+
+def _cmd_retry_failed(spec, store: CampaignStore) -> int:
+    """``campaign retry-failed``: reset failed units' retry budgets.
+
+    Re-appends every failure record in the store (units *and* shards)
+    with its attempt ledger zeroed — last-wins on every backend — so
+    the next ``campaign run`` treats those units as never attempted
+    instead of quarantined.  The failure metadata stays visible in
+    ``campaign status`` until a successful run overwrites the record.
+    """
+    from dataclasses import replace
+
+    failed = [r for r in store.records().values() if r.failed]
+    reset = [r for r in failed if r.attempts > 0]
+    for record in reset:
+        result = dict(record.result)
+        result["attempts"] = 0
+        store.append(replace(record, result=result))
+    print(
+        f"campaign {spec.name} [{store.backend}]: reset"
+        f" {len(reset)} of {len(failed)} failed record(s);"
+        f" the next run retries them with a fresh budget"
+    )
     return 0
 
 
@@ -961,6 +1112,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             shards=args.shards,
             spec=spec,
             trace_dir=trace_dir,
+            retries=args.retries,
+            max_failures=args.max_failures,
         )
         print(text)
         if trace_dir is not None:
@@ -972,6 +1125,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         # not a bug: one actionable line, not a traceback.
         print(f"repro: {exc}", file=sys.stderr)
         return 1
+    except TooManyFailuresError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        # The pool already released its leases and printed a takeover
+        # summary; exit with the conventional SIGINT status.
+        print("repro: interrupted", file=sys.stderr)
+        return 130
     except BrokenPipeError:  # e.g. `repro fig1 | head`
         import os
 

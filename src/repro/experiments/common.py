@@ -12,10 +12,11 @@ backends, scheduling policy and cache stores through
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import replace
 from typing import Any, Iterable, List, Optional, Sequence, Tuple
 
-from repro.campaigns.aggregate import aggregate
+from repro.campaigns.aggregate import aggregate, failed_records
 from repro.campaigns.pool import ProgressFn, run_campaign
 from repro.campaigns.spec import CampaignSpec, UnitSpec, freeze_params
 from repro.campaigns.store import CampaignStore
@@ -311,16 +312,24 @@ def run_units(
     shards: int | str = 1,
     progress: Optional[ProgressFn] = None,
     trace_dir: Optional[Any] = None,
+    retries: int = 2,
+    max_failures: Optional[int] = None,
 ) -> List[Any]:
     """Execute a declared campaign and aggregate it into result rows.
 
     The one shared execution path behind every ``run_*`` experiment
     function: dispatch through :func:`repro.campaigns.run_campaign`
     (which honours workers, store backend, scheduling policy, cache
-    stores, the broadcast-cell fan-out request ``shards`` and the
-    ``trace_dir`` span spool) and fold the records back into the
-    experiment's row dataclasses.  Rows are identical for any
-    combination of the dispatch knobs — tracing included.
+    stores, the broadcast-cell fan-out request ``shards``, the
+    ``trace_dir`` span spool, and the ``retries``/``max_failures``
+    failure budget) and fold the records back into the experiment's
+    row dataclasses.  Rows are identical for any combination of the
+    dispatch knobs — tracing included.
+
+    Units that exhausted their retry budget contribute no rows; each
+    such cell is announced with an explicit warning line (through
+    ``progress`` when given, as a :class:`RuntimeWarning` otherwise)
+    so a partial table is never mistaken for a complete one.
     """
     records = run_campaign(
         spec,
@@ -331,7 +340,19 @@ def run_units(
         shards=shards,
         progress=progress,
         trace_dir=trace_dir,
+        retries=retries,
+        max_failures=max_failures,
     )
+    failed = failed_records(records)
+    for record in failed:
+        note = (
+            f"warning: skipping failed cell {record.unit_hash[:12]}"
+            f" ({record.attempts} attempt(s)): {record.failure_reason}"
+        )
+        if progress is not None:
+            progress(note)
+        else:
+            warnings.warn(note, RuntimeWarning, stacklevel=2)
     return aggregate(experiment, records)
 
 

@@ -145,6 +145,8 @@ def run_experiment(
     shards: int | str = 1,
     spec: Optional[CampaignSpec] = None,
     trace_dir: Optional[Any] = None,
+    retries: int = 2,
+    max_failures: Optional[int] = None,
 ) -> Tuple[List[Any], str]:
     """Regenerate one table/figure; returns (rows, rendered text).
 
@@ -152,6 +154,10 @@ def run_experiment(
     the CLI, which needs it for store naming and advisories) pass it
     through instead of rebuilding the grid.  ``trace_dir`` spools
     span/event traces of the run there (see :mod:`repro.obs.trace`).
+    ``retries``/``max_failures`` set the failure budget (see
+    :func:`repro.campaigns.run_campaign`): failing units retry with
+    backoff, quarantine on exhaustion, and drop out of the rendered
+    rows with a warning rather than aborting the run.
     """
     experiment_id = experiment_id.lower()
     if spec is None:
@@ -166,5 +172,7 @@ def run_experiment(
         shards=shards,
         progress=progress,
         trace_dir=trace_dir,
+        retries=retries,
+        max_failures=max_failures,
     )
     return rows, FORMATTERS[experiment_id](rows)

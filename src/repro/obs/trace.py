@@ -458,7 +458,10 @@ def summarize_trace(records: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
     Returns overall counts plus a per-unit timing table: for every
     ``unit`` argument seen on a span, the summed span duration by span
     name (``unit.execute``, ``unit.merge`` ...) and the claim-to-start
-    queueing delay when both sides are present.
+    queueing delay when both sides are present.  Failure-domain events
+    (``unit.error`` / ``unit.retry`` / ``unit.quarantine`` /
+    ``pool.respawn`` / ``campaign.interrupt``) are tallied under
+    ``failures`` so a traced run's fault history is one glance away.
     """
     spans = events = 0
     pids = set()
@@ -468,6 +471,14 @@ def summarize_trace(records: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
     units: Dict[str, Dict[str, Any]] = {}
     claims: Dict[str, float] = {}
     rpc: Dict[str, int] = {}
+    failures: Dict[str, int] = {}
+    _FAILURE_EVENTS = (
+        "unit.error",
+        "unit.retry",
+        "unit.quarantine",
+        "pool.respawn",
+        "campaign.interrupt",
+    )
 
     for record in records:
         kind = record.get("type")
@@ -498,6 +509,9 @@ def summarize_trace(records: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
             if record.get("cat") == "rpc":
                 name = record["name"]
                 rpc[name] = rpc.get(name, 0) + 1
+            if record["name"] in _FAILURE_EVENTS:
+                name = record["name"]
+                failures[name] = failures.get(name, 0) + 1
             unit = args.get("unit")
             if unit is not None and record["name"] == "lease.claim":
                 claims.setdefault(unit, record["ts_s"])
@@ -520,4 +534,8 @@ def summarize_trace(records: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
         "units": units,
         #: per-name counts of rpc.* events; empty for local-only runs.
         "rpc": rpc,
+        #: per-name counts of failure-domain events (unit.error,
+        #: unit.retry, unit.quarantine, pool.respawn,
+        #: campaign.interrupt); empty for fault-free runs.
+        "failures": failures,
     }

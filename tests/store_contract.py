@@ -21,6 +21,11 @@ The contract being pinned down:
 * parent merges are idempotent across handles: the second pool to
   observe a completed parent adopts the stored record instead of
   appending a duplicate.
+* failure records (``status="failed"`` carrying the error payload) are
+  first-class: they round-trip with their attempt ledger, surface in
+  ``records()``/``get`` but never in ``completed_hashes()`` (so a
+  racing pool sees the quarantine), and a later successful record
+  overwrites them.
 """
 
 import socket
@@ -29,7 +34,11 @@ import time
 
 from repro.campaigns.pool import register_unit_runner
 from repro.campaigns.spec import CampaignSpec, UnitSpec, freeze_params
-from repro.campaigns.store import DEFAULT_LEASE_TTL_S, UnitRecord
+from repro.campaigns.store import (
+    DEFAULT_LEASE_TTL_S,
+    STATUS_FAILED,
+    UnitRecord,
+)
 
 
 @register_unit_runner("contract-noop")
@@ -44,6 +53,23 @@ def _record(unit_hash, value, experiment="contract"):
         experiment=experiment,
         spec={"algorithm": "DB", "dims": [4, 4, 4]},
         result={"value": value},
+    )
+
+
+def _failure(unit_hash, attempts=3, experiment="contract"):
+    """A minimal well-formed failure record (what `unit_failed` persists)."""
+    return UnitRecord(
+        unit_hash=unit_hash,
+        experiment=experiment,
+        spec={"algorithm": "DB", "dims": [4, 4, 4]},
+        result={
+            "error": "ValueError",
+            "message": "boom",
+            "traceback_digest": "feedfacefeedface",
+            "attempts": attempts,
+            "owner": "host:1:cafe",
+        },
+        status=STATUS_FAILED,
     )
 
 
@@ -83,6 +109,44 @@ class StoreContract:
         second.append(rec)
         assert first.records() == {"d" * 16: rec}
         assert second.records() == {"d" * 16: rec}
+
+    # ----------------------------------------------------------- failures
+    def test_failure_record_round_trips(self, store_factory):
+        store = store_factory()
+        failure = _failure("f" * 16, attempts=3)
+        store.append(failure)
+        got = store.get("f" * 16)
+        assert got == failure
+        assert got.failed and not got.ok
+        assert got.attempts == 3
+        assert got.failure_reason == "ValueError: boom"
+        assert "f" * 16 in store.records()
+        # A failed unit is NOT complete: racing pools must still see it
+        # as work (pending or quarantined, depending on the budget).
+        assert store.completed_hashes() == set()
+
+    def test_success_overwrites_failure_record(self, store_factory):
+        store = store_factory()
+        store.append(_failure("g" * 16))
+        store.append(_record("g" * 16, 4.0))  # the retry that worked
+        got = store.get("g" * 16)
+        assert got.ok and not got.failed
+        assert got.result == {"value": 4.0}
+        assert store.completed_hashes() == {"g" * 16}
+        assert len(store.records()) == 1
+
+    def test_quarantine_visible_across_handles(self, store_factory):
+        # Pool A exhausts a unit's retry budget and persists the failure
+        # record; pool B (a different handle onto the same state) must
+        # read the same attempt ledger so it skips the unit instead of
+        # burning its own budget on a known-poisonous one.
+        writer, reader = store_factory(), store_factory()
+        writer.append(_failure("i" * 16, attempts=5))
+        seen = reader.get("i" * 16)
+        assert seen is not None and seen.failed
+        assert seen.attempts == 5
+        assert "i" * 16 not in reader.completed_hashes()
+        assert reader.records()["i" * 16].failure_reason == "ValueError: boom"
 
     # ------------------------------------------------------------ leases
     def test_claim_exclusivity(self, store_factory):

@@ -14,7 +14,13 @@ delayed calls.  The invariants under test:
   exactly one line per unit;
 * a worker killed mid-execute loses its lease to a successor pool
   (dead-local-owner steal, no TTL wait) and the campaign still
-  finishes byte-identical.
+  finishes byte-identical;
+* a unit that fails its first attempts and succeeds within the retry
+  budget — through the lossy transport — yields records byte-identical
+  to a fault-free serial run;
+* a coordinator that goes permanently dark mid-campaign surfaces as
+  `StoreUnreachableError` (an operational condition) rather than being
+  misfiled as a unit failure record.
 """
 
 import json
@@ -32,6 +38,7 @@ import pytest
 from repro.campaigns import (
     CampaignSpec,
     HttpStore,
+    StoreUnreachableError,
     UnitSpec,
     freeze_params,
     open_store,
@@ -48,6 +55,45 @@ def _run_counted_chaos(spec):
         handle.write(spec.unit_hash + "\n")
     time.sleep(0.005)
     return {"replication": spec.replication}
+
+
+@register_unit_runner("flaky-chaos")
+def _run_flaky_chaos(spec):
+    """Fail the first ``fails_until`` attempts, then succeed.
+
+    The shared log file doubles as the attempt counter: the number of
+    times this unit's hash already appears is the attempt number, so a
+    re-run of the same spec (with the log pre-populated) succeeds on
+    its first try — which is exactly what the byte-identical baseline
+    comparison below wants.
+    """
+    with open(spec.param("log"), "a", encoding="utf-8") as handle:
+        handle.write(spec.unit_hash + "\n")
+    with open(spec.param("log"), encoding="utf-8") as handle:
+        attempt = sum(
+            1 for line in handle if line.strip() == spec.unit_hash
+        )
+    if attempt <= int(spec.param("fails_until", 0)):
+        raise RuntimeError(f"flaky failure on attempt {attempt}")
+    time.sleep(0.005)
+    return {"replication": spec.replication}
+
+
+def flaky_campaign(log_path, fails_until=2, n_units=4):
+    units = tuple(
+        UnitSpec(
+            experiment="chaos",
+            kind="flaky-chaos",
+            algorithm="DB",
+            dims=(4, 4, 4),
+            length_flits=8,
+            seed=0,
+            replication=replication,
+            params=freeze_params(log=str(log_path), fails_until=fails_until),
+        )
+        for replication in range(n_units)
+    )
+    return CampaignSpec(name="chaos-flaky", seed=0, units=units)
 
 
 def counting_campaign(log_path, n_units=8):
@@ -288,3 +334,70 @@ def test_killed_worker_lease_is_stolen_and_unit_rerun(tmp_path):
     executed = log.read_text().split()
     assert sorted(executed) == sorted(spec.unit_hashes())  # once each
     assert records == run_campaign(spec)  # serial baseline (re-logs)
+
+
+# ------------------------------------------------------- flaky runners
+def test_flaky_units_recover_within_retry_budget(
+    coordinator, backing, tmp_path
+):
+    # Every unit fails its first two attempts and succeeds on the
+    # third — through the lossy, duplicating transport.  The retry
+    # budget (default 2 retries = 3 attempts) absorbs all of it, and
+    # the surviving records are byte-identical to a fault-free run.
+    log = tmp_path / "flaky.log"
+    spec = flaky_campaign(log, fails_until=2)
+    proxy = FlakyProxy(coordinator.url, lossy_plan)
+    try:
+        store = HttpStore(proxy.url, retries=4, backoff_s=0.01)
+        records = run_campaign(
+            spec,
+            store=store,
+            poll_interval_s=0.01,
+            lease_ttl_s=60.0,
+            retries=2,
+            retry_backoff_s=0.01,
+        )
+    finally:
+        proxy.close()
+
+    # Exactly retries+1 executions per unit — counted before the
+    # baseline run below appends its own executions to the log.
+    executed = log.read_text().split()
+    assert {
+        h: executed.count(h) for h in spec.unit_hashes()
+    } == {h: 3 for h in spec.unit_hashes()}
+    assert all(r.ok for r in records)
+    assert backing.completed_hashes() == set(spec.unit_hashes())
+
+    # Baseline: same spec, fault-free serial run (the pre-populated log
+    # makes every unit succeed on its first try).
+    assert records == run_campaign(spec, retry_backoff_s=0.01)
+
+
+def test_coordinator_outage_mid_campaign_surfaces_unreachable(
+    coordinator, backing, tmp_path
+):
+    # The transport goes permanently dark at the first append: the
+    # record can never land, so this is an operational failure of the
+    # fabric, not of the unit — it must surface as
+    # StoreUnreachableError (the CLI maps it to one stderr line), not
+    # be swallowed into a failure record that quarantines a healthy
+    # unit.
+    spec = counting_campaign(tmp_path / "outage.log", n_units=4)
+    state = {"dead": False}
+
+    def blackout_plan(seq, method, path):
+        if path.endswith("/append"):
+            state["dead"] = True
+        return "drop" if state["dead"] else "ok"
+
+    proxy = FlakyProxy(coordinator.url, blackout_plan)
+    try:
+        store = HttpStore(proxy.url, retries=1, backoff_s=0.01)
+        with pytest.raises(StoreUnreachableError):
+            run_campaign(spec, store=store, poll_interval_s=0.01)
+    finally:
+        proxy.close()
+
+    # No failure record was fabricated for the in-flight unit.
+    assert all(r.ok for r in backing.records().values())

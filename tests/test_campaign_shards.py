@@ -449,7 +449,9 @@ def test_lease_heartbeat_stops_cleanly_when_shard_raises(
         ]
 
     with pytest.raises(RuntimeError, match="shard exploded"):
-        run_campaign(spec, workers=1, store=store)
+        # max_failures=0 = strict fail-fast: the first raising shard
+        # propagates instead of entering the retry/quarantine path.
+        run_campaign(spec, workers=1, store=store, max_failures=0)
     deadline = time.time() + 5.0
     while heartbeats() and time.time() < deadline:
         time.sleep(0.01)

@@ -70,6 +70,67 @@ def test_open_store_rejects_unknown_backend(tmp_path):
         default_store_path("c", "redis", tmp_path)
 
 
+def test_sqlite_migrates_pre_status_schema(tmp_path):
+    """A database created before failure records existed (no status
+    column) migrates in place on first open: old rows read back as ok
+    records and failure records land cleanly alongside them."""
+    import json
+    import sqlite3
+
+    from repro.campaigns.store import STATUS_FAILED, UnitRecord
+
+    path = tmp_path / "old.sqlite"
+    con = sqlite3.connect(path)
+    con.execute(
+        "CREATE TABLE records ("
+        " unit_hash TEXT PRIMARY KEY, experiment TEXT NOT NULL,"
+        " spec TEXT NOT NULL, result TEXT NOT NULL,"
+        " elapsed_s REAL NOT NULL DEFAULT 0.0)"
+    )
+    con.execute(
+        "CREATE TABLE leases ("
+        " unit_hash TEXT PRIMARY KEY, owner TEXT NOT NULL,"
+        " expires_at REAL NOT NULL)"
+    )
+    con.execute(
+        "INSERT INTO records VALUES (?, ?, ?, ?, ?)",
+        (
+            "a" * 16,
+            "fig1",
+            json.dumps({"algorithm": "DB"}),
+            json.dumps({"network_latency": 1.0}),
+            0.5,
+        ),
+    )
+    con.commit()
+    con.close()
+
+    store = SqliteStore(path)
+    old = store.get("a" * 16)
+    assert old is not None and old.ok
+    assert old.result == {"network_latency": 1.0}
+    assert store.completed_hashes() == {"a" * 16}
+
+    failure = UnitRecord(
+        unit_hash="b" * 16,
+        experiment="fig1",
+        spec={"algorithm": "RD"},
+        result={
+            "error": "ValueError",
+            "message": "boom",
+            "traceback_digest": "",
+            "attempts": 3,
+            "owner": "",
+        },
+        status=STATUS_FAILED,
+    )
+    store.append(failure)
+    assert store.get("b" * 16).failed
+    assert store.completed_hashes() == {"a" * 16}
+    # A second handle (fresh instance, its own migration path) agrees.
+    assert SqliteStore(path).records()["b" * 16].attempts == 3
+
+
 def test_result_store_alias_is_jsonl():
     assert ResultStore is JsonlStore
 

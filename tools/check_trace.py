@@ -18,6 +18,10 @@ schema of :mod:`repro.obs.trace`:
 * every ``unit.merge`` span names its unit and a shard count;
 * every ``rpc.*`` event (a distributed run through the HTTP
   coordinator) names the operation it carries;
+* every failure-domain event is well-formed: ``unit.error`` names its
+  unit, error and attempt number, ``unit.retry`` its unit, attempt and
+  backoff, ``unit.quarantine`` its unit and final attempt count, and
+  ``pool.respawn`` how many in-flight units the crashed executor lost;
 * an exported Chrome trace (``--chrome``) parses and contains only
   well-formed ``X``/``i``/``M`` events with non-negative durations.
 
@@ -164,6 +168,25 @@ def check_structure(records):
                 f"rpc event {event.get('name')!r} without an op argument"
             )
 
+    #: failure-domain event name → args every producer must attach.
+    failure_schema = {
+        "unit.error": ("unit", "error", "attempt"),
+        "unit.retry": ("unit", "attempt", "backoff_s"),
+        "unit.quarantine": ("unit", "attempts"),
+        "pool.respawn": ("lost",),
+    }
+    failure_counts = {name: 0 for name in failure_schema}
+    for event in events:
+        required = failure_schema.get(event.get("name"))
+        if required is None:
+            continue
+        failure_counts[event["name"]] += 1
+        missing = [f for f in required if f not in event.get("args", {})]
+        if missing:
+            problems.append(
+                f"{event['name']} event missing args {missing}: {event}"
+            )
+
     return problems, {
         "spans": len(spans),
         "events": len(events),
@@ -174,6 +197,10 @@ def check_structure(records):
         "rpc_retries": sum(
             1 for e in rpc_events if e.get("name") == "rpc.retry"
         ),
+        "errors": failure_counts["unit.error"],
+        "retries": failure_counts["unit.retry"],
+        "quarantined": failure_counts["unit.quarantine"],
+        "respawns": failure_counts["pool.respawn"],
     }
 
 
@@ -249,11 +276,19 @@ def main(argv=None) -> int:
         rpc_note = (
             f", {counts['rpc']} rpc ({counts['rpc_retries']} retried)"
         )
+    failure_note = ""
+    if counts["errors"] or counts["respawns"]:
+        failure_note = (
+            f", {counts['errors']} error(s) ({counts['retries']} retried,"
+            f" {counts['quarantined']} quarantined,"
+            f" {counts['respawns']} respawn(s))"
+        )
     print(
         f"{verdict}: {trace_dir} — {counts['spans']} span(s),"
         f" {counts['events']} event(s), {counts['executed']} executed,"
         f" {counts['claimed']} claimed, {counts['merged']} merged"
         + rpc_note
+        + failure_note
         + (f"; {len(problems)} problem(s)" if problems else "")
     )
     return 1 if problems else 0
