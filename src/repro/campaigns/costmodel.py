@@ -60,6 +60,7 @@ FEATURE_NAMES = (
     "log_batch_budget",
     "barrier",
     "shard",
+    "engine_batched",
 )
 
 #: Fewer samples than features + 1 cannot produce a meaningful fit.
@@ -94,7 +95,12 @@ def unit_budget(spec: UnitSpec) -> float:
     return 1.0
 
 
-def cost_features(spec: UnitSpec) -> List[float]:
+_BROADCAST_KINDS = ("broadcast", "broadcast-cell", "broadcast-shard")
+
+
+def cost_features(
+    spec: UnitSpec, engine: Optional[str] = None
+) -> List[float]:
     """Feature vector of one unit (see module docstring for the model).
 
     Shards are first-class: a ``traffic-shard`` unit's batch budget is
@@ -106,10 +112,28 @@ def cost_features(spec: UnitSpec) -> List[float]:
     adaptive scheduler therefore LPT-orders individual shards, not
     just whole points — and ``--shards auto`` inverts the same model
     to pick the fan-out.
+
+    ``engine`` is the broadcast engine the unit will run under
+    (``None`` resolves the process default via
+    :func:`repro.campaigns.units.broadcast_engine`).  The
+    ``engine_batched`` indicator marks broadcast work the batched
+    sweep will serve (engine not forced to ``event`` and a
+    non-adaptive algorithm — AB always falls back per source), so a
+    fit over mixed-engine records learns how much cheaper a batched
+    shard runs and ``--shards auto`` stops over-splitting it.
     """
+    if engine is None:
+        from repro.campaigns.units import broadcast_engine
+
+        engine = broadcast_engine()
     nodes = float(math.prod(spec.dims))
     load = max(float(spec.load), 1.0) if spec.load is not None else 1.0
     budget = unit_budget(spec)
+    batched = (
+        engine != "event"
+        and spec.kind in _BROADCAST_KINDS
+        and spec.algorithm != "AB"
+    )
     return [
         1.0,
         math.log(nodes),
@@ -118,6 +142,7 @@ def cost_features(spec: UnitSpec) -> List[float]:
         math.log(max(budget, 1.0)),
         1.0 if spec.param("barrier", False) else 0.0,
         1.0 if spec.kind in ("traffic-shard", "broadcast-shard") else 0.0,
+        1.0 if batched else 0.0,
     ]
 
 
@@ -140,10 +165,15 @@ class CostModel:
     samples: int
     r_squared: float
 
-    def predict(self, spec: UnitSpec) -> float:
-        """Predicted wall seconds for one unit (always positive)."""
+    def predict(self, spec: UnitSpec, engine: Optional[str] = None) -> float:
+        """Predicted wall seconds for one unit (always positive).
+
+        ``zip`` truncates to the shorter of (weights, features), so a
+        model fitted before a feature was appended still predicts —
+        the missing trailing weight simply contributes zero.
+        """
         z = 0.0
-        for w, x in zip(self.weights, cost_features(spec)):
+        for w, x in zip(self.weights, cost_features(spec, engine=engine)):
             z += w * x
         # exp() overflow cannot happen for sane weights, but guard the
         # scheduler against a degenerate fit anyway.
@@ -235,6 +265,7 @@ def auto_shard_count(
     *,
     workers: Optional[int] = None,
     min_shard_s: float = DEFAULT_MIN_SHARD_COST_S,
+    engine: Optional[str] = None,
 ) -> int:
     """Pick a unit's fan-out from the fitted per-shard cost model.
 
@@ -285,7 +316,7 @@ def auto_shard_count(
         # content hashes (unit_hash is a lazy property predict() never
         # touches), so even the cheap-unit worst case stays trivial.
         narrowest = shard_specs(spec, k)[-1]
-        if model.predict(narrowest) >= min_shard_s:
+        if model.predict(narrowest, engine=engine) >= min_shard_s:
             return k
     return 1
 

@@ -209,26 +209,47 @@ def order_units(
 
 
 # --------------------------------------------------------------- execution
-def execute_unit(spec: UnitSpec, tracer: Any = NULL_TRACER) -> UnitRecord:
-    """Run one unit and wrap its result as a :class:`UnitRecord`."""
+def execute_unit(
+    spec: UnitSpec,
+    tracer: Any = NULL_TRACER,
+    engine: Optional[str] = None,
+) -> UnitRecord:
+    """Run one unit and wrap its result as a :class:`UnitRecord`.
+
+    ``engine`` (event/batched/auto, ``None`` = leave the process
+    default alone) selects the broadcast execution engine for the
+    duration of this unit — pure work division, bit-identical records,
+    never part of the unit hash.
+    """
     runner = _runner_for(spec.kind)
+    previous_engine: Optional[str] = None
+    if engine is not None:
+        from repro.campaigns.units import set_broadcast_engine
+
+        previous_engine = set_broadcast_engine(engine)
     started = time.perf_counter()
-    with tracer.span(
-        "unit.execute",
-        cat="unit",
-        unit=spec.unit_hash,
-        kind=spec.kind,
-        experiment=spec.experiment,
-    ):
-        import os
+    try:
+        with tracer.span(
+            "unit.execute",
+            cat="unit",
+            unit=spec.unit_hash,
+            kind=spec.kind,
+            experiment=spec.experiment,
+        ):
+            import os
 
-        if os.environ.get("REPRO_FAIL_UNITS"):
-            # Deterministic fault injection for failure-path drills;
-            # free when the variable is unset (no import, one getenv).
-            from repro.campaigns.units import raise_injected_failure
+            if os.environ.get("REPRO_FAIL_UNITS"):
+                # Deterministic fault injection for failure-path drills;
+                # free when the variable is unset (no import, one getenv).
+                from repro.campaigns.units import raise_injected_failure
 
-            raise_injected_failure(spec)
-        result = runner(spec)
+                raise_injected_failure(spec)
+            result = runner(spec)
+    finally:
+        if engine is not None:
+            from repro.campaigns.units import set_broadcast_engine
+
+            set_broadcast_engine(previous_engine)
     return UnitRecord(
         unit_hash=spec.unit_hash,
         experiment=spec.experiment,
@@ -338,6 +359,7 @@ def _execute_payload(
     owner: str = "",
     ttl_s: float = DEFAULT_LEASE_TTL_S,
     trace_dir: Optional[str] = None,
+    engine: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Worker-process entry point (module-level so it pickles).
 
@@ -354,7 +376,7 @@ def _execute_payload(
         # copy arrived bare, so hand it this worker's.
         store.set_tracer(tracer)
     with lease_heartbeat(store, spec.unit_hash, owner, ttl_s, tracer=tracer):
-        return execute_unit(spec, tracer=tracer).to_dict()
+        return execute_unit(spec, tracer=tracer, engine=engine).to_dict()
 
 
 def _warm_from_caches(
@@ -403,11 +425,20 @@ def run_campaign(
     retries: int = 2,
     max_failures: Optional[int] = None,
     retry_backoff_s: float = 0.5,
+    engine: Optional[str] = None,
 ) -> List[UnitRecord]:
     """Execute a campaign and return its records in declaration order.
 
     Parameters are documented on :func:`_run_campaign`'s body below,
     except:
+
+    engine:
+        Broadcast execution engine (``"event"``, ``"batched"`` or
+        ``"auto"``; ``None`` keeps the process default, normally
+        ``auto``).  Like a broadcast cell's shard fan-out this is pure
+        work division — records are bit-identical whichever engine
+        computes them, so the choice is never content-hashed and racing
+        pools may disagree about it freely.
 
     trace_dir:
         When given, the run is traced: this pool process and every
@@ -465,6 +496,7 @@ def run_campaign(
                 retries=retries,
                 max_failures=max_failures,
                 retry_backoff_s=retry_backoff_s,
+                engine=engine,
             )
     finally:
         if restore_signals:
@@ -499,6 +531,7 @@ def _run_campaign(
     retries: int = 2,
     max_failures: Optional[int] = None,
     retry_backoff_s: float = 0.5,
+    engine: Optional[str] = None,
 ) -> List[UnitRecord]:
     """The campaign engine (:func:`run_campaign` wraps it in a span).
 
@@ -628,7 +661,11 @@ def _run_campaign(
     parent_by_hash: Dict[str, UnitSpec] = {}
     for unit in spec.units:
         fan_out = planned_shards(
-            unit, requested=shards, cost_model=cost_model, workers=workers
+            unit,
+            requested=shards,
+            cost_model=cost_model,
+            workers=workers,
+            engine=engine,
         )
         if fan_out > 1:
             plan = shard_specs(unit, fan_out)
@@ -962,7 +999,9 @@ def _run_campaign(
                             lease_ttl_s,
                             tracer=tracer,
                         ):
-                            record = execute_unit(unit, tracer=tracer)
+                            record = execute_unit(
+                                unit, tracer=tracer, engine=engine
+                            )
                     except Exception as exc:
                         # Per-unit fault isolation: record the failure
                         # (which releases the lease) and keep draining.
@@ -986,6 +1025,7 @@ def _run_campaign(
                             owner,
                             lease_ttl_s,
                             trace_dir,
+                            engine,
                         )
                     except BrokenProcessPool:
                         # The pool broke between batches; this unit

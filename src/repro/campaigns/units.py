@@ -49,20 +49,24 @@ module level and return picklable plain data.
 from __future__ import annotations
 
 import os
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from repro.campaigns.pool import register_unit_runner
 from repro.campaigns.spec import UnitSpec
 
 __all__ = [
+    "BROADCAST_ENGINE_ENV",
+    "ENGINES",
     "FAIL_UNITS_ENV",
     "InjectedFailureError",
+    "broadcast_engine",
     "raise_injected_failure",
     "run_broadcast_unit",
     "run_broadcast_cell_unit",
     "run_broadcast_shard_unit",
     "run_traffic_unit",
     "run_traffic_shard_unit",
+    "set_broadcast_engine",
 ]
 
 #: Deterministic fault injection for failure-path drills (CI, chaos
@@ -73,6 +77,54 @@ __all__ = [
 #: runs too.  Unset (the default) costs nothing — the pool only
 #: consults this module when the variable is present.
 FAIL_UNITS_ENV = "REPRO_FAIL_UNITS"
+
+
+#: Broadcast execution engines.  ``"event"`` is the per-source
+#: discrete-event path every release has used; ``"batched"`` routes
+#: eligible sources through the structure-of-arrays sweep of
+#: :mod:`repro.core.batch_broadcast` (falling back per-source where
+#: exactness cannot be proved); ``"auto"`` — the default — is
+#: ``"batched"``, relying on the same per-source fallback, since the
+#: two engines are bit-identical on every record.  The choice is pure
+#: work division (like a broadcast cell's shard fan-out) and is
+#: deliberately **never** part of a unit's hashed parameters.
+ENGINES = ("event", "batched", "auto")
+
+#: Environment override for the engine choice; worker processes
+#: inherit it, and the explicit ``engine=`` plumbing of
+#: :func:`repro.campaigns.pool.run_campaign` takes precedence.
+BROADCAST_ENGINE_ENV = "REPRO_BROADCAST_ENGINE"
+
+_ENGINE_OVERRIDE: Optional[str] = None
+
+
+def broadcast_engine() -> str:
+    """The engine broadcast runners will use in this process.
+
+    Resolution order: the process-wide override installed by
+    :func:`set_broadcast_engine` (how ``--engine`` reaches worker
+    processes), then :data:`BROADCAST_ENGINE_ENV`, then ``"auto"``.
+    """
+    if _ENGINE_OVERRIDE is not None:
+        return _ENGINE_OVERRIDE
+    value = os.environ.get(BROADCAST_ENGINE_ENV, "").strip().lower()
+    return value if value in ENGINES else "auto"
+
+
+def set_broadcast_engine(engine: Optional[str]) -> Optional[str]:
+    """Install (or with ``None`` clear) the engine override.
+
+    Returns the previous override so callers can restore it; the
+    campaign pool brackets each unit execution this way.
+    """
+    global _ENGINE_OVERRIDE
+    if engine is not None and engine not in ENGINES:
+        raise ValueError(
+            f"unknown broadcast engine {engine!r}; choose from {ENGINES}"
+        )
+    previous = _ENGINE_OVERRIDE
+    _ENGINE_OVERRIDE = engine
+    return previous
 
 
 class InjectedFailureError(RuntimeError):
@@ -115,15 +167,32 @@ def _broadcast_source_results(
     )
 
     startup_latency = float(spec.param("startup_latency", 1.5))
-    outcomes = run_single_broadcasts(
-        spec.algorithm,
-        spec.dims,
-        sources,
-        spec.length_flits,
-        startup_latency,
-        max_destinations_per_path=spec.param("max_destinations_per_path"),
-        ports_override=spec.param("ports_override"),
-    )
+    if broadcast_engine() == "event":
+        outcomes = run_single_broadcasts(
+            spec.algorithm,
+            spec.dims,
+            sources,
+            spec.length_flits,
+            startup_latency,
+            max_destinations_per_path=spec.param("max_destinations_per_path"),
+            ports_override=spec.param("ports_override"),
+        )
+    else:
+        # "batched" and "auto": the structure-of-arrays sweep, which
+        # re-runs ineligible sources (adaptive schedules, failed
+        # dynamic checks) event-driven per source — records are
+        # bit-identical either way, hashes included.
+        from repro.core.batch_broadcast import run_batch_broadcasts
+
+        outcomes = run_batch_broadcasts(
+            spec.algorithm,
+            spec.dims,
+            sources,
+            spec.length_flits,
+            startup_latency,
+            max_destinations_per_path=spec.param("max_destinations_per_path"),
+            ports_override=spec.param("ports_override"),
+        )
     barriers = (
         run_barrier_broadcasts(
             spec.algorithm, spec.dims, sources, spec.length_flits,

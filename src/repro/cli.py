@@ -59,6 +59,7 @@ from repro.campaigns.store import (
     default_store_path,
     open_store,
 )
+from repro.campaigns.units import ENGINES
 from repro.core.adaptive_broadcast import AdaptiveBroadcast
 from repro.core.executors import EventDrivenExecutor
 from repro.core.registry import algorithm_names, get_algorithm
@@ -136,6 +137,19 @@ def _add_experiment_options(
             " independent replications, broadcast cells slice their"
             " source axis; 'auto' picks per-unit fan-outs from the fitted"
             " cost model; 1 = the original per-unit protocol"
+        ),
+    )
+    parser.add_argument(
+        "--engine",
+        default="auto",
+        choices=list(ENGINES),
+        help=(
+            "broadcast execution engine: 'batched' advances a cell's"
+            " sources together through the flat-array sweep (falling"
+            " back per source where exactness cannot be proved),"
+            " 'event' forces the per-source event-driven path, 'auto'"
+            " (default) batches whenever eligible; results are"
+            " bit-identical either way"
         ),
     )
     parser.add_argument(
@@ -995,6 +1009,7 @@ def _cmd_campaign(args) -> int:
             trace_dir=trace_dir,
             retries=args.retries,
             max_failures=args.max_failures,
+            engine=args.engine,
         )
         if trace_dir is not None:
             print(
@@ -1114,6 +1129,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             trace_dir=trace_dir,
             retries=args.retries,
             max_failures=args.max_failures,
+            engine=args.engine,
         )
         print(text)
         if trace_dir is not None:

@@ -1,0 +1,175 @@
+"""Batched single-source broadcasts, byte-identical to the event engine.
+
+:func:`run_batch_broadcasts` is the drop-in batched counterpart of
+:func:`repro.experiments.common.run_single_broadcasts`: same arguments,
+same ordered list of :class:`~repro.core.executors.BroadcastOutcome`
+results, the same floats bit for bit — but eligible sources advance
+together through the structure-of-arrays sweep of
+:mod:`repro.sim.batch` instead of each paying for a fresh
+:class:`~repro.network.network.NetworkSimulator` (thousands of node /
+channel / resource objects) and a private event heap.
+
+Fallback mirrors the hop-batched wormhole walk's guard philosophy:
+whenever exactness cannot be *proved*, the affected source silently
+re-runs on the event-driven engine —
+
+* adaptive schedules (AB) resolve routing against live channel load,
+  so the whole batch falls back;
+* any declared channel fault falls back too (the event engine is the
+  defined semantics for faulty topologies, delivering or raising
+  :class:`~repro.network.faults.FaultyChannelError` per source);
+* per-source dynamic checks (channel-occupancy conflicts, a walk that
+  outruns its first delivery) hand just that source back.
+
+Duplicate sources — common under the paper's uniform random draw —
+are planned and swept once and share their outcome; the event engine
+would recompute identical floats for each copy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.adaptive_broadcast import AdaptiveBroadcast
+from repro.core.executors import BroadcastOutcome, EventDrivenExecutor
+from repro.core.registry import get_algorithm
+from repro.network.network import NetworkConfig, NetworkSimulator
+from repro.network.topology import Mesh
+from repro.sim.batch import plan_broadcast, sweep_broadcasts
+
+__all__ = ["run_batch_broadcasts"]
+
+
+def _event_outcome(
+    mesh: Mesh,
+    algorithm,
+    config: NetworkConfig,
+    source: Tuple[int, ...],
+    length_flits: int,
+    faults: Sequence[Tuple[Tuple[int, ...], Tuple[int, ...]]],
+) -> BroadcastOutcome:
+    """One event-driven broadcast, exactly as ``run_single_broadcasts``."""
+    schedule = algorithm.schedule(source)
+    network = NetworkSimulator(mesh, config)
+    if faults:
+        from repro.network.faults import FaultModel
+
+        model = FaultModel(network)
+        for u, v in faults:
+            model.fail_channel(u, v)
+    routing = (
+        type(algorithm).make_routing(mesh)
+        if getattr(algorithm, "adaptive", False)
+        else None
+    )
+    executor = EventDrivenExecutor(network, adaptive_routing=routing)
+    return executor.execute(schedule, length_flits)
+
+
+def run_batch_broadcasts(
+    algorithm_name: str,
+    dims: Tuple[int, ...],
+    sources: List[Tuple[int, ...]],
+    length_flits: int,
+    startup_latency: float = 1.5,
+    max_destinations_per_path: Optional[int] = None,
+    ports_override: Optional[int] = None,
+    faults: Sequence[Tuple[Tuple[int, ...], Tuple[int, ...]]] = (),
+    profile=None,
+) -> List[BroadcastOutcome]:
+    """Batched single-source broadcasts, one outcome per source.
+
+    Bit-identical to
+    :func:`repro.experiments.common.run_single_broadcasts` on the same
+    arguments (which is property-tested across dims, algorithms,
+    fan-outs and seeds); ``faults`` — absent from the event-only
+    runner, whose networks are always pristine — marks channels faulty
+    and forces the per-source event fallback.  ``profile`` is an
+    optional :class:`~repro.obs.simprof.SimProfile` whose
+    ``batch_sources_batched`` / ``batch_sources_fallback`` counters
+    record how many of the requested sources each path served.
+    """
+    mesh = Mesh(dims)
+    cls = get_algorithm(algorithm_name)
+    if cls is AdaptiveBroadcast and max_destinations_per_path is not None:
+        algorithm = cls(mesh, max_destinations_per_path=max_destinations_per_path)
+    else:
+        algorithm = cls(mesh)
+    ports = ports_override or algorithm.ports_required
+    config = NetworkConfig(
+        startup_latency=startup_latency, flit_time=0.003, ports_per_node=ports
+    )
+    if not sources:
+        return []
+
+    unique: Dict[Tuple[int, ...], int] = {}
+    order: List[Tuple[int, ...]] = []
+    for source in sources:
+        key = tuple(source)
+        if key not in unique:
+            unique[key] = len(order)
+            order.append(key)
+
+    adaptive = bool(getattr(algorithm, "adaptive", False))
+    outcomes: List[Optional[BroadcastOutcome]] = [None] * len(order)
+    swept_ok = [False] * len(order)
+
+    if not adaptive and not faults:
+        node_index = {coord: i for i, coord in enumerate(mesh.nodes())}
+        n_nodes = len(node_index)
+        plans = []
+        plan_source = []
+        for idx, source in enumerate(order):
+            plan = plan_broadcast(
+                algorithm.schedule(source), node_index, n_nodes
+            )
+            if plan is not None:
+                plans.append(plan)
+                plan_source.append(idx)
+        if plans:
+            timing = config.timing
+            swept = sweep_broadcasts(
+                plans,
+                startup=config.startup_latency,
+                hop_time=timing.header_hop_time,
+                body=timing.body_time(length_flits),
+                length_flits=length_flits,
+                ports=ports,
+            )
+            for row, (plan, idx) in enumerate(zip(plans, plan_source)):
+                if not swept.ok[row]:
+                    continue
+                values = swept.node_time[row, plan.delivered_nodes]
+                # The event-driven arrivals dict fills in hook order ==
+                # nondecreasing arrival time (an eligibility guarantee),
+                # so any nondecreasing arrangement of the same values
+                # reproduces its latency array byte for byte.
+                by_time = np.argsort(values, kind="stable")
+                arrivals = {
+                    plan.delivered_coords[i]: float(values[i])
+                    for i in by_time
+                }
+                outcomes[idx] = BroadcastOutcome(
+                    algorithm=plan.algorithm,
+                    source=plan.source,
+                    start_time=0.0,
+                    arrivals=arrivals,
+                    total_sends=plan.total_sends,
+                )
+                swept_ok[idx] = True
+
+    for idx, source in enumerate(order):
+        if outcomes[idx] is None:
+            outcomes[idx] = _event_outcome(
+                mesh, algorithm, config, source, length_flits, faults
+            )
+
+    if profile is not None:
+        for source in sources:
+            if swept_ok[unique[tuple(source)]]:
+                profile.batch_sources_batched += 1
+            else:
+                profile.batch_sources_fallback += 1
+    return [outcomes[unique[tuple(source)]] for source in sources]

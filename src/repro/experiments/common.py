@@ -314,6 +314,7 @@ def run_units(
     trace_dir: Optional[Any] = None,
     retries: int = 2,
     max_failures: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> List[Any]:
     """Execute a declared campaign and aggregate it into result rows.
 
@@ -342,6 +343,7 @@ def run_units(
         trace_dir=trace_dir,
         retries=retries,
         max_failures=max_failures,
+        engine=engine,
     )
     failed = failed_records(records)
     for record in failed:

@@ -71,6 +71,7 @@ def run_fig1(
     store: Optional[CampaignStore] = None,
     schedule: str = "fifo",
     shards: int | str = 1,
+    engine: Optional[str] = None,
 ) -> List[Fig1Row]:
     """Regenerate the Fig. 1 series (via the campaign engine)."""
     return run_units(
@@ -80,6 +81,7 @@ def run_fig1(
         store=store,
         schedule=schedule,
         shards=shards,
+        engine=engine,
     )
 
 

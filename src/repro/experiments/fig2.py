@@ -73,6 +73,7 @@ def run_fig2(
     store: Optional[CampaignStore] = None,
     schedule: str = "fifo",
     shards: int | str = 1,
+    engine: Optional[str] = None,
 ) -> List[Fig2Row]:
     """Regenerate the Fig. 2 series (via the campaign engine)."""
     return run_units(
@@ -82,6 +83,7 @@ def run_fig2(
         store=store,
         schedule=schedule,
         shards=shards,
+        engine=engine,
     )
 
 

@@ -147,6 +147,7 @@ def run_experiment(
     trace_dir: Optional[Any] = None,
     retries: int = 2,
     max_failures: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> Tuple[List[Any], str]:
     """Regenerate one table/figure; returns (rows, rendered text).
 
@@ -174,5 +175,6 @@ def run_experiment(
         trace_dir=trace_dir,
         retries=retries,
         max_failures=max_failures,
+        engine=engine,
     )
     return rows, FORMATTERS[experiment_id](rows)

@@ -57,6 +57,11 @@ class SimProfile:
     ``worm_hops_batched`` / ``worm_hops_slow``
         Wormhole header hops claimed eventlessly inside a batched
         window vs walked through the per-hop request/hold path.
+    ``batch_sources_batched`` / ``batch_sources_fallback``
+        Broadcast sources served by the structure-of-arrays batch
+        engine (:mod:`repro.core.batch_broadcast`) vs handed back to
+        the per-source event-driven fallback (adaptive schedules,
+        faulty channels, failed eligibility checks).
     """
 
     __slots__ = (
@@ -70,6 +75,8 @@ class SimProfile:
         "channel_wait_s",
         "worm_hops_batched",
         "worm_hops_slow",
+        "batch_sources_batched",
+        "batch_sources_fallback",
     )
 
     def __init__(self) -> None:
@@ -87,6 +94,8 @@ class SimProfile:
         self.channel_wait_s = 0.0
         self.worm_hops_batched = 0
         self.worm_hops_slow = 0
+        self.batch_sources_batched = 0
+        self.batch_sources_fallback = 0
 
     # ------------------------------------------------------------- views
     @property
@@ -105,6 +114,12 @@ class SimProfile:
         """Fraction of wormhole header hops taken on the batched path."""
         total = self.worm_hops_batched + self.worm_hops_slow
         return self.worm_hops_batched / total if total else 0.0
+
+    @property
+    def batch_batched_ratio(self) -> float:
+        """Fraction of broadcast sources served by the batch engine."""
+        total = self.batch_sources_batched + self.batch_sources_fallback
+        return self.batch_sources_batched / total if total else 0.0
 
     @property
     def mean_channel_wait_s(self) -> float:
@@ -132,6 +147,9 @@ class SimProfile:
             "worm_hops_batched": self.worm_hops_batched,
             "worm_hops_slow": self.worm_hops_slow,
             "worm_batched_ratio": self.worm_batched_ratio,
+            "batch_sources_batched": self.batch_sources_batched,
+            "batch_sources_fallback": self.batch_sources_fallback,
+            "batch_batched_ratio": self.batch_batched_ratio,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

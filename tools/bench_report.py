@@ -36,7 +36,7 @@ for entry in (REPO / "src", REPO / "benchmarks"):
     if str(entry) not in sys.path:
         sys.path.insert(0, str(entry))
 
-SUITES = ("kernel", "fig1", "fig3", "obs")
+SUITES = ("kernel", "batch", "fig1", "fig3", "obs")
 
 
 def _kernel_workloads():
@@ -90,15 +90,41 @@ def _obs_workloads():
     }
 
 
+def _batch_workloads():
+    import bench_batch_broadcast
+
+    return dict(bench_batch_broadcast.WORKLOADS)
+
+
 def _fig1_workloads():
+    # fig1_smoke/fig2_smoke run the shipped default (--engine auto, so
+    # eligible cells take the batched sweep); the *_event twins force
+    # the per-source event engine on the same grids, so one report
+    # records the end-to-end engine win alongside the kernel ratios.
     from repro.experiments.fig1 import run_fig1
+    from repro.experiments.fig2 import run_fig2
 
     return {
         "fig1_smoke": {
             "fn": lambda: len(run_fig1(scale="smoke", seed=0)),
             "rounds": 1,
             "warmup": 0,
-        }
+        },
+        "fig1_smoke_event": {
+            "fn": lambda: len(run_fig1(scale="smoke", seed=0, engine="event")),
+            "rounds": 1,
+            "warmup": 0,
+        },
+        "fig2_smoke": {
+            "fn": lambda: len(run_fig2(scale="smoke", seed=0)),
+            "rounds": 1,
+            "warmup": 0,
+        },
+        "fig2_smoke_event": {
+            "fn": lambda: len(run_fig2(scale="smoke", seed=0, engine="event")),
+            "rounds": 1,
+            "warmup": 0,
+        },
     }
 
 
@@ -123,6 +149,7 @@ def _fig3_workloads():
 
 WORKLOAD_SOURCES = {
     "kernel": _kernel_workloads,
+    "batch": _batch_workloads,
     "fig1": _fig1_workloads,
     "fig3": _fig3_workloads,
     "obs": _obs_workloads,
@@ -283,14 +310,24 @@ def main(argv=None) -> int:
     }
 
     if args.merge_before:
-        before = json.loads(Path(args.merge_before).read_text())["results"]
+        before_report = json.loads(Path(args.merge_before).read_text())
+        before = before_report["results"]
+        # Rescale the before times to this machine phase exactly as the
+        # regression gate does (current calibration / before
+        # calibration), so the recorded trajectory measures code, not
+        # which phase of a shared machine each report happened to hit.
+        before_cal = before_report.get("calibration_s")
+        before_scale = calibration_s / before_cal if before_cal else 1.0
         report["before"] = before
+        report["before_calibration_s"] = before_cal
         report["speedup"] = {
-            key: round(before[key]["best_s"] / entry["best_s"], 2)
+            key: round(
+                before[key]["best_s"] * before_scale / entry["best_s"], 2
+            )
             for key, entry in results.items()
             if key in before
         }
-        print("speedup vs before:")
+        print(f"speedup vs before (machine-speed x{before_scale:.2f}):")
         for key, ratio in sorted(report["speedup"].items()):
             print(f"  {key}: {ratio:.2f}x")
 
