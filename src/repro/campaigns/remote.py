@@ -13,10 +13,11 @@ Two halves:
     A thin service wrapping any *local* backend (jsonl / sqlite /
     shared).  ``repro campaign serve --store campaigns/fig1.sqlite
     --port 8931`` exposes the store's operations as HTTP endpoints; the
-    coordinator itself holds no campaign state beyond an append-dedup
-    set — every record and lease lives in the backing store, so
-    restarting the coordinator mid-campaign loses nothing (clients
-    retry, then resume against the reborn service).
+    coordinator itself holds no campaign state beyond a *bounded*
+    append-dedup window (capped, evicted oldest-first, so uptime never
+    grows it without limit) — every record and lease lives in the
+    backing store, so restarting the coordinator mid-campaign loses
+    nothing (clients retry, then resume against the reborn service).
 :class:`HttpStore`
     The client half: a full :class:`CampaignStore` whose ``path`` is a
     URL, so ``run_campaign``, ``--workers``, ``--shards auto``, lease
@@ -31,8 +32,13 @@ Failure semantics (the part a network transport adds):
   ``retries`` times, sleeping ``backoff_s * 2**attempt`` between
   attempts, then raises :class:`StoreUnreachableError`.
 * **Idempotent mutations.**  ``claim`` and ``release`` are idempotent
-  by the lease protocol itself (re-claiming refreshes, re-releasing is
-  a no-op).  ``append`` carries an idempotency key — the content hash
+  by the lease protocol itself: re-claiming one's own live lease is a
+  refresh, re-releasing is a no-op, and a stale release retried after
+  a peer stole the lease leaves the peer's lease intact — all pinned
+  across every backend by the ``StoreContract`` conformance suite, so
+  retrying either after an *ambiguous* failure (the first attempt
+  landed server-side but the response was lost) is always safe.
+  ``append`` carries an idempotency key — the content hash
   of the full record — and the coordinator drops any append whose key
   it has already applied, so a retried (or network-duplicated) append
   can never double-land a record or double-merge a sharded parent.
@@ -63,6 +69,7 @@ import hashlib
 import json
 import threading
 import time
+from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Set
 from urllib import request as _urlrequest
@@ -78,6 +85,7 @@ from repro.obs.trace import NULL_TRACER
 
 __all__ = [
     "API_PREFIX",
+    "DEFAULT_DEDUP_CAP",
     "DEFAULT_PORT",
     "StoreUnreachableError",
     "StoreProtocolError",
@@ -98,6 +106,16 @@ DEFAULT_PORT = 8931
 DEFAULT_RETRIES = 5
 DEFAULT_BACKOFF_S = 0.05
 DEFAULT_TIMEOUT_S = 30.0
+
+#: How many append idempotency keys the coordinator remembers.  The
+#: dedup window only needs to outlive one client's retry burst (a few
+#: seconds), so a few hundred thousand *recent* keys is orders of
+#: magnitude more history than any retry needs, while bounding the
+#: coordinator's memory under an unbounded append stream (a long-lived
+#: service enqueueing simulations for months).  Keys past the cap are
+#: evicted oldest-first; a duplicate arriving after eviction merely
+#: re-appends, which every backend absorbs via last-record-wins.
+DEFAULT_DEDUP_CAP = 262_144
 
 
 class StoreUnreachableError(RuntimeError):
@@ -190,9 +208,12 @@ class CampaignCoordinator:
     the backing store's method under one lock (the store is the single
     source of truth; the lock only serialises backends — like a shared
     JSONL file — that were never meant for concurrent writers).  The
-    only coordinator-side state is the append-dedup set, and losing it
-    (a restart) is safe: the backends themselves key records by unit
-    hash with last-record-wins, so a replayed append after a restart
+    only coordinator-side state is the append-dedup window — bounded
+    at ``dedup_cap`` recent idempotency keys (evicted oldest-first, so
+    months of uptime cannot grow it; ``/v1/status`` reports the cap,
+    current size and eviction count) — and losing entries (eviction or
+    a restart) is safe: the backends themselves key records by unit
+    hash with last-record-wins, so a replayed append past the window
     is redundant, never corrupting.
 
     Example::
@@ -210,16 +231,24 @@ class CampaignCoordinator:
         host: str = "127.0.0.1",
         port: int = 0,
         tracer: Any = NULL_TRACER,
+        dedup_cap: int = DEFAULT_DEDUP_CAP,
     ):
         if getattr(store, "is_remote", False):
             raise ValueError(
                 "a coordinator must wrap a local backend, not another"
                 " coordinator's URL"
             )
+        if dedup_cap < 1:
+            raise ValueError("dedup_cap must be >= 1")
         self.store = store
         self.tracer = tracer
+        self.dedup_cap = int(dedup_cap)
         self._lock = threading.Lock()
-        self._applied_appends: Set[str] = set()
+        # Insertion-ordered so eviction is oldest-first: the structure
+        # is a bounded window of *recent* append keys, not a full
+        # history — see DEFAULT_DEDUP_CAP for why that is enough.
+        self._applied_appends: "OrderedDict[str, None]" = OrderedDict()
+        self._dedup_evicted = 0
         self._requests = 0
         self._deduped = 0
         self._server = ThreadingHTTPServer((host, port), _CoordinatorHandler)
@@ -308,7 +337,10 @@ class CampaignCoordinator:
                 deduped = key in self._applied_appends
                 if not deduped:
                     self.store.append(UnitRecord.from_dict(record))
-                    self._applied_appends.add(key)
+                    self._applied_appends[key] = None
+                    while len(self._applied_appends) > self.dedup_cap:
+                        self._applied_appends.popitem(last=False)
+                        self._dedup_evicted += 1
                 else:
                     self._deduped += 1
                 self.tracer.event(
@@ -349,6 +381,9 @@ class CampaignCoordinator:
                     "leased": len(self.store.leased_hashes()),
                     "requests": self._requests,
                     "appends_deduped": self._deduped,
+                    "appends_dedup_cap": self.dedup_cap,
+                    "appends_dedup_size": len(self._applied_appends),
+                    "appends_dedup_evicted": self._dedup_evicted,
                 }
             return None
 

@@ -348,14 +348,23 @@ class CampaignStore(abc.ABC):
     ) -> bool:
         """Reserve a unit for ``owner``; ``True`` iff the claim holds.
 
-        Re-claiming a unit you already own refreshes the lease.  The
-        base implementation has no peers to arbitrate against and
-        always grants the claim.
+        Re-claiming a unit you already own is a *refresh*: it must be
+        granted and must extend the lease's expiry, so a claim retried
+        after an ambiguous failure (the first attempt landed but its
+        acknowledgement was lost) re-executes harmlessly.  The base
+        implementation has no peers to arbitrate against and always
+        grants the claim.
         """
         return True
 
     def release(self, unit_hash: str, owner: str) -> None:
-        """Drop ``owner``'s lease on a unit (no-op if not held)."""
+        """Drop ``owner``'s lease on a unit (no-op if not held).
+
+        Idempotent for the owning caller: re-releasing an
+        already-released lease is a no-op, and a stale release retried
+        after a peer has since claimed the unit must leave the peer's
+        lease intact — only the pair (unit, owner) is ever dropped.
+        """
 
     def leased_hashes(self) -> Set[str]:
         """Hashes currently under a live (unexpired) lease."""
@@ -747,13 +756,37 @@ class SharedDirStore(CampaignStore):
         return self._create_lease(lease, owner, ttl_s)
 
     def release(self, unit_hash: str, owner: str) -> None:
+        # A release may be *retried* after an ambiguous failure (the
+        # first attempt landed but its acknowledgement was lost), by
+        # which time a peer may have stolen the expired lease.  A
+        # plain read-check-unlink would then delete the peer's fresh
+        # lease, so the delete is arbitrated like a steal: rename the
+        # file away (exactly one contender wins), re-check the owner
+        # on the renamed copy, and put it back if it turned out to be
+        # someone else's.  Releasing a lease we no longer (or never)
+        # held is a no-op — idempotent for the owning caller.
         lease = self._lease_path(unit_hash)
         data = self._read_lease(lease)
-        if data is not None and data["owner"] == owner:
+        if data is None or data["owner"] != owner:
+            return
+        tomb = lease.with_name(lease.name + f".release.{uuid.uuid4().hex}")
+        try:
+            os.rename(lease, tomb)
+        except FileNotFoundError:
+            return  # already released (e.g. by our first attempt)
+        data = self._read_lease(tomb)
+        if data is not None and data["owner"] != owner:
+            # We raced a stealer between the read and the rename: the
+            # file we took out of service is the *peer's* lease now.
+            # Restore it (unless the peer already wrote a newer one).
             try:
-                os.unlink(lease)
-            except FileNotFoundError:  # pragma: no cover - racing release
+                os.link(tomb, lease)
+            except FileExistsError:  # pragma: no cover - peer re-leased
                 pass
+        try:
+            os.unlink(tomb)
+        except FileNotFoundError:  # pragma: no cover - best effort
+            pass
 
     def leased_hashes(self) -> Set[str]:
         if not self._leases_dir.is_dir():

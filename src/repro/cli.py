@@ -52,7 +52,11 @@ from typing import List, Optional
 from repro.analysis.comparison import compare_algorithms
 from repro.campaigns.aggregate import aggregate, failed_records
 from repro.campaigns.pool import SCHEDULES, TooManyFailuresError, run_campaign
-from repro.campaigns.remote import DEFAULT_PORT, StoreUnreachableError
+from repro.campaigns.remote import (
+    DEFAULT_DEDUP_CAP,
+    DEFAULT_PORT,
+    StoreUnreachableError,
+)
 from repro.campaigns.store import (
     BACKENDS,
     CampaignStore,
@@ -73,6 +77,7 @@ from repro.obs.trace import (
     summarize_trace,
     trace_dir_for,
 )
+from repro.service.estimator import DEFAULT_SERVICE_PORT
 
 __all__ = ["main"]
 
@@ -375,6 +380,88 @@ def _build_parser() -> argparse.ArgumentParser:
             "also spool the coordinator's rpc.* events (claims granted,"
             " appends deduped) as a server-<pid>.jsonl file into DIR"
             " (default: the backing store's trace directory)"
+        ),
+    )
+    sv.add_argument(
+        "--dedup-cap",
+        type=_positive_int,
+        default=DEFAULT_DEDUP_CAP,
+        metavar="N",
+        help=(
+            "how many recent append idempotency keys to remember for"
+            " duplicate suppression (evicted oldest-first; bounds the"
+            f" coordinator's memory under long uptimes; default"
+            f" {DEFAULT_DEDUP_CAP})"
+        ),
+    )
+
+    srv = sub.add_parser(
+        "serve",
+        help=(
+            "run the live estimator: answer latency queries from a"
+            " campaign store, simulating misses on demand"
+        ),
+    )
+    srv.add_argument(
+        "--store",
+        required=True,
+        metavar="PATH",
+        help=(
+            "the campaign store answering queries"
+            " (.jsonl/.sqlite/directory, or http://host:port of a"
+            " `repro campaign serve` coordinator)"
+        ),
+    )
+    srv.add_argument(
+        "--store-backend",
+        default=None,
+        choices=sorted(BACKENDS) + ["http"],
+        help="store backend (default: inferred from --store)",
+    )
+    srv.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to bind (0.0.0.0 to accept remote queries)",
+    )
+    srv.add_argument(
+        "--port",
+        type=int,
+        default=DEFAULT_SERVICE_PORT,
+        help=(
+            f"port to listen on (default {DEFAULT_SERVICE_PORT};"
+            " 0 = ephemeral)"
+        ),
+    )
+    srv.add_argument(
+        "--engine",
+        default="auto",
+        choices=list(ENGINES),
+        help=(
+            "broadcast execution engine for miss simulations (same"
+            " choices as campaign runs; results are bit-identical"
+            " either way)"
+        ),
+    )
+    srv.add_argument(
+        "--retries",
+        type=_nonneg_int,
+        default=2,
+        metavar="N",
+        help=(
+            "retry budget for each miss simulation before its failure"
+            " record quarantines the unit (default 2)"
+        ),
+    )
+    srv.add_argument(
+        "--trace",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="DIR",
+        help=(
+            "spool the service's svc.* spans (queries, hits, enqueues,"
+            " miss simulations, the drain) as a service-<pid>.jsonl"
+            " file into DIR (default: the store's trace directory)"
         ),
     )
 
@@ -907,9 +994,10 @@ def _cmd_campaign_trace(args, spec) -> int:
 def _cmd_campaign_serve(args) -> int:
     """Run the campaign coordinator until interrupted.
 
-    The service is stateless beyond its append-dedup set: every record
-    and lease lives in the backing store, so killing and restarting the
-    coordinator mid-campaign is safe — clients retry, then resume.
+    The service is stateless beyond its bounded append-dedup window:
+    every record and lease lives in the backing store, so killing and
+    restarting the coordinator mid-campaign is safe — clients retry,
+    then resume.
     """
     import os
 
@@ -926,7 +1014,11 @@ def _cmd_campaign_serve(args) -> int:
         )
         print(f"rpc events spooling to {spool_dir}")
     coordinator = CampaignCoordinator(
-        backing, host=args.host, port=args.port, tracer=tracer
+        backing,
+        host=args.host,
+        port=args.port,
+        tracer=tracer,
+        dedup_cap=args.dedup_cap,
     )
     print(f"campaign coordinator listening on {coordinator.url}")
     print(f"  backing store: {backing.describe()}")
@@ -941,6 +1033,80 @@ def _cmd_campaign_serve(args) -> int:
     finally:
         coordinator.close()
         tracer.close()
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    """Run the live estimator until interrupted, then drain.
+
+    SIGINT and SIGTERM both take the graceful path (the same
+    signal→KeyboardInterrupt convention campaign pools use): the
+    listener stops accepting, the in-flight miss simulation finishes
+    and releases its lease through the ordinary campaign machinery,
+    and the process exits 0 — every answered record is already in the
+    store, so a restart resumes with a warm cache.
+    """
+    import os
+    import signal
+
+    from repro.obs.trace import NULL_TRACER, JsonlSink, Tracer, worker_trace_path
+    from repro.service import EstimatorServer, EstimatorService
+
+    store = open_store(args.store, args.store_backend)
+    tracer = NULL_TRACER
+    if args.trace is not None:
+        spool_dir = Path(args.trace) if args.trace else trace_dir_for(store)
+        tracer = Tracer(
+            JsonlSink(worker_trace_path(spool_dir, "service", os.getpid())),
+            role="service",
+        )
+        print(f"svc events spooling to {spool_dir}")
+    service = EstimatorService(
+        store,
+        tracer=tracer,
+        engine=args.engine,
+        retries=args.retries,
+    )
+    server = EstimatorServer(service, host=args.host, port=args.port)
+
+    draining = False
+
+    def _graceful(signum: int, frame) -> None:
+        # Process managers (and coreutils `timeout`) may deliver the
+        # termination signal more than once; only the first one starts
+        # the drain — a repeat must not interrupt the drain itself.
+        nonlocal draining
+        if draining:
+            return
+        draining = True
+        raise KeyboardInterrupt(f"signal {signum}")
+
+    restore = []
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            restore.append((sig, signal.signal(sig, _graceful)))
+        except (ValueError, OSError):  # pragma: no cover - platform
+            pass
+    print(f"estimator service listening on {server.url}")
+    print(f"  answer cache: {store.describe()}")
+    print(
+        f"  query it with: curl -X POST {server.url}/v1/query"
+        " -d '{\"algorithm\": \"DB\", \"dims\": [8, 8, 8]}'",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("estimator service: draining", flush=True)
+    finally:
+        draining = True  # ignore repeated signals for the whole drain
+        try:
+            server.close()
+            tracer.close()
+        finally:
+            for sig, previous in restore:
+                signal.signal(sig, previous)
+    print("estimator service: drained cleanly")
     return 0
 
 
@@ -1098,6 +1264,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_compare(args)
         if args.command == "campaign":
             return _cmd_campaign(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         spec = campaign_for(
             args.command, args.scale, args.seed, shards=args.shards
         )

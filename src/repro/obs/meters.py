@@ -28,6 +28,7 @@ travel through the campaign store.
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_left
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -228,8 +229,10 @@ class Histogram:
 
     Bucket counts are integers (merge = element-wise sum, exact); the
     full-precision stream state rides along as ``PartialStat`` chunks,
-    which is what quantile-grade consumers (e.g. a future live-service
-    p95) merge instead of the lossy buckets.
+    which is what quantile-grade consumers merge instead of the lossy
+    buckets — :meth:`percentile` extracts exact nearest-rank
+    percentiles from the chunk stream (the live service's p50/p95/p99
+    come from a ``batch_size=1`` histogram this way).
     """
 
     kind = "histogram"
@@ -351,6 +354,46 @@ class Histogram:
             if seen >= rank and bucket:
                 return self.bounds[i] if i < len(self.bounds) else float("inf")
         return float("inf")
+
+    def stream_values(self) -> List[float]:
+        """The observation multiset carried by the chunk stream.
+
+        Head and tail values are raw observations; each closed batch
+        contributes its mean ``batch_size`` times.  With
+        ``batch_size=1`` every batch mean *is* its single raw
+        observation, so the returned multiset equals the recorded
+        stream exactly.
+        """
+        values: List[float] = []
+        for part in self.partials():
+            values.extend(part.head)
+            for mean in part.batch_means:
+                values.extend([mean] * part.batch_size)
+            values.extend(part.tail)
+        return values
+
+    def percentile(self, q: float) -> float:
+        """Exact nearest-rank percentile from the ``PartialStat`` stream.
+
+        Unlike :meth:`quantile` (bucket-edge resolution), this
+        reconstructs the value multiset from the chunk stream
+        (:meth:`stream_values`) and returns the nearest-rank order
+        statistic — the smallest value whose cumulative share of the
+        stream reaches ``q``.  With ``batch_size=1`` (the live
+        service's configuration) the result is the exact empirical
+        percentile; with larger batches the batched region is
+        represented at batch-mean resolution.  Either way the value is
+        invariant under any merge(split(stream)) regrouping, because
+        the chunk algebra reproduces the unsplit stream bit for bit.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        values = self.stream_values()
+        if not values:
+            raise ValueError("empty histogram has no percentiles")
+        values.sort()
+        rank = max(1, math.ceil(q * len(values)))
+        return values[min(rank, len(values)) - 1]
 
     # -- serialisation ------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:

@@ -1,0 +1,28 @@
+"""Live estimator service: the simulator as a store-backed oracle.
+
+``repro serve`` keeps a long-running process answering latency queries
+from any campaign store backend; misses simulate on demand through the
+ordinary campaign machinery, turning the store into a demand-driven
+cache.  See ``docs/service.md``.
+"""
+
+from repro.service.estimator import (
+    ANSWER_LATENCY_BOUNDS_S,
+    DEFAULT_SERVICE_PORT,
+    QUERY_FIELDS,
+    EstimatorService,
+    ServiceError,
+    spec_for_query,
+)
+from repro.service.http import API_PREFIX, EstimatorServer
+
+__all__ = [
+    "ANSWER_LATENCY_BOUNDS_S",
+    "API_PREFIX",
+    "DEFAULT_SERVICE_PORT",
+    "QUERY_FIELDS",
+    "EstimatorService",
+    "EstimatorServer",
+    "ServiceError",
+    "spec_for_query",
+]

@@ -1,0 +1,462 @@
+"""The live estimator: a store-backed latency oracle.
+
+:class:`EstimatorService` answers "what latency would this (dims,
+algorithm, load, L) broadcast see?" for an open-loop stream of JSON
+queries.  Each query maps — through :func:`spec_for_query` — to the
+same content-hashed :class:`~repro.campaigns.spec.UnitSpec` a campaign
+would declare, so the campaign store doubles as the service's answer
+cache:
+
+* **hit** — the store already holds an ok record for the unit's hash
+  (a prior query, or any campaign that ever computed the point): the
+  stored result is returned immediately, nothing simulates.
+* **pending** — a miss: the unit is enqueued for the background
+  simulator (one thread draining misses through the ordinary
+  :func:`~repro.campaigns.pool.run_campaign` machinery — engine
+  selection, retry budget, failure records and lease protocol all
+  included), and the reply carries a *ticket* (the unit hash) that a
+  later query or :meth:`result` call redeems once the record lands.
+* **failed** — the unit exhausted its retry budget and the store holds
+  its failure record: the reply reports the reason and attempt count
+  instead of re-simulating a known-poisonous point (clear it with
+  ``repro campaign retry-failed`` semantics: append a fresh record).
+
+Because the answer is whatever lands in the store, a fresh query's
+result is byte-identical to running the same unit via ``repro campaign
+run`` — the service adds no computation path of its own.
+
+Determinism: all service time comes from the ``clock`` callable
+injected at construction (default :func:`time.monotonic`; never
+``time.time()``), so tests drive the whole request loop — including
+the SLO histogram — with a scripted clock and replay it exactly.
+Answer latencies accumulate in a ``batch_size=1``
+:class:`~repro.obs.meters.Histogram`, whose ``PartialStat`` chunk
+stream yields *exact* p50/p95/p99 via
+:meth:`~repro.obs.meters.Histogram.percentile`.
+
+See ``docs/service.md`` for the query schema and the failure matrix.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Any, Callable, Dict, Optional, Set
+
+from repro.campaigns.pool import run_campaign
+from repro.campaigns.spec import CampaignSpec, UnitSpec, freeze_params
+from repro.campaigns.store import CampaignStore
+from repro.obs.meters import MeterRegistry
+from repro.obs.trace import NULL_TRACER
+
+__all__ = [
+    "ANSWER_LATENCY_BOUNDS_S",
+    "DEFAULT_SERVICE_PORT",
+    "QUERY_FIELDS",
+    "ServiceError",
+    "EstimatorService",
+    "spec_for_query",
+]
+
+#: Conventional estimator port (``repro serve`` default) — one above
+#: the campaign coordinator's 8931 so both run side by side.
+DEFAULT_SERVICE_PORT = 8932
+
+#: Bucket edges (seconds) of the lossy answer-latency histogram view.
+#: SLO percentiles never read these — they come exactly from the
+#: histogram's chunk stream — the buckets only serve cheap dashboards.
+ANSWER_LATENCY_BOUNDS_S = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Accepted query-document fields (anything else is rejected loudly —
+#: a typo like ``"lenght_flits"`` must not silently hash to a
+#: different unit).
+QUERY_FIELDS = frozenset(
+    {
+        "algorithm",
+        "dims",
+        "length_flits",
+        "load",
+        "seed",
+        "replication",
+        "experiment",
+        "params",
+    }
+)
+
+
+class ServiceError(ValueError):
+    """A malformed query document (the HTTP layer's 400)."""
+
+
+def spec_for_query(doc: Dict[str, Any]) -> UnitSpec:
+    """Map one JSON query document to its content-hashed unit.
+
+    Required: ``algorithm`` (a registered algorithm name) and ``dims``
+    (a list of positive mesh dimensions).  Optional: ``length_flits``
+    (default 100), ``load`` (messages/ms; present → a ``"traffic"``
+    unit, absent → a single-source ``"broadcast"`` unit), ``seed``
+    (default 0), ``replication`` (default 0), ``experiment`` (default
+    ``"service"`` — pass a paper experiment id to share units with its
+    campaigns), and ``params`` (extra runner parameters, canonicalised
+    exactly like a campaign grid's).
+
+    The construction is deliberately identical to what experiment
+    grids do — :func:`freeze_params` and all — so a query for a point
+    some campaign already computed hashes to the *same* unit and hits
+    its stored record.
+    """
+    from repro.core.registry import algorithm_names
+
+    if not isinstance(doc, dict):
+        raise ServiceError("query must be a JSON object")
+    unknown = set(doc) - QUERY_FIELDS
+    if unknown:
+        raise ServiceError(
+            f"unknown query field(s) {sorted(unknown)};"
+            f" accepted: {sorted(QUERY_FIELDS)}"
+        )
+    try:
+        algorithm = str(doc["algorithm"])
+        dims = tuple(int(d) for d in doc["dims"])
+    except KeyError as exc:
+        raise ServiceError(f"query is missing required field {exc}") from None
+    except (TypeError, ValueError):
+        raise ServiceError("'dims' must be a list of integers") from None
+    if algorithm not in algorithm_names():
+        raise ServiceError(
+            f"unknown algorithm {algorithm!r};"
+            f" choose from {sorted(algorithm_names())}"
+        )
+    if not dims or any(d < 1 for d in dims):
+        raise ServiceError(f"'dims' must be positive, got {list(dims)}")
+    try:
+        length_flits = int(doc.get("length_flits", 100))
+        seed = int(doc.get("seed", 0))
+        replication = int(doc.get("replication", 0))
+    except (TypeError, ValueError):
+        raise ServiceError(
+            "'length_flits', 'seed' and 'replication' must be integers"
+        ) from None
+    if length_flits < 1:
+        raise ServiceError(f"'length_flits' must be >= 1, got {length_flits}")
+    if replication < 0:
+        raise ServiceError(f"'replication' must be >= 0, got {replication}")
+    load: Optional[float] = None
+    if doc.get("load") is not None:
+        try:
+            load = float(doc["load"])
+        except (TypeError, ValueError):
+            raise ServiceError("'load' must be a number") from None
+        if load <= 0:
+            raise ServiceError(f"'load' must be > 0, got {load}")
+    params = doc.get("params") or {}
+    if not isinstance(params, dict):
+        raise ServiceError("'params' must be a JSON object")
+    return UnitSpec(
+        experiment=str(doc.get("experiment", "service")),
+        kind="traffic" if load is not None else "broadcast",
+        algorithm=algorithm,
+        dims=dims,
+        length_flits=length_flits,
+        seed=seed,
+        replication=replication,
+        load=load,
+        params=freeze_params(**params),
+    )
+
+
+class EstimatorService:
+    """Answer latency queries from a campaign store, simulating misses.
+
+    Parameters
+    ----------
+    store:
+        Any :class:`CampaignStore` backend (jsonl / sqlite / shared /
+        http) — the demand-driven answer cache.
+    clock:
+        Time source for every service measurement (answer latencies,
+        uptime).  Injected so tests replay the request loop
+        deterministically; defaults to :func:`time.monotonic` and is
+        never ``time.time()``.
+    tracer:
+        ``svc.*`` spans/events land here (default: the no-op tracer).
+    engine / retries:
+        Forwarded to :func:`run_campaign` for every miss — the batched
+        broadcast engine and the failure-domain retry budget apply to
+        service-triggered simulations exactly as to campaign runs.
+    queue_size:
+        Bound on queued-but-unstarted misses; excess misses stay
+        pending (their tickets redeem once re-queried) instead of
+        growing memory.
+
+    Example::
+
+        service = EstimatorService(open_store("campaigns/oracle.sqlite"))
+        service.query({"algorithm": "DB", "dims": [8, 8, 8]})
+        # -> {"status": "pending", "ticket": "9f3b...", ...}
+        service.wait_idle()
+        service.query({"algorithm": "DB", "dims": [8, 8, 8]})
+        # -> {"status": "hit", "result": {"mean_latency": ...}, ...}
+    """
+
+    def __init__(
+        self,
+        store: CampaignStore,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+        tracer: Any = NULL_TRACER,
+        engine: Optional[str] = "auto",
+        retries: int = 2,
+        queue_size: int = 1024,
+    ):
+        self.store = store
+        self.clock = clock
+        self.tracer = tracer
+        self.engine = engine
+        self.retries = int(retries)
+        self.meters = MeterRegistry()
+        self._hist = self.meters.histogram(
+            "svc.answer_latency_s", ANSWER_LATENCY_BOUNDS_S, batch_size=1
+        )
+        self._lock = threading.Lock()
+        self._inflight: Set[str] = set()
+        self._closed = False
+        self._started_s = self.clock()
+        self._queue: "queue.Queue[Optional[UnitSpec]]" = queue.Queue(
+            maxsize=max(1, int(queue_size))
+        )
+        self._worker = threading.Thread(
+            target=self._drain, name="svc-simulator", daemon=True
+        )
+        self._worker.start()
+
+    # -- the request loop -----------------------------------------------------
+    def query(self, doc: Dict[str, Any]) -> Dict[str, Any]:
+        """Answer one query document (hit / pending / failed).
+
+        Raises :class:`ServiceError` for malformed documents; only
+        well-formed queries count toward the SLO histogram.
+        """
+        started_s = self.clock()
+        with self.tracer.span("svc.query", cat="svc") as span:
+            spec = spec_for_query(doc)
+            answer = self._answer(spec)
+            span.set(unit=spec.unit_hash, status=answer["status"])
+        return self._observed(answer, started_s)
+
+    def result(self, ticket: str) -> Dict[str, Any]:
+        """Redeem a pending ticket (the unit hash a miss returned)."""
+        started_s = self.clock()
+        with self.tracer.span("svc.result", cat="svc", unit=ticket) as span:
+            answer = self._lookup(str(ticket))
+            span.set(status=answer["status"])
+        return self._observed(answer, started_s, counter="svc.redeems")
+
+    def _observed(
+        self,
+        answer: Dict[str, Any],
+        started_s: float,
+        counter: str = "svc.queries",
+    ) -> Dict[str, Any]:
+        """Stamp one answer into the SLO meters (under the lock —
+        queries arrive from concurrent HTTP handler threads)."""
+        elapsed_s = self.clock() - started_s
+        with self._lock:
+            self._hist.observe(elapsed_s)
+            self.meters.counter(counter).inc()
+            self.meters.counter(f"svc.answer.{answer['status']}").inc()
+        answer["answer_latency_s"] = elapsed_s
+        return answer
+
+    def _answer(self, spec: UnitSpec) -> Dict[str, Any]:
+        """Resolve one unit against the store; enqueue on a miss."""
+        answer = self._lookup(spec.unit_hash, spec)
+        if answer["status"] == "pending" and not answer["queued"]:
+            answer["queued"] = self._enqueue(spec)
+        return answer
+
+    def _lookup(
+        self, unit_hash: str, spec: Optional[UnitSpec] = None
+    ) -> Dict[str, Any]:
+        record = self.store.get(unit_hash)
+        base: Dict[str, Any] = {"unit": unit_hash, "ticket": unit_hash}
+        if spec is not None:
+            base["spec"] = spec.as_dict()
+        if record is not None and record.ok:
+            self.tracer.event("svc.hit", cat="svc", unit=unit_hash)
+            return {"status": "hit", **base, "result": dict(record.result)}
+        if record is not None:
+            # A persisted failure: report it instead of re-simulating a
+            # known-poisonous unit (its retry budget is already spent).
+            return {
+                "status": "failed",
+                **base,
+                "error": record.failure_reason,
+                "attempts": record.attempts,
+            }
+        with self._lock:
+            queued = unit_hash in self._inflight
+        return {"status": "pending", **base, "queued": queued}
+
+    # -- the background simulator ---------------------------------------------
+    def _enqueue(self, spec: UnitSpec) -> bool:
+        """Hand a missed unit to the simulator (dedup against in-flight)."""
+        with self._lock:
+            if self._closed or spec.unit_hash in self._inflight:
+                return spec.unit_hash in self._inflight
+            self._inflight.add(spec.unit_hash)
+        try:
+            self._queue.put_nowait(spec)
+        except queue.Full:
+            with self._lock:
+                self._inflight.discard(spec.unit_hash)
+                self.meters.counter("svc.queue_full").inc()
+            return False
+        self.tracer.event("svc.enqueue", cat="svc", unit=spec.unit_hash)
+        return True
+
+    def _drain(self) -> None:
+        """Worker loop: simulate misses through ``run_campaign``.
+
+        One unit per campaign, so the whole failure-domain machinery —
+        retry budget, failure records, quarantine — applies unchanged;
+        the store's lease protocol keeps racing services (or a
+        concurrent ``campaign run``) from executing a unit twice.
+        """
+        while True:
+            spec = self._queue.get()
+            if spec is None:
+                self._queue.task_done()
+                return
+            try:
+                with self.tracer.span(
+                    "svc.simulate", cat="svc", unit=spec.unit_hash
+                ):
+                    run_campaign(
+                        CampaignSpec(
+                            name=f"svc-{spec.unit_hash}",
+                            seed=spec.seed,
+                            units=(spec,),
+                        ),
+                        store=self.store,
+                        retries=self.retries,
+                        engine=self.engine,
+                    )
+            except Exception as exc:  # the service must outlive any unit
+                self.tracer.event(
+                    "svc.error", cat="svc", unit=spec.unit_hash,
+                    error=repr(exc),
+                )
+                with self._lock:
+                    self.meters.counter("svc.simulate_errors").inc()
+            finally:
+                with self._lock:
+                    self._inflight.discard(spec.unit_hash)
+                self._queue.task_done()
+
+    def wait_idle(self, timeout_s: float = 60.0) -> bool:
+        """Block until every enqueued miss has been simulated.
+
+        Test/CI plumbing only — it polls real thread progress (this is
+        about scheduler state, not service time, so the injected clock
+        deliberately plays no part).  Returns ``False`` on timeout.
+        """
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            with self._lock:
+                busy = bool(self._inflight)
+            if not busy and self._queue.unfinished_tasks == 0:
+                return True
+            time.sleep(0.01)
+        return False
+
+    # -- introspection ----------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """The SLO document: answer counts plus exact p50/p95/p99.
+
+        Percentiles come from the histogram's ``PartialStat`` chunk
+        stream (``batch_size=1`` — every observation survives
+        verbatim), so they are exact empirical order statistics, not
+        bucket edges.
+        """
+        with self._lock:
+            counters = {
+                name: meter.value
+                for name, meter in sorted(self.meters.meters.items())
+                if meter.kind == "counter"
+            }
+            count = self._hist.count
+            doc: Dict[str, Any] = {
+                "answers": count,
+                "counters": counters,
+                "inflight": len(self._inflight),
+            }
+            if count:
+                doc["answer_latency_s"] = {
+                    "count": count,
+                    "mean": self._hist.mean,
+                    "p50": self._hist.percentile(0.50),
+                    "p95": self._hist.percentile(0.95),
+                    "p99": self._hist.percentile(0.99),
+                }
+        return doc
+
+    def status(self) -> Dict[str, Any]:
+        """Liveness/identity document (also the health check)."""
+        with self._lock:
+            inflight = len(self._inflight)
+            closed = self._closed
+        return {
+            "ok": True,
+            "service": "estimator",
+            "backend": self.store.backend,
+            "store": str(self.store.path),
+            "engine": self.engine,
+            "retries": self.retries,
+            "inflight": inflight,
+            "draining": closed,
+            "uptime_s": self.clock() - self._started_s,
+        }
+
+    # -- lifecycle ----------------------------------------------------------------
+    def close(self, timeout_s: float = 60.0) -> None:
+        """Graceful drain: finish the in-flight unit, drop the queue.
+
+        Queued-but-unstarted misses hold no leases (claims happen
+        inside ``run_campaign``), so dropping them loses nothing — the
+        tickets stay redeemable and a re-query re-enqueues.  The unit
+        actually simulating finishes and releases its lease through
+        the ordinary campaign path, so after ``close`` the store holds
+        no lease of ours.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        dropped = 0
+        while True:
+            try:
+                spec = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if spec is not None:
+                with self._lock:
+                    self._inflight.discard(spec.unit_hash)
+                dropped += 1
+            self._queue.task_done()
+        self._queue.put(None)
+        self._worker.join(timeout=timeout_s)
+        self.tracer.event("svc.drain", cat="svc", dropped=dropped)
+
+    def __enter__(self) -> "EstimatorService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<EstimatorService {self.store.describe()}>"

@@ -16,6 +16,10 @@ The contract being pinned down:
   ``supports_leases``), refreshable by its owner, released only by its
   owner, stolen after the TTL expires or immediately when the owner is
   a dead local process.
+* claim and release are safe under *ambiguous retries* (the first
+  attempt landed but its acknowledgement was lost): release is
+  idempotent for the owning caller and never drops a peer's later
+  lease, re-claiming one's own lease is a granted refresh.
 * append-then-release ordering: once a unit's hash is claimable again,
   either its record is visible or the unit never ran.
 * parent merges are idempotent across handles: the second pool to
@@ -213,6 +217,69 @@ class StoreContract:
     def test_default_ttl_accepted(self, store_factory):
         store = store_factory()
         assert store.try_claim("h1", "alice", ttl_s=DEFAULT_LEASE_TTL_S)
+
+    # ------------------------------------------- ambiguous-retry safety
+    # A network store may have to *retry* a claim or release whose
+    # first attempt landed but whose acknowledgement was lost.  The
+    # retry then re-executes against changed state, so both operations
+    # must be safe to repeat: release is idempotent for the owning
+    # caller, claim-by-current-owner is a refresh.
+
+    def test_release_retry_is_idempotent_for_owner(self, store_factory):
+        store = store_factory()
+        assert store.try_claim("h1", "alice", ttl_s=30)
+        store.release("h1", "alice")
+        store.release("h1", "alice")  # the ambiguous retry: a no-op
+        assert store.leased_hashes() == set()
+        if store.supports_leases:
+            assert store.try_claim("h1", "bob", ttl_s=30)
+
+    def test_stale_release_retry_preserves_next_owners_lease(
+        self, store_factory
+    ):
+        # Alice releases; Bob claims; Alice's *retried* release (the
+        # lost-acknowledgement case) arrives late.  It must not drop
+        # Bob's lease — only the (unit, owner) pair is ever released.
+        alice, bob = store_factory(), store_factory()
+        if not alice.supports_leases:
+            return
+        assert alice.try_claim("h1", "alice", ttl_s=30)
+        alice.release("h1", "alice")
+        assert bob.try_claim("h1", "bob", ttl_s=30)
+        alice.release("h1", "alice")  # late retry
+        assert bob.leased_hashes() == {"h1"}
+        assert not alice.try_claim("h1", "alice", ttl_s=30)
+
+    def test_release_after_expiry_and_steal_is_noop(self, store_factory):
+        # Alice's lease expires mid-release-retry and Bob steals the
+        # unit; Alice's release, reading a lease that stops being hers
+        # under her feet, must leave Bob's fresh lease intact.
+        alice, bob = store_factory(), store_factory()
+        if not alice.supports_leases:
+            return
+        assert alice.try_claim("h1", "alice", ttl_s=0.01)
+        time.sleep(0.05)
+        assert bob.try_claim("h1", "bob", ttl_s=30)
+        alice.release("h1", "alice")
+        assert bob.leased_hashes() == {"h1"}
+        assert not alice.try_claim("h1", "alice", ttl_s=30)
+
+    def test_reclaim_by_owner_is_refresh_not_reexecution(
+        self, store_factory
+    ):
+        # A claim retried after an ambiguous failure re-claims a lease
+        # the caller already holds.  That must be a *refresh* — granted
+        # and extending the expiry — never contention with oneself.
+        store = store_factory()
+        if not store.supports_leases:
+            assert store.try_claim("h1", "alice", ttl_s=30)
+            assert store.try_claim("h1", "alice", ttl_s=30)
+            return
+        assert store.try_claim("h1", "alice", ttl_s=0.25)
+        assert store.try_claim("h1", "alice", ttl_s=30)  # the retry
+        time.sleep(0.3)  # past the original expiry
+        assert store.leased_hashes() == {"h1"}  # refreshed, still live
+        assert not store.try_claim("h1", "bob", ttl_s=30)
 
     # ----------------------------------------------- ordering / handoff
     def test_append_then_release_visibility(self, store_factory):

@@ -259,6 +259,44 @@ def test_coordinator_dedups_retried_append(coordinator):
     assert len(store.records()) == 1
 
 
+def test_dedup_window_stays_bounded_under_long_append_stream(tmp_path):
+    from repro.campaigns.store import UnitRecord
+
+    def record(i, v=1):
+        return UnitRecord(
+            unit_hash=f"u{i:06d}", experiment="x", spec={}, result={"v": v}
+        )
+
+    backing = open_store(tmp_path / "backing.sqlite", "sqlite")
+    with CampaignCoordinator(backing, port=0, dedup_cap=64) as coord:
+        store = fast_store(coord.url)
+        # A long-uptime append stream: 10x the cap in distinct records.
+        for i in range(640):
+            store.append(record(i))
+            assert len(coord._applied_appends) <= 64
+        status = store.status()
+        assert status["appends_dedup_cap"] == 64
+        assert status["appends_dedup_size"] == 64
+        assert status["appends_dedup_evicted"] == 640 - 64
+        # Recent duplicates (inside the window) still suppress...
+        before = len(backing.records())
+        store.append(record(639))
+        assert store.status()["appends_deduped"] == 1
+        assert len(backing.records()) == before
+        # ...while a duplicate of an *evicted* key merely re-appends,
+        # which the backend absorbs via last-record-wins (never corrupts).
+        store.append(record(0))
+        assert store.status()["appends_deduped"] == 1  # not suppressed
+        assert len(backing.records()) == before
+        assert backing.get("u000000").result == {"v": 1}
+
+
+def test_coordinator_rejects_nonpositive_dedup_cap(tmp_path):
+    backing = open_store(tmp_path / "backing.sqlite", "sqlite")
+    with pytest.raises(ValueError, match="dedup_cap"):
+        CampaignCoordinator(backing, port=0, dedup_cap=0)
+
+
 # ----------------------------------------------------------------- CLI
 def test_cli_run_and_status_against_coordinator(coordinator, capsys):
     url = coordinator.url

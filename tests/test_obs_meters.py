@@ -273,3 +273,69 @@ def test_registry_kind_checks():
     other.gauge("n").set(1.0)
     with pytest.raises(ValueError, match="conflicting kinds"):
         merge_registries([registry, other])
+
+
+# --------------------------------------------------- exact percentiles
+def nearest_rank(values, q):
+    """The textbook nearest-rank percentile — the oracle percentile()
+    must match when batch_size=1 preserves every raw observation."""
+    import math
+
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def test_percentile_exact_nearest_rank_examples():
+    hist = fill_histogram(
+        Histogram("lat", BOUNDS, batch_size=1), [5.0, 1.0, 3.0, 2.0, 4.0]
+    )
+    assert hist.percentile(0.0) == 1.0
+    assert hist.percentile(0.5) == 3.0
+    assert hist.percentile(0.95) == 5.0
+    assert hist.percentile(1.0) == 5.0
+    with pytest.raises(ValueError):
+        hist.percentile(1.5)
+    with pytest.raises(ValueError):
+        Histogram("empty", BOUNDS).percentile(0.5)
+
+
+@settings(max_examples=200, deadline=None)
+@given(stream_and_cuts(), st.floats(min_value=0.0, max_value=1.0))
+def test_percentiles_survive_any_split(case, q):
+    # merge(split(stream)).percentile(q) == unsplit.percentile(q),
+    # whatever the batch size: both read the same chunk stream.
+    xs, batch_size, cuts = case
+    serial = fill_histogram(Histogram("lat", BOUNDS, batch_size), xs)
+    merged = merge_histograms(
+        fill_histogram(
+            Histogram("lat", BOUNDS, batch_size, offset=start), values
+        )
+        for start, values in segments(xs, cuts)
+    )
+    if not xs:
+        with pytest.raises(ValueError):
+            serial.percentile(q)
+        with pytest.raises(ValueError):
+            merged.percentile(q)
+        return
+    assert merged.percentile(q) == serial.percentile(q)
+    assert merged.stream_values() == serial.stream_values()
+
+
+@settings(max_examples=200, deadline=None)
+@given(stream_and_cuts(), st.floats(min_value=0.0, max_value=1.0))
+def test_unit_batch_percentiles_are_exact_order_statistics(case, q):
+    # With batch_size=1 every observation survives verbatim in the
+    # chunk stream (a one-value batch mean IS the value), so the
+    # percentile is the exact empirical one however the stream was
+    # split — this is what the live service's p50/p95/p99 rely on.
+    xs, _, cuts = case
+    merged = merge_histograms(
+        fill_histogram(Histogram("lat", BOUNDS, 1, offset=start), values)
+        for start, values in segments(xs, cuts)
+    )
+    if not xs:
+        return
+    assert merged.stream_values() == xs
+    assert merged.percentile(q) == nearest_rank(xs, q)

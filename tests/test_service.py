@@ -1,0 +1,388 @@
+"""Tests for the live estimator service (``repro serve``).
+
+The contract under test, per layer:
+
+* **query → unit mapping** — :func:`spec_for_query` builds the same
+  content-hashed :class:`UnitSpec` a campaign grid would, canonical
+  params and all, and rejects malformed documents loudly (a typo must
+  not silently hash to a different unit).
+* **the cache** — a repeated query answers from the store without
+  simulating (proven by arming ``REPRO_FAIL_UNITS`` for the unit: any
+  execution would raise), and a miss simulated by the service lands a
+  record byte-identical to ``campaign run`` executing the same unit.
+* **determinism** — the whole request loop runs off the injected
+  clock, so a scripted clock makes ``/v1/stats`` percentiles exactly
+  hand-computable (nearest-rank over the scripted answer latencies).
+* **lifecycle** — SIGTERM drains gracefully: in-flight work finishes,
+  leases are released, exit status 0 (the subprocess test drives the
+  real ``repro serve`` CLI).
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.campaigns import CampaignSpec, open_store, run_campaign
+from repro.obs.trace import ListSink, Tracer
+from repro.service import (
+    EstimatorServer,
+    EstimatorService,
+    ServiceError,
+    spec_for_query,
+)
+
+# Small enough to simulate in well under a second.
+QUERY = {"algorithm": "DB", "dims": [4, 4, 4], "length_flits": 16}
+OTHER_QUERY = {"algorithm": "RD", "dims": [4, 4, 4], "length_flits": 16}
+
+
+def seed_store(store, doc=QUERY):
+    """Pre-compute ``doc``'s unit via the ordinary campaign path."""
+    spec = spec_for_query(doc)
+    run_campaign(
+        CampaignSpec(name="seed", seed=spec.seed, units=(spec,)), store=store
+    )
+    return spec
+
+
+def http_get(url):
+    with urllib.request.urlopen(url, timeout=10) as reply:
+        return json.loads(reply.read())
+
+
+def http_post(url, doc):
+    request = urllib.request.Request(
+        url, data=json.dumps(doc).encode(), method="POST"
+    )
+    with urllib.request.urlopen(request, timeout=10) as reply:
+        return json.loads(reply.read())
+
+
+# ------------------------------------------------------- query → unit
+def test_spec_for_query_matches_campaign_grid_construction():
+    spec = spec_for_query(QUERY)
+    assert spec.kind == "broadcast"
+    assert spec.algorithm == "DB"
+    assert spec.dims == (4, 4, 4)
+    assert spec.length_flits == 16
+    assert spec.seed == 0
+    assert spec.experiment == "service"
+    # params canonicalise exactly like campaign grids: key order in
+    # the JSON document must not change the unit hash.
+    a = spec_for_query({**QUERY, "params": {"b": 2, "a": 1}})
+    b = spec_for_query({**QUERY, "params": {"a": 1, "b": 2}})
+    assert a.unit_hash == b.unit_hash
+    assert a.unit_hash != spec.unit_hash
+
+
+def test_spec_for_query_load_selects_traffic():
+    spec = spec_for_query({**QUERY, "load": 0.02, "seed": 7})
+    assert spec.kind == "traffic"
+    assert spec.load == 0.02
+    assert spec.seed == 7
+
+
+@pytest.mark.parametrize(
+    "doc",
+    [
+        "not a dict",
+        {},
+        {"algorithm": "DB"},
+        {"dims": [4, 4]},
+        {"algorithm": "nope", "dims": [4, 4]},
+        {"algorithm": "DB", "dims": []},
+        {"algorithm": "DB", "dims": [4, 0]},
+        {"algorithm": "DB", "dims": ["x"]},
+        {"algorithm": "DB", "dims": [4, 4], "length_flits": 0},
+        {"algorithm": "DB", "dims": [4, 4], "replication": -1},
+        {"algorithm": "DB", "dims": [4, 4], "load": 0},
+        {"algorithm": "DB", "dims": [4, 4], "load": "heavy"},
+        {"algorithm": "DB", "dims": [4, 4], "params": [1, 2]},
+        {"algorithm": "DB", "dims": [4, 4], "lenght_flits": 8},  # typo
+    ],
+)
+def test_spec_for_query_rejects_malformed_documents(doc):
+    with pytest.raises(ServiceError):
+        spec_for_query(doc)
+
+
+# ------------------------------------------------------------ the cache
+def test_cache_hit_answers_without_simulating(tmp_path, monkeypatch):
+    store = open_store(tmp_path / "svc.sqlite")
+    spec = seed_store(store)
+    # Arm fault injection for exactly this unit: had the service tried
+    # to simulate, the attempt would raise and persist a failure
+    # record — the hit answer proves nothing executed.
+    monkeypatch.setenv("REPRO_FAIL_UNITS", spec.unit_hash)
+    with EstimatorService(store, retries=0) as service:
+        answer = service.query(QUERY)
+        assert answer["status"] == "hit"
+        assert answer["result"] == store.get(spec.unit_hash).result
+        assert answer["unit"] == spec.unit_hash
+        assert service.wait_idle(10)
+    assert store.get(spec.unit_hash).ok  # no failure record appeared
+
+
+def test_miss_simulates_byte_identical_to_campaign_run(tmp_path):
+    doc = {**QUERY, "seed": 3}
+    svc_store = open_store(tmp_path / "svc.sqlite")
+    with EstimatorService(svc_store) as service:
+        first = service.query(doc)
+        assert first["status"] == "pending"
+        assert first["queued"]
+        assert first["ticket"] == spec_for_query(doc).unit_hash
+        assert service.wait_idle(60)
+        second = service.query(doc)
+        assert second["status"] == "hit"
+    # The reference path: the ordinary campaign machinery executing
+    # the same unit into a fresh store.
+    spec = spec_for_query(doc)
+    ref_store = open_store(tmp_path / "ref.sqlite")
+    run_campaign(
+        CampaignSpec(name="ref", seed=spec.seed, units=(spec,)),
+        store=ref_store,
+    )
+    mine = svc_store.get(spec.unit_hash)
+    ref = ref_store.get(spec.unit_hash)
+    assert mine == ref  # UnitRecord equality excludes elapsed_s by design
+
+    def canonical(record):
+        data = {
+            key: value
+            for key, value in record.to_dict().items()
+            if key != "elapsed_s"
+        }
+        return json.dumps(data, sort_keys=True)
+
+    assert canonical(mine) == canonical(ref)
+    assert second["result"] == ref.result
+
+
+def test_pending_ticket_redeems_once_simulated(tmp_path):
+    store = open_store(tmp_path / "svc.sqlite")
+    with EstimatorService(store) as service:
+        ticket = service.query(QUERY)["ticket"]
+        early = service.result(ticket)
+        assert early["status"] == "pending"
+        assert service.wait_idle(60)
+        redeemed = service.result(ticket)
+        assert redeemed["status"] == "hit"
+        assert redeemed["result"]["delivered"] > 0
+        # Repeated misses while in flight do not double-enqueue.
+        assert service.meters.counter("svc.answer.hit").value == 1
+
+
+def test_duplicate_misses_enqueue_once(tmp_path):
+    store = open_store(tmp_path / "svc.sqlite")
+    sink = ListSink()
+    with EstimatorService(store, tracer=Tracer(sink, role="svc")) as service:
+        for _ in range(5):
+            answer = service.query(QUERY)
+            assert answer["status"] == "pending"
+            assert answer["queued"]
+        assert service.wait_idle(60)
+        assert service.query(QUERY)["status"] == "hit"
+    enqueues = [r for r in sink.records if r.get("name") == "svc.enqueue"]
+    simulates = [r for r in sink.records if r.get("name") == "svc.simulate"]
+    assert len(enqueues) == 1
+    assert len(simulates) == 1
+    names = {r.get("name") for r in sink.records}
+    assert {"svc.query", "svc.hit", "svc.drain"} <= names
+
+
+def test_failed_unit_reports_failure_without_resimulating(
+    tmp_path, monkeypatch
+):
+    monkeypatch.setenv("REPRO_FAIL_UNITS", "*")
+    store = open_store(tmp_path / "svc.sqlite")
+    with EstimatorService(store, retries=1) as service:
+        assert service.query(QUERY)["status"] == "pending"
+        assert service.wait_idle(60)
+        answer = service.query(QUERY)
+        assert answer["status"] == "failed"
+        assert "InjectedFailureError" in answer["error"]
+        assert answer["attempts"] == 2  # 1 retry → 2 attempts, then quarantine
+        # A known-poisonous unit is not re-enqueued (its budget is spent).
+        assert service.wait_idle(10)
+        assert service.query(QUERY)["status"] == "failed"
+    record = store.get(spec_for_query(QUERY).unit_hash)
+    assert record.failed
+
+
+def test_close_stops_enqueueing_but_hits_still_answer(tmp_path):
+    store = open_store(tmp_path / "svc.sqlite")
+    seed_store(store)
+    service = EstimatorService(store)
+    service.close()
+    assert service.query(QUERY)["status"] == "hit"
+    miss = service.query(OTHER_QUERY)
+    assert miss["status"] == "pending"
+    assert not miss["queued"]  # draining: nothing new enters the queue
+    service.close()  # idempotent
+
+
+# --------------------------------------------------- deterministic time
+class ScriptedClock:
+    """Clock whose readings are fixed in advance (exact binary floats)."""
+
+    def __init__(self, readings):
+        self.readings = list(readings)
+
+    def __call__(self):
+        return self.readings.pop(0)
+
+
+def test_stats_percentiles_match_hand_computed_stream(tmp_path):
+    store = open_store(tmp_path / "svc.sqlite")
+    seed_store(store)
+    # One reading for construction, then a (start, end) pair per query:
+    # answer latencies 0.25, 0.5, 1.0, 0.75 — exact in binary, so the
+    # stats must match the hand computation to the last bit.
+    clock = ScriptedClock(
+        [0.0, 1.0, 1.25, 2.0, 2.5, 4.0, 5.0, 6.0, 6.75]
+    )
+    service = EstimatorService(store, clock=clock)
+    try:
+        latencies = [service.query(QUERY)["answer_latency_s"] for _ in range(4)]
+    finally:
+        service.close()
+    assert latencies == [0.25, 0.5, 1.0, 0.75]
+    stats = service.stats()
+    assert stats["answers"] == 4
+    assert stats["counters"]["svc.queries"] == 4
+    assert stats["counters"]["svc.answer.hit"] == 4
+    slo = stats["answer_latency_s"]
+    # Nearest-rank over sorted [0.25, 0.5, 0.75, 1.0]: rank(q) =
+    # max(1, ceil(4q)) → p50 is the 2nd value, p95/p99 the 4th.
+    assert slo == {
+        "count": 4,
+        "mean": 0.625,
+        "p50": 0.5,
+        "p95": 1.0,
+        "p99": 1.0,
+    }
+
+
+def test_status_uptime_uses_injected_clock(tmp_path):
+    store = open_store(tmp_path / "svc.sqlite")
+    clock = ScriptedClock([10.0, 17.5])
+    service = EstimatorService(store, clock=clock)
+    try:
+        status = service.status()
+    finally:
+        service.close()
+    assert status["uptime_s"] == 7.5
+    assert status["ok"]
+    assert status["backend"] == "sqlite"
+    assert status["service"] == "estimator"
+
+
+# ----------------------------------------------------------- HTTP layer
+def test_http_endpoints_round_trip(tmp_path):
+    store = open_store(tmp_path / "svc.sqlite")
+    service = EstimatorService(store)
+    with EstimatorServer(service, port=0) as server:
+        status = http_get(f"{server.url}/v1/status")
+        assert status["ok"]
+        assert status["service"] == "estimator"
+        first = http_post(f"{server.url}/v1/query", QUERY)
+        assert first["status"] == "pending"
+        assert service.wait_idle(60)
+        redeemed = http_get(
+            f"{server.url}/v1/result?ticket={first['ticket']}"
+        )
+        assert redeemed["status"] == "hit"
+        again = http_post(f"{server.url}/v1/query", QUERY)
+        assert again["status"] == "hit"
+        assert again["result"] == redeemed["result"]
+        stats = http_get(f"{server.url}/v1/stats")
+        assert stats["answers"] == 3  # miss, redeem, hit
+        assert stats["answer_latency_s"]["p95"] > 0
+    # The drain released every lease the miss simulation took.
+    assert store.leased_hashes() == set()
+
+
+@pytest.mark.parametrize(
+    "method,path,body,expected",
+    [
+        ("GET", "/nope", None, 404),
+        ("GET", "/v1/nope", None, 404),
+        ("GET", "/v1/result", None, 400),  # missing ticket
+        ("POST", "/v1/query", b"not json", 400),
+        ("POST", "/v1/query", b"[1, 2]", 400),
+        ("POST", "/v1/query", b'{"algorithm": "nope", "dims": [4]}', 400),
+    ],
+)
+def test_http_error_codes(tmp_path, method, path, body, expected):
+    store = open_store(tmp_path / "svc.sqlite")
+    with EstimatorServer(EstimatorService(store), port=0) as server:
+        request = urllib.request.Request(
+            f"{server.url}{path}", data=body, method=method
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == expected
+        assert "error" in json.loads(excinfo.value.read())
+
+
+# ------------------------------------------------------- graceful drain
+def test_repro_serve_sigterm_drains_cleanly(tmp_path):
+    """Drive the real CLI: boot, query, SIGTERM, assert a clean exit."""
+    repo_src = str(Path(__file__).resolve().parent.parent / "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [repo_src] + [p for p in [env.get("PYTHONPATH")] if p]
+    )
+    store_path = tmp_path / "svc.sqlite"
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--store",
+            str(store_path),
+            "--port",
+            "0",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    try:
+        url = None
+        for _ in range(50):
+            line = proc.stdout.readline()
+            if "listening on" in line:
+                url = line.rsplit(" ", 1)[-1].strip()
+                break
+        assert url, "service never reported its URL"
+        # Wait past the banner so the listener is accepting.
+        ticket = http_post(f"{url}/v1/query", QUERY)["ticket"]
+        deadline = time.monotonic() + 60
+        answer = {"status": "pending"}
+        while answer["status"] == "pending" and time.monotonic() < deadline:
+            answer = http_get(f"{url}/v1/result?ticket={ticket}")
+            time.sleep(0.05)
+        assert answer["status"] == "hit"
+        proc.send_signal(signal.SIGTERM)
+        out, _ = proc.communicate(timeout=30)
+    finally:
+        if proc.poll() is None:  # pragma: no cover - cleanup on failure
+            proc.kill()
+            proc.communicate()
+    assert proc.returncode == 0, out
+    assert "drained cleanly" in out
+    # The drain left no lease behind and the answer is durable.
+    store = open_store(store_path)
+    assert store.leased_hashes() == set()
+    assert store.get(ticket).ok
